@@ -1,0 +1,119 @@
+//! Ablation — feature representation for the classical baselines.
+//!
+//! The paper fixes TF-IDF unigrams for its classical models. This ablation varies the
+//! representation (raw counts vs TF-IDF, with/without stemming, unigram vs unigram+
+//! bigram) and reports cross-validated accuracy of logistic regression under each, then
+//! benchmarks the vectorise+train unit per variant. It justifies the DESIGN.md choice
+//! of scikit-learn-style smoothed TF-IDF as the default analyzer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holistix::corpus::splits::kfold_stratified;
+use holistix::corpus::HolistixCorpus;
+use holistix::ml::{
+    cross_validate, LogisticRegression, LogisticRegressionConfig, TfidfPipeline, VectorizerOptions,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn variants() -> Vec<(&'static str, VectorizerOptions)> {
+    let base = VectorizerOptions::paper_default();
+    vec![
+        ("tfidf_unigram", base.clone()),
+        (
+            "tfidf_no_stopword_removal",
+            VectorizerOptions {
+                remove_stopwords: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "tfidf_stemmed",
+            VectorizerOptions {
+                stem: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "tfidf_unigram_bigram",
+            VectorizerOptions {
+                ngram_max: 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "tfidf_sublinear",
+            VectorizerOptions {
+                sublinear_tf: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "tfidf_unnormalised",
+            VectorizerOptions {
+                l2_normalize: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn classifier() -> LogisticRegression {
+    LogisticRegression::new(LogisticRegressionConfig {
+        epochs: 120,
+        ..LogisticRegressionConfig::default()
+    })
+}
+
+fn print_ablation() {
+    let corpus = HolistixCorpus::generate_small(300, 42);
+    let texts = corpus.texts();
+    let labels = corpus.label_indices();
+    let folds = kfold_stratified(&labels, 6, 4, 42);
+    println!("\n=== Ablation: feature representation for the LR baseline (measured) ===\n");
+    println!("{:<28}{:>10}{:>12}", "variant", "accuracy", "macro F1");
+    for (name, options) in variants() {
+        let report = cross_validate(
+            &texts,
+            &labels,
+            6,
+            &folds,
+            || TfidfPipeline::new(classifier(), options.clone()),
+            true,
+        );
+        println!(
+            "{:<28}{:>10.3}{:>12.3}",
+            name, report.averaged.accuracy, report.averaged.macro_f1
+        );
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_ablation();
+
+    let corpus = HolistixCorpus::generate_small(240, 42);
+    let texts = corpus.texts();
+    let labels = corpus.label_indices();
+    let folds = kfold_stratified(&labels, 6, 3, 42);
+
+    let mut group = c.benchmark_group("ablation_features");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(15));
+    for (name, options) in variants().into_iter().take(3) {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &options, |b, options| {
+            b.iter(|| {
+                black_box(cross_validate(
+                    &texts,
+                    &labels,
+                    6,
+                    &folds,
+                    || TfidfPipeline::new(classifier(), options.clone()),
+                    true,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Ablation — LIME sample budget.
+//!
+//! Table V depends on LIME's perturbation sample count. This ablation sweeps the
+//! budget (30 → 400 samples), reporting explanation quality (token F1 against gold
+//! spans) and benchmarking the explanation cost at each budget, which documents the
+//! quality/latency trade-off behind the default of 200 samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use holistix::explain::{evaluate_explanations, LimeConfig, LimeExplainer};
+use holistix::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+const BUDGETS: [usize; 4] = [30, 100, 200, 400];
+
+fn print_sweep() {
+    let corpus = HolistixCorpus::generate_small(260, 42);
+    let model = FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Fast,
+        &corpus.texts(),
+        &corpus.label_indices(),
+        42,
+    );
+    println!("\n=== Ablation: LIME sample budget vs explanation quality (measured) ===\n");
+    println!("{:<12}{:>10}{:>12}{:>10}", "samples", "F1", "precision", "recall");
+    for &budget in &BUDGETS {
+        let explainer = LimeExplainer::new(LimeConfig {
+            n_samples: budget,
+            ..LimeConfig::default()
+        });
+        let items: Vec<(Vec<String>, String)> = corpus
+            .iter()
+            .take(20)
+            .map(|post| {
+                let explanation = explainer.explain(&model, &post.post.text, None);
+                (explanation.top_tokens(5), post.span_text().to_string())
+            })
+            .collect();
+        let report = evaluate_explanations("LR", &items);
+        println!(
+            "{:<12}{:>10.3}{:>12.3}{:>10.3}",
+            budget, report.f1, report.precision, report.recall
+        );
+    }
+}
+
+fn bench_lime_samples(c: &mut Criterion) {
+    print_sweep();
+
+    let corpus = HolistixCorpus::generate_small(200, 7);
+    let model = FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Fast,
+        &corpus.texts(),
+        &corpus.label_indices(),
+        7,
+    );
+    let post = &corpus.posts[2];
+
+    let mut group = c.benchmark_group("ablation_lime_samples");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    for &budget in &BUDGETS {
+        let explainer = LimeExplainer::new(LimeConfig {
+            n_samples: budget,
+            ..LimeConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &explainer, |b, explainer| {
+            b.iter(|| black_box(explainer.explain(&model, black_box(&post.post.text), None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lime_samples);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Fig. 1 — problem formulation: identify the wellness dimension of a user post and
+//! surface the explanatory keywords.
+//!
+//! Prints a single-post walkthrough (post → predicted dimension → LIME keywords vs the
+//! gold span) and benchmarks the inference path: vectorise + classify + explain one
+//! post with an already-fitted model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::explain::LimeExplainer;
+use holistix::prelude::*;
+use std::hint::black_box;
+
+fn print_walkthrough() {
+    println!("\n=== Fig. 1: problem-formulation walkthrough (measured) ===\n");
+    let walkthrough = run_fig1_walkthrough(42);
+    println!("{walkthrough}");
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    print_walkthrough();
+
+    let corpus = HolistixCorpus::generate_small(240, 42);
+    let model = FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Fast,
+        &corpus.texts(),
+        &corpus.label_indices(),
+        42,
+    );
+    let post = &corpus.posts[1];
+    let explainer = LimeExplainer::default_config();
+
+    let mut group = c.benchmark_group("fig1_problem_formulation");
+    group.sample_size(30);
+    group.bench_function("classify_single_post", |b| {
+        b.iter(|| black_box(model.predict(black_box(&[post.post.text.as_str()]))))
+    });
+    group.bench_function("classify_and_explain_single_post", |b| {
+        b.iter(|| {
+            let prediction = model.predict(&[post.post.text.as_str()]);
+            let explanation = explainer.explain(&model, &post.post.text, None);
+            black_box((prediction, explanation))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

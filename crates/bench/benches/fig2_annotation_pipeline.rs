@@ -1,0 +1,45 @@
+//! Fig. 2 / §II-E — the annotation framework and inter-annotator agreement.
+//!
+//! Runs the simulated two-annotator study over the full corpus, prints the resulting
+//! Fleiss' kappa next to the paper's 75.92 %, and benchmarks the study plus the kappa
+//! computation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::corpus::annotation::AnnotationStudy;
+use holistix::corpus::{fleiss_kappa, HolistixCorpus};
+use std::hint::black_box;
+
+fn print_agreement() {
+    let corpus = HolistixCorpus::generate(42);
+    let study = AnnotationStudy::run(&corpus.posts, 7);
+    println!("\n=== Fig. 2 / §II-E: annotation study (measured vs paper) ===");
+    println!("  posts annotated:          {}", corpus.len());
+    println!("  percentage agreement:     {:.2}%", 100.0 * study.agreement.percent_agreement);
+    println!("  Fleiss' kappa (measured): {:.2}%", 100.0 * study.agreement.fleiss_kappa);
+    println!("  Fleiss' kappa (paper):    75.92%");
+    println!("  Cohen's kappa (measured): {:.2}%", 100.0 * study.agreement.cohen_kappa);
+    println!("  top confusions:");
+    for (gold, assigned, count) in study.confusion_pairs().into_iter().take(5) {
+        println!("    {:<4} -> {:<4} {:>4}", gold.code(), assigned.code(), count);
+    }
+}
+
+fn bench_annotation(c: &mut Criterion) {
+    print_agreement();
+    let corpus = HolistixCorpus::generate(42);
+    let study = AnnotationStudy::run(&corpus.posts, 7);
+    let table = holistix::corpus::agreement::two_rater_table(&study.annotator_a, &study.annotator_b, 6);
+
+    let mut group = c.benchmark_group("fig2_annotation_pipeline");
+    group.sample_size(20);
+    group.bench_function("annotation_study_1420_posts", |b| {
+        b.iter(|| black_box(AnnotationStudy::run(black_box(&corpus.posts), 7)))
+    });
+    group.bench_function("fleiss_kappa_1420_items", |b| {
+        b.iter(|| black_box(fleiss_kappa(black_box(&table))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_annotation);
+criterion_main!(benches);

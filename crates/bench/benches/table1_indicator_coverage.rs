@@ -1,0 +1,55 @@
+//! Table I — class indicators for the annotation task.
+//!
+//! The paper's Table I defines the per-dimension indicator lexicons annotators use.
+//! This bench measures how well the rule-based indicator classifier recovers the gold
+//! label from (a) the explanation span and (b) the full post, and benchmarks the
+//! indicator-scoring pass — the cheapest possible baseline and a sanity check that the
+//! synthetic corpus carries the Table I signal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::corpus::{HolistixCorpus, IndicatorLexicon, ALL_DIMENSIONS};
+use std::hint::black_box;
+
+fn print_coverage() {
+    let corpus = HolistixCorpus::generate(42);
+    let lexicon = IndicatorLexicon::new();
+    println!("\n=== Table I: indicator lexicon coverage (measured) ===");
+    println!("{:<6}{:>18}{:>18}{:>16}", "Class", "span accuracy", "post accuracy", "distinctiveness");
+    for dim in ALL_DIMENSIONS {
+        let posts: Vec<_> = corpus.iter().filter(|p| p.label == dim).collect();
+        let span_hits = posts
+            .iter()
+            .filter(|p| lexicon.classify_by_indicators(p.span_text()) == Some(dim))
+            .count();
+        let post_hits = posts
+            .iter()
+            .filter(|p| lexicon.classify_by_indicators(&p.post.text) == Some(dim))
+            .count();
+        println!(
+            "{:<6}{:>17.1}%{:>17.1}%{:>16.2}",
+            dim.code(),
+            100.0 * span_hits as f64 / posts.len().max(1) as f64,
+            100.0 * post_hits as f64 / posts.len().max(1) as f64,
+            lexicon.distinctiveness(dim)
+        );
+    }
+}
+
+fn bench_indicators(c: &mut Criterion) {
+    print_coverage();
+    let corpus = HolistixCorpus::generate_small(400, 42);
+    let lexicon = IndicatorLexicon::new();
+
+    let mut group = c.benchmark_group("table1_indicator_coverage");
+    group.bench_function("indicator_classify_400_posts", |b| {
+        b.iter(|| {
+            for post in corpus.iter() {
+                black_box(lexicon.classify_by_indicators(black_box(&post.post.text)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indicators);
+criterion_main!(benches);

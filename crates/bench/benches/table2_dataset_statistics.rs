@@ -1,0 +1,46 @@
+//! Table II — statistics of the dataset.
+//!
+//! Regenerates the paper's Table II (total posts, word counts, sentence counts and the
+//! per-dimension class counts) from the calibrated synthetic corpus and prints the
+//! measured values next to the published reference. The timed units are corpus
+//! generation and the statistics pass over all 1,420 posts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::corpus::{CorpusStatistics, HolistixCorpus};
+use std::hint::black_box;
+
+fn print_table2() {
+    let corpus = HolistixCorpus::generate(42);
+    let measured = CorpusStatistics::compute(&corpus.posts);
+    let paper = CorpusStatistics::paper_reference();
+    println!("\n=== Table II: statistics of the dataset (measured vs paper) ===");
+    println!("{}", measured.to_table());
+    println!("Reference (paper):");
+    println!("{}", paper.to_table());
+    println!(
+        "Class distribution measured: {:?}",
+        measured
+            .class_percentages()
+            .iter()
+            .map(|p| format!("{p:.2}%"))
+            .collect::<Vec<_>>()
+    );
+}
+
+fn bench_table2(c: &mut Criterion) {
+    print_table2();
+    let corpus = HolistixCorpus::generate(42);
+
+    let mut group = c.benchmark_group("table2_dataset_statistics");
+    group.sample_size(10);
+    group.bench_function("generate_full_corpus_1420", |b| {
+        b.iter(|| black_box(HolistixCorpus::generate(black_box(42))))
+    });
+    group.bench_function("compute_statistics_1420", |b| {
+        b.iter(|| black_box(CorpusStatistics::compute(black_box(&corpus.posts))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

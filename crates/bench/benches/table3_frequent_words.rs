@@ -1,0 +1,33 @@
+//! Table III — frequent words in explanatory text spans.
+//!
+//! Regenerates the per-dimension frequent-word lists from the gold explanation spans
+//! (stop-words removed, top-7 per class as in the paper) and benchmarks the analysis
+//! pass over the full corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::corpus::{frequent_span_words, HolistixCorpus};
+use std::hint::black_box;
+
+fn print_table3() {
+    let corpus = HolistixCorpus::generate(42);
+    let frequent = frequent_span_words(&corpus.posts);
+    println!("\n=== Table III: frequent words in explanatory text spans (measured) ===");
+    println!("{}", frequent.to_table());
+    println!("Paper top words: IA future/feel/hard, VA job/work/money, SpiA feel/life/thoughts,");
+    println!("                 PA anxiety/sleep/depression, SA me/feel/people, EA feel/anxiety/feeling");
+}
+
+fn bench_table3(c: &mut Criterion) {
+    print_table3();
+    let corpus = HolistixCorpus::generate(42);
+
+    let mut group = c.benchmark_group("table3_frequent_words");
+    group.sample_size(20);
+    group.bench_function("frequent_span_words_1420", |b| {
+        b.iter(|| black_box(frequent_span_words(black_box(&corpus.posts))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Table IV — comparison of baseline methods.
+//!
+//! Prints a full Table IV reproduction (per-class precision/recall/F1 and accuracy for
+//! all nine baselines, averaged over stratified folds) using the reduced "fast"
+//! profile so the sweep completes within a benchmark run, then benchmarks the
+//! per-fold training unit of a classical and a transformer baseline.
+//!
+//! The absolute numbers differ from the paper (synthetic corpus, small from-scratch
+//! transformer analogues) but the shape is the comparison of interest: transformers >
+//! classical TF-IDF models, the MentalBERT analogue strongest, Gaussian NB weakest,
+//! and the Emotional / Spiritual classes hardest — see EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::corpus::splits::kfold_stratified;
+use holistix::ml::cross_validate;
+use holistix::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_table4() {
+    let config = EvaluationConfig {
+        corpus_size: Some(300),
+        n_folds: 3,
+        parallel: true,
+        ..EvaluationConfig::fast()
+    };
+    println!("\n=== Table IV: comparison of baseline methods (fast profile, measured) ===");
+    println!(
+        "corpus: {} posts, {} folds, reduced transformer analogues\n",
+        config.corpus_size.unwrap(),
+        config.n_folds
+    );
+    let result = run_table4(&config);
+    println!("{result}");
+    println!("Paper accuracies: LR 0.52, Linear SVM 0.50, Gaussian NB 0.32, BERT 0.65,");
+    println!("                  DistilBERT 0.69, MentalBERT 0.74, Flan-T5 0.65, XLNet 0.63, GPT-2.0 0.66");
+}
+
+fn bench_table4(c: &mut Criterion) {
+    print_table4();
+
+    let corpus = HolistixCorpus::generate_small(240, 42);
+    let texts = corpus.texts();
+    let labels = corpus.label_indices();
+    let folds = kfold_stratified(&labels, 6, 3, 42);
+
+    let mut group = c.benchmark_group("table4_baseline_comparison");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    group.bench_function("lr_3fold_240_posts", |b| {
+        b.iter(|| {
+            black_box(cross_validate(
+                &texts,
+                &labels,
+                6,
+                &folds,
+                || BaselinePipeline::new(BaselineKind::LogisticRegression, SpeedProfile::Fast, 42),
+                true,
+            ))
+        })
+    });
+    group.bench_function("gaussian_nb_3fold_240_posts", |b| {
+        b.iter(|| {
+            black_box(cross_validate(
+                &texts,
+                &labels,
+                6,
+                &folds,
+                || BaselinePipeline::new(BaselineKind::GaussianNb, SpeedProfile::Fast, 42),
+                true,
+            ))
+        })
+    });
+    group.finish();
+
+    let mut transformer_group = c.benchmark_group("table4_transformer_fold");
+    transformer_group.sample_size(10);
+    transformer_group.measurement_time(Duration::from_secs(30));
+    let small = HolistixCorpus::generate_small(90, 7);
+    let small_texts = small.texts();
+    let small_labels = small.label_indices();
+    transformer_group.bench_function("distilbert_tiny_fit_90_posts", |b| {
+        b.iter(|| {
+            black_box(FittedBaseline::fit(
+                BaselineKind::Transformer(ModelKind::DistilBert),
+                SpeedProfile::Tiny,
+                black_box(&small_texts),
+                black_box(&small_labels),
+                7,
+            ))
+        })
+    });
+    transformer_group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Table V — explainability of the top-performing models using LIME.
+//!
+//! Prints a Table V reproduction (F1, precision, recall, ROUGE, BLEU of LIME keyword
+//! explanations against gold spans for LR and the MentalBERT analogue) on the fast
+//! profile, then benchmarks a single LIME explanation of the logistic-regression
+//! baseline (the unit cost that dominates the experiment).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::explain::{LimeConfig, LimeExplainer};
+use holistix::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_table5() {
+    let config = Table5Config {
+        corpus_size: Some(300),
+        n_explanations: 25,
+        speed: SpeedProfile::Fast,
+        lime: LimeConfig {
+            n_samples: 120,
+            ..LimeConfig::default()
+        },
+        ..Table5Config::paper()
+    };
+    println!("\n=== Table V: explainability of top performing models using LIME (measured) ===\n");
+    let result = run_table5(&config);
+    println!("{result}");
+    println!("Paper reference:");
+    println!("LR           0.4221     0.3140   0.6976   0.3645   0.1349");
+    println!("MentalBERT   0.4471     0.4901   0.7463   0.3833   0.1412");
+}
+
+fn bench_table5(c: &mut Criterion) {
+    print_table5();
+
+    let corpus = HolistixCorpus::generate_small(250, 42);
+    let model = FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Fast,
+        &corpus.texts(),
+        &corpus.label_indices(),
+        42,
+    );
+    let post = &corpus.posts[0];
+    let explainer = LimeExplainer::new(LimeConfig {
+        n_samples: 120,
+        ..LimeConfig::default()
+    });
+
+    let mut group = c.benchmark_group("table5_lime_explainability");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(15));
+    group.bench_function("lime_explain_lr_120_samples", |b| {
+        b.iter(|| black_box(explainer.explain(&model, black_box(&post.post.text), None)))
+    });
+    group.bench_function("lr_predict_proba_single_post", |b| {
+        b.iter(|| black_box(model.probabilities_one(black_box(&post.post.text))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table5);
+criterion_main!(benches);

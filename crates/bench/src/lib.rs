@@ -1,0 +1,1 @@
+//! Benchmark harness support library — see `benches/` for the per-table Criterion benches.

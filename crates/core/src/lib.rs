@@ -1,0 +1,103 @@
+//! # holistix
+//!
+//! The top-level crate of the Holistix reproduction: a complete, from-scratch Rust
+//! implementation of the systems behind *"Holistix: A Dataset for Holistic Wellness
+//! Dimensions Analysis in Mental Health Narratives"* (ICDE 2025).
+//!
+//! The paper introduces a 1,420-post mental-health forum corpus annotated with six
+//! wellness dimensions (Intellectual, Vocational, Spiritual, Physical, Social,
+//! Emotional) plus explanatory text spans, and evaluates nine classification baselines
+//! with 10-fold cross-validation and LIME-based explanation quality. This crate ties
+//! the substrate crates together and exposes:
+//!
+//! * [`pipeline`] — the unified baseline registry ([`BaselineKind`]) covering the
+//!   three classical models and six transformer analogues, a single
+//!   [`BaselinePipeline`] type that plugs into the cross-validation driver, and the
+//!   fitted-model type used for prediction and LIME explanation;
+//! * [`experiments`] — one runner per table/figure of the paper: dataset statistics
+//!   (Table II), frequent span words (Table III), the baseline comparison (Table IV),
+//!   LIME explanation quality (Table V), the inter-annotator agreement study (§II-E /
+//!   Fig. 2) and the single-post walkthrough of Fig. 1;
+//! * re-exports of the substrate crates, so `use holistix::prelude::*` is enough for
+//!   most applications.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use holistix::prelude::*;
+//!
+//! // A small synthetic Holistix corpus (deterministic for a seed).
+//! let corpus = HolistixCorpus::generate_small(120, 42);
+//!
+//! // Fit the logistic-regression baseline on a stratified split.
+//! let labels = corpus.label_indices();
+//! let split = holistix::corpus::splits::paper_split(&labels, 6, 42);
+//! let texts = corpus.texts();
+//! let train_texts: Vec<&str> = split.train.iter().map(|&i| texts[i]).collect();
+//! let train_labels: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
+//! let fitted = FittedBaseline::fit(
+//!     BaselineKind::LogisticRegression,
+//!     SpeedProfile::Tiny,
+//!     &train_texts,
+//!     &train_labels,
+//!     42,
+//! );
+//!
+//! // Classify one held-out post.
+//! let post = &corpus.posts[split.test[0]];
+//! let predicted = fitted.predict(&[post.post.text.as_str()])[0];
+//! assert!(predicted < 6);
+//! ```
+
+pub mod experiments;
+pub mod pipeline;
+
+/// Re-export of the dataset substrate.
+pub use holistix_corpus as corpus;
+/// Re-export of the explainability stack.
+pub use holistix_explain as explain;
+/// Re-export of the linear-algebra substrate.
+pub use holistix_linalg as linalg;
+/// Re-export of the classical-ML stack.
+pub use holistix_ml as ml;
+/// Re-export of the autograd engine.
+pub use holistix_tensor as tensor;
+/// Re-export of the text substrate.
+pub use holistix_text as text;
+/// Re-export of the transformer stack.
+pub use holistix_transformer as transformer;
+
+pub use experiments::{
+    run_annotation_study, run_fig1_walkthrough, run_table2, run_table3, run_table4, run_table5,
+    EvaluationConfig, Fig1Walkthrough, Table4Result, Table4Row, Table5Config, Table5Result,
+};
+pub use pipeline::{BaselineKind, BaselinePipeline, FittedBaseline, SpeedProfile};
+
+/// The things most applications need.
+pub mod prelude {
+    pub use crate::experiments::{
+        run_annotation_study, run_fig1_walkthrough, run_table2, run_table3, run_table4,
+        run_table5, EvaluationConfig, Table4Result, Table5Config,
+    };
+    pub use crate::pipeline::{BaselineKind, BaselinePipeline, FittedBaseline, SpeedProfile};
+    pub use holistix_corpus::{
+        AnnotatedPost, CorpusStatistics, HolistixCorpus, Post, Span, WellnessDimension,
+        ALL_DIMENSIONS,
+    };
+    pub use holistix_explain::{LimeConfig, LimeExplainer, ProbabilityModel};
+    pub use holistix_ml::{ClassificationReport, Classifier};
+    pub use holistix_transformer::ModelKind;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        let corpus = HolistixCorpus::generate_small(30, 1);
+        assert_eq!(corpus.class_counts().iter().sum::<usize>(), corpus.len());
+        assert_eq!(ALL_DIMENSIONS.len(), 6);
+        assert_eq!(BaselineKind::ALL.len(), 9);
+    }
+}

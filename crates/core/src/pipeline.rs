@@ -1,0 +1,471 @@
+//! The unified baseline registry and pipeline adapters.
+//!
+//! Table IV of the paper compares nine models: three classical (TF-IDF + LR /
+//! Linear SVM / Gaussian NB) and six transformers. [`BaselineKind`] enumerates them
+//! with the paper's row names, [`FittedBaseline`] is the result of training any of
+//! them, and [`BaselinePipeline`] adapts the whole family to the cross-validation
+//! driver of `holistix-ml` so one harness produces the entire table.
+//!
+//! [`FittedBaseline`] also implements the explainability crate's
+//! [`ProbabilityModel`] trait, so a fitted model can be handed directly to the LIME
+//! explainer for the Table V experiment.
+
+use holistix_explain::ProbabilityModel;
+use holistix_linalg::Matrix;
+use holistix_ml::{
+    Classifier, GaussianNaiveBayes, LinearSvm, LinearSvmConfig, LogisticRegression,
+    LogisticRegressionConfig, TextPipeline, TfidfVectorizer, VectorizerOptions,
+};
+use holistix_transformer::{FineTuneRecipe, ModelKind, Trainer};
+use serde::{Deserialize, Serialize};
+
+/// The nine Table IV baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// TF-IDF + multinomial logistic regression ("LR").
+    LogisticRegression,
+    /// TF-IDF + one-vs-rest linear SVM ("Linear SVM").
+    LinearSvm,
+    /// TF-IDF + Gaussian Naive Bayes ("Gaussian NB").
+    GaussianNb,
+    /// A fine-tuned transformer analogue.
+    Transformer(ModelKind),
+}
+
+impl BaselineKind {
+    /// All nine baselines in the order Table IV lists them.
+    pub const ALL: [BaselineKind; 9] = [
+        BaselineKind::LogisticRegression,
+        BaselineKind::LinearSvm,
+        BaselineKind::GaussianNb,
+        BaselineKind::Transformer(ModelKind::Bert),
+        BaselineKind::Transformer(ModelKind::DistilBert),
+        BaselineKind::Transformer(ModelKind::MentalBert),
+        BaselineKind::Transformer(ModelKind::FlanT5),
+        BaselineKind::Transformer(ModelKind::Xlnet),
+        BaselineKind::Transformer(ModelKind::Gpt2),
+    ];
+
+    /// The three classical baselines.
+    pub const CLASSICAL: [BaselineKind; 3] = [
+        BaselineKind::LogisticRegression,
+        BaselineKind::LinearSvm,
+        BaselineKind::GaussianNb,
+    ];
+
+    /// The paper's row label.
+    pub fn name(&self) -> String {
+        match self {
+            BaselineKind::LogisticRegression => "LR".to_string(),
+            BaselineKind::LinearSvm => "Linear SVM".to_string(),
+            BaselineKind::GaussianNb => "Gaussian NB".to_string(),
+            BaselineKind::Transformer(kind) => kind.name().to_string(),
+        }
+    }
+
+    /// Whether the baseline is a transformer.
+    pub fn is_transformer(&self) -> bool {
+        matches!(self, BaselineKind::Transformer(_))
+    }
+}
+
+/// How much compute to spend on training. The `Paper` profile follows the paper's
+/// hyper-parameters; `Fast` shrinks the transformers so full-table sweeps finish in a
+/// benchmark run; `Tiny` is for unit and integration tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpeedProfile {
+    /// Paper-faithful hyper-parameters (10 epochs, full-size analogues).
+    Paper,
+    /// Reduced-cost profile preserving relative model ordering.
+    Fast,
+    /// Minimal profile for tests.
+    Tiny,
+}
+
+/// A trained classical classifier (the three scikit-learn-style baselines).
+#[derive(Debug, Clone)]
+pub enum ClassicalClassifier {
+    /// Multinomial logistic regression.
+    LogisticRegression(LogisticRegression),
+    /// One-vs-rest linear SVM.
+    LinearSvm(LinearSvm),
+    /// Gaussian Naive Bayes.
+    GaussianNb(GaussianNaiveBayes),
+}
+
+impl ClassicalClassifier {
+    fn as_classifier(&self) -> &dyn Classifier {
+        match self {
+            ClassicalClassifier::LogisticRegression(m) => m,
+            ClassicalClassifier::LinearSvm(m) => m,
+            ClassicalClassifier::GaussianNb(m) => m,
+        }
+    }
+}
+
+/// A fitted baseline: ready to predict and to be explained with LIME.
+pub enum FittedBaseline {
+    /// TF-IDF features + a classical classifier.
+    Classical {
+        /// Which baseline this is.
+        kind: BaselineKind,
+        /// The vectoriser fitted on the training split.
+        vectorizer: TfidfVectorizer,
+        /// The trained classifier.
+        classifier: ClassicalClassifier,
+    },
+    /// A fine-tuned transformer analogue.
+    Transformer {
+        /// The trainer holding the fitted model.
+        trainer: Trainer,
+    },
+}
+
+impl FittedBaseline {
+    /// Number of epochs the classical SGD classifiers train for under each profile.
+    fn classical_epochs(profile: SpeedProfile) -> usize {
+        match profile {
+            SpeedProfile::Paper => 200,
+            SpeedProfile::Fast => 120,
+            SpeedProfile::Tiny => 60,
+        }
+    }
+
+    /// The transformer recipe for a kind under a profile.
+    fn transformer_recipe(kind: ModelKind, profile: SpeedProfile, seed: u64) -> FineTuneRecipe {
+        match profile {
+            SpeedProfile::Paper => FineTuneRecipe::paper(kind, 6, seed),
+            SpeedProfile::Fast => FineTuneRecipe::fast(kind, 6, seed),
+            SpeedProfile::Tiny => {
+                let mut recipe = FineTuneRecipe::fast(kind, 6, seed);
+                recipe.model.hidden_dim = 16;
+                recipe.model.n_heads = 2;
+                recipe.model.ff_dim = 32;
+                recipe.model.max_len = 16;
+                recipe.model.dropout = 0.0;
+                recipe.finetune.epochs = 2;
+                recipe.finetune.subword_vocab_size = 400;
+                if let Some(pretrain) = &mut recipe.finetune.pretrain {
+                    pretrain.epochs = 1;
+                    pretrain.max_sequences = Some(40);
+                }
+                recipe
+            }
+        }
+    }
+
+    /// Train a baseline on raw texts and dense labels.
+    pub fn fit(
+        kind: BaselineKind,
+        profile: SpeedProfile,
+        texts: &[&str],
+        labels: &[usize],
+        seed: u64,
+    ) -> Self {
+        assert_eq!(texts.len(), labels.len(), "texts/labels length mismatch");
+        assert!(!texts.is_empty(), "cannot fit a baseline on an empty training set");
+        match kind {
+            BaselineKind::Transformer(model_kind) => {
+                let mut trainer = Self::transformer_recipe(model_kind, profile, seed).build();
+                trainer.fit(texts, labels);
+                FittedBaseline::Transformer { trainer }
+            }
+            classical => {
+                let vectorizer = TfidfVectorizer::fit(texts, VectorizerOptions::paper_default());
+                let features = vectorizer.transform(texts);
+                let epochs = Self::classical_epochs(profile);
+                let classifier = match classical {
+                    BaselineKind::LogisticRegression => {
+                        let mut model = LogisticRegression::new(LogisticRegressionConfig {
+                            epochs,
+                            seed,
+                            ..LogisticRegressionConfig::default()
+                        });
+                        model.fit(&features, labels);
+                        ClassicalClassifier::LogisticRegression(model)
+                    }
+                    BaselineKind::LinearSvm => {
+                        let mut model = LinearSvm::new(LinearSvmConfig {
+                            epochs,
+                            seed,
+                            ..LinearSvmConfig::default()
+                        });
+                        model.fit(&features, labels);
+                        ClassicalClassifier::LinearSvm(model)
+                    }
+                    BaselineKind::GaussianNb => {
+                        let mut model = GaussianNaiveBayes::default_config();
+                        model.fit(&features, labels);
+                        ClassicalClassifier::GaussianNb(model)
+                    }
+                    BaselineKind::Transformer(_) => unreachable!("handled above"),
+                };
+                FittedBaseline::Classical {
+                    kind: classical,
+                    vectorizer,
+                    classifier,
+                }
+            }
+        }
+    }
+
+    /// The Table IV row label of the fitted model.
+    pub fn name(&self) -> String {
+        match self {
+            FittedBaseline::Classical { kind, .. } => kind.name(),
+            FittedBaseline::Transformer { trainer } => trainer.kind().name().to_string(),
+        }
+    }
+
+    /// Hard class predictions for texts.
+    pub fn predict(&self, texts: &[&str]) -> Vec<usize> {
+        match self {
+            FittedBaseline::Classical {
+                vectorizer,
+                classifier,
+                ..
+            } => {
+                let features = vectorizer.transform(texts);
+                classifier.as_classifier().predict(&features)
+            }
+            FittedBaseline::Transformer { trainer } => trainer.predict(texts),
+        }
+    }
+
+    /// Class-probability vectors for texts (always 6 columns, padded if a training
+    /// fold happened to miss a class).
+    pub fn probabilities(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        match self {
+            FittedBaseline::Classical {
+                vectorizer,
+                classifier,
+                ..
+            } => {
+                let features = vectorizer.transform(texts);
+                let proba = classifier.as_classifier().predict_proba(&features);
+                (0..proba.rows())
+                    .map(|r| {
+                        let mut row = proba.row(r).to_vec();
+                        row.resize(6, 0.0);
+                        row
+                    })
+                    .collect()
+            }
+            FittedBaseline::Transformer { trainer } => {
+                texts.iter().map(|t| trainer.predict_proba(t)).collect()
+            }
+        }
+    }
+
+    /// Convenience: probability vector for one text.
+    pub fn probabilities_one(&self, text: &str) -> Vec<f64> {
+        self.probabilities(&[text]).into_iter().next().unwrap_or_else(|| vec![0.0; 6])
+    }
+}
+
+impl ProbabilityModel for FittedBaseline {
+    fn predict_proba(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        self.probabilities(texts)
+    }
+
+    fn n_classes(&self) -> usize {
+        6
+    }
+}
+
+/// Adapter that lets any [`BaselineKind`] run inside the `holistix-ml`
+/// cross-validation driver (one fresh model per fold).
+pub struct BaselinePipeline {
+    kind: BaselineKind,
+    profile: SpeedProfile,
+    seed: u64,
+    fitted: Option<FittedBaseline>,
+}
+
+impl BaselinePipeline {
+    /// A new, unfitted pipeline.
+    pub fn new(kind: BaselineKind, profile: SpeedProfile, seed: u64) -> Self {
+        Self {
+            kind,
+            profile,
+            seed,
+            fitted: None,
+        }
+    }
+
+    /// The fitted baseline, if `fit` has run.
+    pub fn fitted(&self) -> Option<&FittedBaseline> {
+        self.fitted.as_ref()
+    }
+
+    /// The baseline kind.
+    pub fn kind(&self) -> BaselineKind {
+        self.kind
+    }
+}
+
+impl TextPipeline for BaselinePipeline {
+    fn fit(&mut self, texts: &[&str], labels: &[usize]) {
+        self.fitted = Some(FittedBaseline::fit(self.kind, self.profile, texts, labels, self.seed));
+    }
+
+    fn predict(&self, texts: &[&str]) -> Vec<usize> {
+        self.fitted
+            .as_ref()
+            .expect("BaselinePipeline::predict called before fit")
+            .predict(texts)
+    }
+
+    fn name(&self) -> String {
+        self.kind.name()
+    }
+}
+
+/// Convenience for the LIME explainer when only raw probability closures are handy:
+/// wraps a `Fn(&str) -> Vec<f64>`.
+pub struct FnProbabilityModel<F: Fn(&str) -> Vec<f64>> {
+    function: F,
+    n_classes: usize,
+}
+
+impl<F: Fn(&str) -> Vec<f64>> FnProbabilityModel<F> {
+    /// Wrap a closure.
+    pub fn new(function: F, n_classes: usize) -> Self {
+        Self { function, n_classes }
+    }
+}
+
+impl<F: Fn(&str) -> Vec<f64>> ProbabilityModel for FnProbabilityModel<F> {
+    fn predict_proba(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        texts.iter().map(|t| (self.function)(t)).collect()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+/// Dense feature matrix helper shared by ablation benches: TF-IDF transform of texts
+/// with the paper-default options.
+pub fn tfidf_features(texts: &[&str]) -> (TfidfVectorizer, Matrix) {
+    let vectorizer = TfidfVectorizer::fit(texts, VectorizerOptions::paper_default());
+    let features = vectorizer.transform(texts);
+    (vectorizer, features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use holistix_corpus::HolistixCorpus;
+
+    fn training_data(n: usize, seed: u64) -> (Vec<String>, Vec<usize>) {
+        let corpus = HolistixCorpus::generate_small(n, seed);
+        (
+            corpus.posts.iter().map(|p| p.post.text.clone()).collect(),
+            corpus.label_indices(),
+        )
+    }
+
+    #[test]
+    fn registry_names_match_table4_rows() {
+        let names: Vec<String> = BaselineKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "LR",
+                "Linear SVM",
+                "Gaussian NB",
+                "BERT",
+                "DistilBERT",
+                "MentalBERT",
+                "Flan-T5",
+                "XLNet",
+                "GPT-2.0"
+            ]
+        );
+        assert!(BaselineKind::Transformer(ModelKind::Bert).is_transformer());
+        assert!(!BaselineKind::LogisticRegression.is_transformer());
+    }
+
+    #[test]
+    fn classical_baselines_fit_and_predict() {
+        let (texts, labels) = training_data(120, 3);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        for kind in BaselineKind::CLASSICAL {
+            let fitted = FittedBaseline::fit(kind, SpeedProfile::Tiny, &refs, &labels, 1);
+            let preds = fitted.predict(&refs[..10]);
+            assert_eq!(preds.len(), 10);
+            assert!(preds.iter().all(|&p| p < 6));
+            let proba = fitted.probabilities(&refs[..3]);
+            assert!(proba.iter().all(|p| p.len() == 6));
+            assert_eq!(fitted.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn transformer_baseline_fits_under_tiny_profile() {
+        let (texts, labels) = training_data(60, 5);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let fitted = FittedBaseline::fit(
+            BaselineKind::Transformer(ModelKind::DistilBert),
+            SpeedProfile::Tiny,
+            &refs,
+            &labels,
+            2,
+        );
+        let proba = fitted.probabilities_one(refs[0]);
+        assert_eq!(proba.len(), 6);
+        assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert_eq!(fitted.name(), "DistilBERT");
+    }
+
+    #[test]
+    fn pipeline_adapter_plugs_into_cross_validation() {
+        use holistix_corpus::splits::kfold_stratified;
+        use holistix_ml::cross_validate;
+        let (texts, labels) = training_data(150, 7);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let folds = kfold_stratified(&labels, 6, 3, 1);
+        let report = cross_validate(
+            &refs,
+            &labels,
+            6,
+            &folds,
+            || BaselinePipeline::new(BaselineKind::LogisticRegression, SpeedProfile::Tiny, 1),
+            true,
+        );
+        assert_eq!(report.model_name, "LR");
+        assert!(report.averaged.accuracy > 0.35);
+    }
+
+    #[test]
+    fn fitted_baseline_is_a_probability_model() {
+        let (texts, labels) = training_data(80, 9);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let fitted = FittedBaseline::fit(
+            BaselineKind::LogisticRegression,
+            SpeedProfile::Tiny,
+            &refs,
+            &labels,
+            1,
+        );
+        let model: &dyn ProbabilityModel = &fitted;
+        assert_eq!(model.n_classes(), 6);
+        let proba = model.predict_proba(&[refs[0]]);
+        assert!((proba[0].iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fn_probability_model_wraps_closures() {
+        let model = FnProbabilityModel::new(|_t| vec![0.5, 0.5], 2);
+        assert_eq!(model.n_classes(), 2);
+        assert_eq!(model.predict_proba(&["x"]).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn pipeline_predict_before_fit_panics() {
+        let pipeline = BaselinePipeline::new(BaselineKind::GaussianNb, SpeedProfile::Tiny, 1);
+        let _ = pipeline.predict(&["text"]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # holistix-corpus
+//!
+//! The Holistix dataset substrate.
+//!
+//! The paper's central artifact is a corpus of 1,420 mental-health forum posts from
+//! Australia's Beyond Blue forums, annotated with one of six wellness dimensions
+//! (Dunn/Hettler model) and an explanatory text span. The raw posts cannot be
+//! redistributed here, so this crate provides:
+//!
+//! * the **data model** — [`WellnessDimension`], [`Post`], [`Span`], [`AnnotatedPost`]
+//!   ([`post`]),
+//! * the **Table I indicator lexicons** and per-dimension phrase templates
+//!   ([`lexicon`]),
+//! * a **seeded synthetic corpus generator** calibrated to the Table II statistics and
+//!   Table III frequent-word distributions ([`generator`]),
+//! * **dataset statistics** reproducing Table II and Table III ([`stats`]),
+//! * the **annotation framework**: simulated annotators with the confusion structure
+//!   described in the paper's Limitations section, plus Fleiss'/Cohen's kappa
+//!   ([`annotation`], [`agreement`]),
+//! * **splits**: the paper's fixed 990/212/213 train/validation/test split and
+//!   stratified k-fold cross-validation ([`splits`]),
+//! * **serialisation**: JSONL and CSV readers/writers so a real Holistix release (from
+//!   the authors' GitHub) can be dropped in instead of the synthetic corpus ([`io`]).
+//!
+//! Everything is deterministic given a seed: `HolistixCorpus::generate(seed)` always
+//! produces the same posts, labels and spans.
+
+pub mod agreement;
+pub mod annotation;
+pub mod generator;
+pub mod io;
+pub mod lexicon;
+pub mod post;
+pub mod splits;
+pub mod stats;
+
+pub use agreement::{cohen_kappa, fleiss_kappa, AgreementReport};
+pub use annotation::{AnnotationStudy, AnnotatorProfile, SimulatedAnnotator};
+pub use generator::{CorpusCalibration, CorpusGenerator, HolistixCorpus};
+pub use lexicon::{DimensionLexicon, IndicatorLexicon};
+pub use post::{AnnotatedPost, Post, Span, WellnessDimension, ALL_DIMENSIONS};
+pub use splits::{kfold_stratified, train_val_test_split, CrossValidationFolds, DatasetSplit};
+pub use stats::{frequent_span_words, CorpusStatistics, FrequentWords};

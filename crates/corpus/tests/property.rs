@@ -1,0 +1,109 @@
+//! Property-based tests for the dataset substrate: splits always partition, kappa is
+//! bounded, the generator respects its calibration, and serialisation round-trips.
+
+use holistix_corpus::agreement::{cohen_kappa, fleiss_kappa, two_rater_table};
+use holistix_corpus::generator::{CorpusCalibration, CorpusGenerator, HolistixCorpus};
+use holistix_corpus::splits::{kfold_stratified, train_val_test_split};
+use holistix_corpus::{io, CorpusStatistics};
+use proptest::prelude::*;
+
+fn label_vec() -> impl Strategy<Value = Vec<usize>> {
+    // At least 2 items of every class so stratified splitting is well-defined.
+    proptest::collection::vec(0usize..6, 30..120).prop_map(|mut v| {
+        for c in 0..6 {
+            v.push(c);
+            v.push(c);
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Stratified k-fold test sets always partition the items, and every fold's train
+    /// and test sets are disjoint and exhaustive.
+    #[test]
+    fn kfold_partitions(labels in label_vec(), k in 2usize..8, seed in 0u64..1000) {
+        let folds = kfold_stratified(&labels, 6, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        prop_assert!(folds.test_sets_partition_items());
+        for fold in folds.iter() {
+            prop_assert_eq!(fold.train.len() + fold.test.len(), labels.len());
+            let mut all: Vec<usize> = fold.train.iter().chain(&fold.test).copied().collect();
+            all.sort_unstable();
+            prop_assert!(all.windows(2).all(|w| w[0] != w[1]));
+        }
+    }
+
+    /// Train/val/test splits with any feasible sizes form a partition and have exactly
+    /// the requested sizes.
+    #[test]
+    fn train_val_test_sizes_respected(labels in label_vec(), seed in 0u64..1000) {
+        let n = labels.len();
+        let val = n / 6;
+        let test = n / 5;
+        let train = n - val - test;
+        let split = train_val_test_split(&labels, 6, (train, val, test), seed);
+        prop_assert_eq!(split.train.len(), train);
+        prop_assert_eq!(split.validation.len(), val);
+        prop_assert_eq!(split.test.len(), test);
+        prop_assert!(split.is_partition_of(n));
+    }
+
+    /// Fleiss' and Cohen's kappa are bounded in [-1, 1] and equal 1 for self-agreement.
+    #[test]
+    fn kappa_bounds(labels_a in proptest::collection::vec(0usize..6, 12..80), seed in 0u64..1000) {
+        // Derive a second rater by perturbing the first deterministically.
+        let labels_b: Vec<usize> = labels_a
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| if (i as u64 + seed) % 5 == 0 { (l + 1) % 6 } else { l })
+            .collect();
+        let table = two_rater_table(&labels_a, &labels_b, 6);
+        if let Some(kappa) = fleiss_kappa(&table) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&kappa));
+        }
+        if let Some(kappa) = cohen_kappa(&labels_a, &labels_b, 6) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&kappa));
+        }
+        let self_table = two_rater_table(&labels_a, &labels_a, 6);
+        if let Some(kappa) = fleiss_kappa(&self_table) {
+            prop_assert!(kappa > 0.999);
+        }
+    }
+
+    /// The corpus generator honours its per-class calibration exactly, for any scale.
+    #[test]
+    fn generator_respects_class_counts(scale in 20usize..150, seed in 0u64..500) {
+        let calibration = CorpusCalibration::default().scaled_to(scale);
+        let corpus = CorpusGenerator::new(calibration.clone()).generate(seed);
+        prop_assert_eq!(corpus.class_counts(), calibration.class_counts);
+        // Gold spans always lie inside their post and are non-empty.
+        for post in corpus.iter() {
+            prop_assert!(post.span.end <= post.post.text.len());
+            prop_assert!(!post.span.is_empty());
+            prop_assert!(!post.span_text().is_empty());
+        }
+        // Statistics never exceed the configured sentence cap.
+        let stats = CorpusStatistics::compute(&corpus.posts);
+        prop_assert!(stats.max_sentences_per_post <= calibration.max_sentences);
+    }
+
+    /// JSONL serialisation round-trips any generated corpus exactly.
+    #[test]
+    fn jsonl_round_trips(n in 5usize..40, seed in 0u64..500) {
+        let corpus = HolistixCorpus::generate_small(n, seed);
+        let serialized = io::to_jsonl(&corpus.posts);
+        let parsed = io::from_jsonl(&serialized).expect("round trip");
+        prop_assert_eq!(parsed, corpus.posts);
+    }
+
+    /// Generation is a pure function of (calibration, seed).
+    #[test]
+    fn generation_is_deterministic(n in 10usize..60, seed in 0u64..500) {
+        let a = HolistixCorpus::generate_small(n, seed);
+        let b = HolistixCorpus::generate_small(n, seed);
+        prop_assert_eq!(a.posts, b.posts);
+    }
+}

@@ -1,0 +1,129 @@
+//! BLEU (Papineni et al., 2002) with modified n-gram precision and brevity penalty.
+//!
+//! Table V reports BLEU between the LIME-selected keywords and the gold explanation
+//! span. Explanation keyword lists are short, so the paper-style BLEU here uses
+//! clipped n-gram precisions up to order `min(4, candidate length)` with uniform
+//! weights, +1 smoothing on higher orders (Lin & Och smoothing), and the standard
+//! brevity penalty.
+
+use holistix_text::ngrams;
+use std::collections::HashMap;
+
+fn ngram_counts<S: AsRef<str>>(tokens: &[S], n: usize) -> HashMap<String, usize> {
+    let lowered: Vec<String> = tokens.iter().map(|t| t.as_ref().to_lowercase()).collect();
+    let mut map = HashMap::new();
+    for gram in ngrams(&lowered, n) {
+        *map.entry(gram.joined()).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Modified (clipped) n-gram precision of a candidate against one reference.
+fn modified_precision<S: AsRef<str>, T: AsRef<str>>(
+    candidate: &[S],
+    reference: &[T],
+    n: usize,
+) -> (usize, usize) {
+    let cand = ngram_counts(candidate, n);
+    let refer = ngram_counts(reference, n);
+    let total: usize = cand.values().sum();
+    let clipped: usize = cand
+        .iter()
+        .map(|(gram, &c)| c.min(*refer.get(gram).unwrap_or(&0)))
+        .sum();
+    (clipped, total)
+}
+
+/// BLEU with n-gram orders `1..=max_n`, uniform weights, +1 smoothing for orders above
+/// one, and brevity penalty. Returns 0 for an empty candidate or reference.
+pub fn bleu_n<S: AsRef<str>, T: AsRef<str>>(candidate: &[S], reference: &[T], max_n: usize) -> f64 {
+    if candidate.is_empty() || reference.is_empty() || max_n == 0 {
+        return 0.0;
+    }
+    let max_n = max_n.min(candidate.len()).min(reference.len()).max(1);
+    let mut log_sum = 0.0;
+    for n in 1..=max_n {
+        let (clipped, total) = modified_precision(candidate, reference, n);
+        let (num, den) = if n == 1 {
+            (clipped as f64, total as f64)
+        } else {
+            // +1 smoothing keeps short explanation lists from collapsing to zero.
+            (clipped as f64 + 1.0, total as f64 + 1.0)
+        };
+        if num == 0.0 || den == 0.0 {
+            return 0.0;
+        }
+        log_sum += (num / den).ln();
+    }
+    let geometric_mean = (log_sum / max_n as f64).exp();
+    let c = candidate.len() as f64;
+    let r = reference.len() as f64;
+    let brevity_penalty = if c >= r { 1.0 } else { (1.0 - r / c).exp() };
+    brevity_penalty * geometric_mean
+}
+
+/// BLEU-4 (the conventional default).
+pub fn bleu<S: AsRef<str>, T: AsRef<str>>(candidate: &[S], reference: &[T]) -> f64 {
+    bleu_n(candidate, reference, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_sequences_score_one() {
+        let tokens = ["i", "feel", "exhausted", "and", "alone"];
+        assert!((bleu(&tokens, &tokens) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_sequences_score_zero() {
+        assert_eq!(bleu(&["job", "money", "career"], &["sleep", "anxiety", "tired"]), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_between_zero_and_one() {
+        let candidate = ["feel", "alone", "sad"];
+        let reference = ["i", "feel", "so", "alone"];
+        let score = bleu(&candidate, &reference);
+        assert!(score > 0.0 && score < 1.0, "score {score}");
+    }
+
+    #[test]
+    fn unigram_precision_hand_computed() {
+        // candidate [a b], reference [a c]: clipped 1/2 -> BLEU-1 = 0.5, BP = exp(1-2/2)=1
+        let score = bleu_n(&["a", "b"], &["a", "c"], 1);
+        assert!((score - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brevity_penalty_penalises_short_candidates() {
+        let reference = ["i", "feel", "so", "alone", "every", "day"];
+        let long_candidate = ["i", "feel", "so", "alone", "every", "day"];
+        let short_candidate = ["feel", "alone"];
+        assert!(bleu_n(&long_candidate, &reference, 1) > bleu_n(&short_candidate, &reference, 1));
+    }
+
+    #[test]
+    fn word_order_matters_beyond_unigrams() {
+        let reference = ["my", "job", "drains", "me"];
+        let in_order = ["my", "job", "drains", "me"];
+        let scrambled = ["me", "drains", "job", "my"];
+        assert!(bleu(&in_order, &reference) > bleu(&scrambled, &reference));
+    }
+
+    #[test]
+    fn empty_inputs_are_zero() {
+        assert_eq!(bleu::<&str, &str>(&[], &[]), 0.0);
+        assert_eq!(bleu(&["a"], &[] as &[&str]), 0.0);
+        assert_eq!(bleu(&[] as &[&str], &["a"]), 0.0);
+    }
+
+    #[test]
+    fn max_n_is_capped_by_sequence_length() {
+        // Candidate shorter than 4 tokens should still produce a sensible score.
+        let score = bleu(&["feel", "alone"], &["feel", "alone"]);
+        assert!((score - 1.0).abs() < 1e-9);
+    }
+}

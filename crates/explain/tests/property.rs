@@ -1,0 +1,68 @@
+//! Property-based tests for the explainability metrics: ROUGE, BLEU and the span
+//! overlap scores are bounded, symmetric where they should be, and maximal on
+//! identical inputs.
+
+use holistix_explain::span_eval::ExplanationMetrics;
+use holistix_explain::{bleu, rouge_1, rouge_l};
+use proptest::prelude::*;
+
+fn token_vec() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-h]{1,6}", 0..15)
+}
+
+proptest! {
+    /// ROUGE and BLEU are always in [0, 1].
+    #[test]
+    fn scores_are_bounded(candidate in token_vec(), reference in token_vec()) {
+        let r1 = rouge_1(&candidate, &reference);
+        let rl = rouge_l(&candidate, &reference);
+        let b = bleu(&candidate, &reference);
+        for value in [r1.precision, r1.recall, r1.f1, rl.precision, rl.recall, rl.f1, b] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&value), "out of range: {value}");
+        }
+        // ROUGE-L can never exceed ROUGE-1 recall (an LCS is a subset of the bag overlap).
+        prop_assert!(rl.recall <= r1.recall + 1e-9);
+    }
+
+    /// Identical non-empty sequences score 1 on every metric.
+    #[test]
+    fn identical_sequences_are_maximal(tokens in proptest::collection::vec("[a-h]{1,6}", 1..12)) {
+        prop_assert!((rouge_1(&tokens, &tokens).f1 - 1.0).abs() < 1e-9);
+        prop_assert!((rouge_l(&tokens, &tokens).f1 - 1.0).abs() < 1e-9);
+        prop_assert!((bleu(&tokens, &tokens) - 1.0).abs() < 1e-9);
+    }
+
+    /// ROUGE-1 F1 is symmetric in its arguments (precision and recall swap).
+    #[test]
+    fn rouge1_f1_is_symmetric(a in token_vec(), b in token_vec()) {
+        let ab = rouge_1(&a, &b);
+        let ba = rouge_1(&b, &a);
+        prop_assert!((ab.f1 - ba.f1).abs() < 1e-9);
+        prop_assert!((ab.precision - ba.recall).abs() < 1e-9);
+    }
+
+    /// Explanation metrics are bounded and zero when the prediction is disjoint from
+    /// the gold span vocabulary.
+    #[test]
+    fn explanation_metrics_bounds(keywords in proptest::collection::vec("[a-h]{1,6}", 0..8)) {
+        let gold = "anxiety keeps me awake and my sleep is ruined";
+        let metrics = ExplanationMetrics::score(&keywords, gold);
+        for value in [metrics.precision, metrics.recall, metrics.f1, metrics.rouge, metrics.bleu] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&value));
+        }
+        // Keywords drawn from a disjoint alphabet cannot overlap the gold span words.
+        prop_assert!(metrics.precision == 0.0 || keywords.iter().any(|k| gold.contains(k.as_str())));
+    }
+
+    /// Adding the gold span's own words to a prediction never lowers recall.
+    #[test]
+    fn adding_gold_words_never_hurts_recall(extra in token_vec()) {
+        let gold = "my job drains me and the money worries never stop";
+        let gold_words = holistix_text::content_words(gold);
+        let baseline = ExplanationMetrics::score(&extra, gold);
+        let mut augmented = extra.clone();
+        augmented.extend(gold_words);
+        let improved = ExplanationMetrics::score(&augmented, gold);
+        prop_assert!(improved.recall + 1e-9 >= baseline.recall);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use holistix_linalg::{argmax, logsumexp, softmax, Matrix, Rng64, Vector};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e3f64..1e3, len)
+}
+
+proptest! {
+    /// Softmax output is a probability distribution preserving the argmax.
+    #[test]
+    fn softmax_is_a_distribution(xs in finite_vec(1..32)) {
+        let s = softmax(&xs);
+        prop_assert_eq!(s.len(), xs.len());
+        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        prop_assert_eq!(argmax(&s), argmax(&xs));
+    }
+
+    /// log-sum-exp is always at least the max and at most max + ln(n).
+    #[test]
+    fn logsumexp_bounds(xs in finite_vec(1..32)) {
+        let lse = logsumexp(&xs);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-9);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-9);
+    }
+
+    /// Transpose is an involution and preserves the Frobenius norm.
+    #[test]
+    fn transpose_involution(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = Rng64::new(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.data_mut() { *v = rng.uniform(-10.0, 10.0); }
+        let t = m.transpose();
+        prop_assert_eq!(t.shape(), (cols, rows));
+        prop_assert_eq!(t.transpose(), m.clone());
+        prop_assert!((t.frobenius_norm() - m.frobenius_norm()).abs() < 1e-9);
+    }
+
+    /// Multiplying by the identity changes nothing; matmul shapes compose.
+    #[test]
+    fn matmul_identity_and_shapes(rows in 1usize..6, inner in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = Rng64::new(seed);
+        let mut a = Matrix::zeros(rows, inner);
+        let mut b = Matrix::zeros(inner, cols);
+        for v in a.data_mut() { *v = rng.uniform(-5.0, 5.0); }
+        for v in b.data_mut() { *v = rng.uniform(-5.0, 5.0); }
+        let c = a.matmul(&b);
+        prop_assert_eq!(c.shape(), (rows, cols));
+        prop_assert_eq!(a.matmul(&Matrix::identity(inner)), a.clone());
+        // (A B)^T = B^T A^T
+        let lhs = c.transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!((&lhs - &rhs).frobenius_norm() < 1e-9);
+    }
+
+    /// Row sums and column sums both add up to the total sum.
+    #[test]
+    fn row_and_col_sums_agree(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = Rng64::new(seed);
+        let mut m = Matrix::zeros(rows, cols);
+        for v in m.data_mut() { *v = rng.uniform(-10.0, 10.0); }
+        let total = m.sum();
+        prop_assert!((m.row_sums().iter().sum::<f64>() - total).abs() < 1e-9);
+        prop_assert!((m.col_sums().iter().sum::<f64>() - total).abs() < 1e-9);
+    }
+
+    /// Cosine similarity is symmetric and bounded in [-1, 1].
+    #[test]
+    fn cosine_symmetric_and_bounded(a in finite_vec(1..16), seed in 0u64..1000) {
+        let mut rng = Rng64::new(seed);
+        let b: Vec<f64> = (0..a.len()).map(|_| rng.uniform(-100.0, 100.0)).collect();
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let ab = va.cosine(&vb);
+        let ba = vb.cosine(&va);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+    }
+
+    /// The seeded RNG produces identical streams for identical seeds and respects
+    /// range bounds.
+    #[test]
+    fn rng_determinism_and_bounds(seed in 0u64..10_000, lo in -100.0f64..0.0, span in 0.1f64..100.0) {
+        let hi = lo + span;
+        let mut a = Rng64::new(seed);
+        let mut b = Rng64::new(seed);
+        for _ in 0..32 {
+            let x = a.uniform(lo, hi);
+            prop_assert_eq!(x, b.uniform(lo, hi));
+            prop_assert!((lo..hi).contains(&x));
+        }
+    }
+
+    /// Shuffling is always a permutation of the input.
+    #[test]
+    fn shuffle_is_a_permutation(n in 0usize..64, seed in 0u64..10_000) {
+        let mut rng = Rng64::new(seed);
+        let mut xs: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    /// argmax always returns an index of a maximal element.
+    #[test]
+    fn argmax_returns_a_maximum(xs in finite_vec(1..32)) {
+        let idx = argmax(&xs).unwrap();
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(xs[idx] >= max - 1e-12);
+    }
+}

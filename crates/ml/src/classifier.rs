@@ -1,0 +1,97 @@
+//! The classifier abstraction shared by every baseline.
+//!
+//! Table IV compares nine models. The cross-validation driver, the experiment runner
+//! in the core crate and the LIME explainer all interact with models through this one
+//! trait, so classical and transformer baselines are interchangeable.
+
+use holistix_linalg::Matrix;
+
+/// A multi-class classifier over dense feature matrices.
+///
+/// Rows of the feature matrix are examples; labels are dense class indices
+/// `0..n_classes`.
+pub trait Classifier {
+    /// Fit the model on a training matrix and its labels.
+    fn fit(&mut self, features: &Matrix, labels: &[usize]);
+
+    /// Class probability estimates, one row per example, one column per class.
+    /// Implementations must return rows that sum to 1 (up to rounding).
+    fn predict_proba(&self, features: &Matrix) -> Matrix;
+
+    /// Hard class predictions (argmax of `predict_proba` by default).
+    fn predict(&self, features: &Matrix) -> Vec<usize> {
+        let proba = self.predict_proba(features);
+        (0..proba.rows())
+            .map(|r| holistix_linalg::argmax(proba.row(r)).unwrap_or(0))
+            .collect()
+    }
+
+    /// Number of classes the model was fitted for.
+    fn n_classes(&self) -> usize;
+
+    /// A short human-readable name used in reports and tables.
+    fn name(&self) -> &str;
+}
+
+/// A trivial majority-class classifier, used as a sanity floor in tests and ablations.
+#[derive(Debug, Clone, Default)]
+pub struct MajorityClassifier {
+    majority: usize,
+    n_classes: usize,
+}
+
+impl Classifier for MajorityClassifier {
+    fn fit(&mut self, _features: &Matrix, labels: &[usize]) {
+        assert!(!labels.is_empty(), "cannot fit on an empty label set");
+        self.n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in labels {
+            counts[l] += 1;
+        }
+        self.majority = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+    }
+
+    fn predict_proba(&self, features: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(features.rows(), self.n_classes.max(1));
+        for r in 0..out.rows() {
+            out[(r, self.majority)] = 1.0;
+        }
+        out
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn name(&self) -> &str {
+        "MajorityClass"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_classifier_predicts_most_common_label() {
+        let x = Matrix::zeros(5, 2);
+        let y = vec![0, 1, 1, 1, 2];
+        let mut clf = MajorityClassifier::default();
+        clf.fit(&x, &y);
+        assert_eq!(clf.n_classes(), 3);
+        assert_eq!(clf.predict(&Matrix::zeros(3, 2)), vec![1, 1, 1]);
+        let proba = clf.predict_proba(&Matrix::zeros(1, 2));
+        assert_eq!(proba.row(0), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty label set")]
+    fn fitting_on_empty_labels_panics() {
+        MajorityClassifier::default().fit(&Matrix::zeros(0, 2), &[]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Text feature extraction: raw-count and TF-IDF vectorisers.
+//!
+//! The paper "converts text data into numerical representation using Term
+//! Frequency-Inverse Document Frequency (TF-IDF) and uses frequency-based features
+//! with classifiers from the Scikit-Learn library". Both vectorisers here follow the
+//! scikit-learn semantics so the baselines are comparable: smoothed IDF
+//! (`ln((1+N)/(1+df)) + 1`), optional sublinear TF, and L2 row normalisation for
+//! TF-IDF.
+
+use holistix_linalg::Matrix;
+use holistix_text::{stem, ngrams, StopwordFilter, Vocabulary, VocabularyBuilder};
+use serde::{Deserialize, Serialize};
+
+/// Analyzer and vocabulary options shared by both vectorisers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VectorizerOptions {
+    /// Lower-case and keep word tokens only (numbers and punctuation dropped).
+    pub lowercase: bool,
+    /// Remove English stop-words.
+    pub remove_stopwords: bool,
+    /// Apply the Porter-style stemmer to each token.
+    pub stem: bool,
+    /// Include word n-grams up to this order (1 = unigrams only).
+    pub ngram_max: usize,
+    /// Drop terms occurring in fewer than this many documents.
+    pub min_document_frequency: u64,
+    /// Cap the vocabulary at the most frequent `max_features` terms (`None` = no cap).
+    pub max_features: Option<usize>,
+    /// Use `1 + ln(tf)` instead of raw term frequency (TF-IDF only).
+    pub sublinear_tf: bool,
+    /// L2-normalise each document vector (TF-IDF only).
+    pub l2_normalize: bool,
+}
+
+impl Default for VectorizerOptions {
+    fn default() -> Self {
+        Self {
+            lowercase: true,
+            remove_stopwords: true,
+            stem: false,
+            ngram_max: 1,
+            min_document_frequency: 1,
+            max_features: None,
+            sublinear_tf: false,
+            l2_normalize: true,
+        }
+    }
+}
+
+impl VectorizerOptions {
+    /// The configuration used for the paper's baselines: unigram TF-IDF with stop-word
+    /// removal and L2 normalisation.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+}
+
+/// Shared analyzer: text → list of (possibly n-gram) terms.
+fn analyze(text: &str, options: &VectorizerOptions) -> Vec<String> {
+    let stopwords = StopwordFilter::english();
+    let mut words: Vec<String> = holistix_text::tokenize(text)
+        .into_iter()
+        .filter(|t| t.kind == holistix_text::TokenKind::Word)
+        .map(|t| if options.lowercase { t.lower() } else { t.text })
+        .filter(|w| !options.remove_stopwords || !stopwords.is_stopword(w))
+        .collect();
+    if options.stem {
+        words = words.iter().map(|w| stem(w)).collect();
+    }
+    if options.ngram_max <= 1 {
+        return words;
+    }
+    let mut terms = words.clone();
+    for n in 2..=options.ngram_max {
+        terms.extend(ngrams(&words, n).into_iter().map(|g| g.joined()));
+    }
+    terms
+}
+
+/// Raw term-count vectoriser (`CountVectorizer` analogue).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CountVectorizer {
+    options: VectorizerOptions,
+    vocabulary: Vocabulary,
+}
+
+impl CountVectorizer {
+    /// Fit a vectoriser on a document collection.
+    pub fn fit<S: AsRef<str>>(documents: &[S], options: VectorizerOptions) -> Self {
+        let mut builder = VocabularyBuilder::new();
+        for doc in documents {
+            let terms = analyze(doc.as_ref(), &options);
+            builder.add_document(&terms);
+        }
+        let vocabulary = builder.build(options.min_document_frequency.max(1), options.max_features);
+        Self {
+            options,
+            vocabulary,
+        }
+    }
+
+    /// The fitted vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocabulary
+    }
+
+    /// Number of features (vocabulary size).
+    pub fn n_features(&self) -> usize {
+        self.vocabulary.len()
+    }
+
+    /// The analyzer output for one document (useful for explanations).
+    pub fn analyze_document(&self, text: &str) -> Vec<String> {
+        analyze(text, &self.options)
+    }
+
+    /// Transform documents into a dense `documents × features` count matrix.
+    /// Out-of-vocabulary terms are ignored.
+    pub fn transform<S: AsRef<str>>(&self, documents: &[S]) -> Matrix {
+        let mut out = Matrix::zeros(documents.len(), self.vocabulary.len());
+        for (row, doc) in documents.iter().enumerate() {
+            for term in analyze(doc.as_ref(), &self.options) {
+                if let Some(col) = self.vocabulary.id(&term) {
+                    out[(row, col)] += 1.0;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// TF-IDF vectoriser (`TfidfVectorizer` analogue with scikit-learn smoothing).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TfidfVectorizer {
+    counts: CountVectorizer,
+    idf: Vec<f64>,
+}
+
+impl TfidfVectorizer {
+    /// Fit on a document collection.
+    pub fn fit<S: AsRef<str>>(documents: &[S], options: VectorizerOptions) -> Self {
+        let counts = CountVectorizer::fit(documents, options);
+        let idf = counts
+            .vocabulary()
+            .terms()
+            .iter()
+            .map(|t| counts.vocabulary().idf(t))
+            .collect();
+        Self { counts, idf }
+    }
+
+    /// Fit with the paper-default options.
+    pub fn fit_default<S: AsRef<str>>(documents: &[S]) -> Self {
+        Self::fit(documents, VectorizerOptions::paper_default())
+    }
+
+    /// The fitted vocabulary.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        self.counts.vocabulary()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.counts.n_features()
+    }
+
+    /// The IDF weight of each vocabulary term, in id order.
+    pub fn idf(&self) -> &[f64] {
+        &self.idf
+    }
+
+    /// The analyzer output for one document.
+    pub fn analyze_document(&self, text: &str) -> Vec<String> {
+        self.counts.analyze_document(text)
+    }
+
+    /// Transform documents into a dense TF-IDF matrix.
+    pub fn transform<S: AsRef<str>>(&self, documents: &[S]) -> Matrix {
+        let mut m = self.counts.transform(documents);
+        let options = &self.counts.options;
+        for r in 0..m.rows() {
+            let row = m.row_mut(r);
+            for (c, value) in row.iter_mut().enumerate() {
+                if *value > 0.0 {
+                    let tf = if options.sublinear_tf { 1.0 + value.ln() } else { *value };
+                    *value = tf * self.idf[c];
+                }
+            }
+            if options.l2_normalize {
+                let norm: f64 = row.iter().map(|v| v * v).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    for v in row.iter_mut() {
+                        *v /= norm;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform<S: AsRef<str>>(documents: &[S], options: VectorizerOptions) -> (Self, Matrix) {
+        let v = Self::fit(documents, options);
+        let m = v.transform(documents);
+        (v, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn docs() -> Vec<&'static str> {
+        vec![
+            "I feel exhausted and I cannot sleep",
+            "my job drains me and the money worries never stop",
+            "I feel so alone without my friends",
+            "sleep issues and anxiety every night",
+        ]
+    }
+
+    #[test]
+    fn count_vectorizer_counts_terms() {
+        let v = CountVectorizer::fit(&docs(), VectorizerOptions::default());
+        let m = v.transform(&docs());
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), v.n_features());
+        let sleep_col = v.vocabulary().id("sleep").unwrap();
+        assert_eq!(m[(0, sleep_col)], 1.0);
+        assert_eq!(m[(3, sleep_col)], 1.0);
+        assert_eq!(m[(1, sleep_col)], 0.0);
+    }
+
+    #[test]
+    fn stopwords_are_removed_by_default() {
+        let v = CountVectorizer::fit(&docs(), VectorizerOptions::default());
+        assert!(v.vocabulary().id("and").is_none());
+        assert!(v.vocabulary().id("the").is_none());
+    }
+
+    #[test]
+    fn tfidf_rows_are_unit_norm() {
+        let (_, m) = TfidfVectorizer::fit_transform(&docs(), VectorizerOptions::default());
+        for r in 0..m.rows() {
+            let norm: f64 = m.row(r).iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-9, "row {r} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn tfidf_weights_rare_terms_higher() {
+        let opts = VectorizerOptions {
+            l2_normalize: false,
+            ..VectorizerOptions::default()
+        };
+        let (v, m) = TfidfVectorizer::fit_transform(&docs(), opts);
+        // "sleep" appears in 2 docs, "job" in 1: within doc 1, job should outweigh a
+        // twice-as-common word given equal term frequency.
+        let job = v.vocabulary().id("job").unwrap();
+        let sleep = v.vocabulary().id("sleep").unwrap();
+        assert!(v.idf()[job] > v.idf()[sleep]);
+        assert!(m[(1, job)] > 0.0);
+    }
+
+    #[test]
+    fn oov_terms_are_ignored_at_transform_time() {
+        let v = TfidfVectorizer::fit_default(&docs());
+        let m = v.transform(&["completely novel vocabulary zap zorp"]);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m.row(0).iter().copied().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn empty_document_is_zero_row() {
+        let v = TfidfVectorizer::fit_default(&docs());
+        let m = v.transform(&[""]);
+        assert!(m.row(0).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn min_df_prunes_rare_terms() {
+        let opts = VectorizerOptions {
+            min_document_frequency: 2,
+            ..VectorizerOptions::default()
+        };
+        let v = CountVectorizer::fit(&docs(), opts);
+        assert!(v.vocabulary().id("job").is_none(), "df-1 term should be pruned");
+        assert!(v.vocabulary().id("sleep").is_some() || v.vocabulary().id("feel").is_some());
+    }
+
+    #[test]
+    fn max_features_caps_vocabulary() {
+        let opts = VectorizerOptions {
+            max_features: Some(5),
+            ..VectorizerOptions::default()
+        };
+        let v = CountVectorizer::fit(&docs(), opts);
+        assert_eq!(v.n_features(), 5);
+    }
+
+    #[test]
+    fn bigram_options_add_ngrams() {
+        let opts = VectorizerOptions {
+            ngram_max: 2,
+            remove_stopwords: false,
+            ..VectorizerOptions::default()
+        };
+        let v = CountVectorizer::fit(&docs(), opts);
+        assert!(v.vocabulary().terms().iter().any(|t| t.contains(' ')), "expected bigram terms");
+    }
+
+    #[test]
+    fn stemming_conflates_variants() {
+        let opts = VectorizerOptions {
+            stem: true,
+            ..VectorizerOptions::default()
+        };
+        let v = CountVectorizer::fit(&["sleeping sleeps slept", "sleep"], opts);
+        // "sleeping"/"sleeps"/"sleep" all stem to "sleep".
+        let m = v.transform(&["sleeping", "sleep"]);
+        let col = v.vocabulary().id("sleep").unwrap();
+        assert!(m[(0, col)] > 0.0);
+        assert!(m[(1, col)] > 0.0);
+    }
+
+    #[test]
+    fn sublinear_tf_dampens_repeats() {
+        let opts = VectorizerOptions {
+            sublinear_tf: true,
+            l2_normalize: false,
+            ..VectorizerOptions::default()
+        };
+        let docs = vec!["anxiety anxiety anxiety anxiety", "anxiety calm"];
+        let (v, m) = TfidfVectorizer::fit_transform(&docs, opts);
+        let col = v.vocabulary().id("anxiety").unwrap();
+        // 1 + ln(4) ≈ 2.39 rather than 4.
+        assert!(m[(0, col)] < 3.0 * v.idf()[col]);
+        assert!(m[(0, col)] > m[(1, col)]);
+    }
+}

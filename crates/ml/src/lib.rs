@@ -1,0 +1,38 @@
+//! # holistix-ml
+//!
+//! Classical machine-learning baselines for the Holistix reproduction.
+//!
+//! §III-A of the paper establishes traditional baselines — TF-IDF features fed into
+//! logistic regression, a linear SVM and Gaussian Naive Bayes (scikit-learn) — and
+//! evaluates them with per-class precision/recall/F1 and accuracy averaged over
+//! 10-fold cross-validation (Table IV). This crate reimplements that entire stack from
+//! scratch:
+//!
+//! * [`features`] — TF-IDF and raw-count vectorisers with configurable analyzers
+//!   (stop-word removal, stemming, n-grams, vocabulary caps),
+//! * [`classifier`] — the [`Classifier`](classifier::Classifier) trait shared by every
+//!   baseline (classical and transformer alike, via the core crate's adapters),
+//! * [`logistic`] — multinomial logistic regression trained with mini-batch SGD + L2,
+//! * [`svm`] — one-vs-rest linear SVM with hinge loss (the `LinearSVC`-style baseline),
+//! * [`naive_bayes`] — Gaussian Naive Bayes with variance smoothing,
+//! * [`metrics`] — confusion matrices, per-class precision/recall/F1, macro and
+//!   weighted averages, accuracy,
+//! * [`cv`] — the stratified k-fold cross-validation driver that produces the
+//!   Table IV rows (per-class metrics averaged over folds), with optional parallel
+//!   fold execution.
+
+pub mod classifier;
+pub mod cv;
+pub mod features;
+pub mod logistic;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod svm;
+
+pub use classifier::Classifier;
+pub use cv::{cross_validate, CrossValidationReport, FoldOutcome, TextPipeline, TfidfPipeline};
+pub use features::{CountVectorizer, TfidfVectorizer, VectorizerOptions};
+pub use logistic::{LogisticRegression, LogisticRegressionConfig};
+pub use metrics::{ClassMetrics, ClassificationReport, ConfusionMatrix};
+pub use naive_bayes::{GaussianNaiveBayes, GaussianNbConfig};
+pub use svm::{LinearSvm, LinearSvmConfig};

@@ -1,0 +1,108 @@
+//! Property-based tests for the classical-ML stack: metric bounds and identities,
+//! vectoriser invariants, and classifier probability sanity.
+
+use holistix_linalg::Matrix;
+use holistix_ml::{
+    ClassificationReport, Classifier, ConfusionMatrix, GaussianNaiveBayes, LogisticRegression,
+    LogisticRegressionConfig, TfidfVectorizer, VectorizerOptions,
+};
+use proptest::prelude::*;
+
+fn labels_and_predictions() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    proptest::collection::vec((0usize..6, 0usize..6), 1..200)
+        .prop_map(|pairs| pairs.into_iter().unzip())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All classification metrics are bounded in [0, 1], and accuracy equals the
+    /// diagonal mass of the confusion matrix.
+    #[test]
+    fn metrics_are_bounded((gold, predicted) in labels_and_predictions()) {
+        let report = ClassificationReport::from_labels(&gold, &predicted, 6);
+        prop_assert!((0.0..=1.0).contains(&report.accuracy));
+        prop_assert!((0.0..=1.0).contains(&report.macro_f1));
+        prop_assert!((0.0..=1.0).contains(&report.weighted_f1));
+        for class in &report.per_class {
+            prop_assert!((0.0..=1.0).contains(&class.precision));
+            prop_assert!((0.0..=1.0).contains(&class.recall));
+            prop_assert!((0.0..=1.0).contains(&class.f1));
+            // F1 lies between min and max of precision and recall.
+            let lo = class.precision.min(class.recall);
+            let hi = class.precision.max(class.recall);
+            prop_assert!(class.f1 >= lo - 1e-12 && class.f1 <= hi + 1e-12);
+        }
+        let cm = ConfusionMatrix::from_labels(&gold, &predicted, 6);
+        let diag: usize = (0..6).map(|c| cm.count(c, c)).sum();
+        prop_assert!((report.accuracy - diag as f64 / gold.len() as f64).abs() < 1e-12);
+        // Supports sum to the number of items.
+        let support: usize = report.per_class.iter().map(|c| c.support).sum();
+        prop_assert_eq!(support, gold.len());
+    }
+
+    /// Predicting gold labels exactly yields perfect metrics.
+    #[test]
+    fn perfect_prediction_is_perfect(gold in proptest::collection::vec(0usize..6, 1..100)) {
+        let report = ClassificationReport::from_labels(&gold, &gold, 6);
+        prop_assert!((report.accuracy - 1.0).abs() < 1e-12);
+        for class in &report.per_class {
+            if class.support > 0 {
+                prop_assert!((class.f1 - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// TF-IDF features are non-negative, have the fitted width, and L2-normalised rows
+    /// have norm 0 or 1.
+    #[test]
+    fn tfidf_matrix_invariants(docs in proptest::collection::vec("[a-f ]{0,40}", 1..20)) {
+        let vectorizer = TfidfVectorizer::fit(&docs, VectorizerOptions::paper_default());
+        let matrix = vectorizer.transform(&docs);
+        prop_assert_eq!(matrix.rows(), docs.len());
+        prop_assert_eq!(matrix.cols(), vectorizer.n_features());
+        prop_assert!(matrix.data().iter().all(|&v| v >= 0.0 && v.is_finite()));
+        for r in 0..matrix.rows() {
+            let norm: f64 = matrix.row(r).iter().map(|v| v * v).sum::<f64>().sqrt();
+            prop_assert!(norm < 1e-9 || (norm - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Classifier probability rows always sum to one and the argmax matches predict.
+    #[test]
+    fn classifier_probabilities_are_consistent(seed in 0u64..200) {
+        // A small random-but-separable 3-class problem.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..30usize {
+            let class = i % 3;
+            let offset = seed as f64 % 7.0;
+            let mut row = vec![0.1, 0.1, 0.1];
+            row[class] = 2.0 + offset * 0.1 + (i as f64) * 0.01;
+            rows.push(row);
+            labels.push(class);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut lr = LogisticRegression::new(LogisticRegressionConfig { epochs: 50, seed, ..Default::default() });
+        lr.fit(&x, &labels);
+        let mut nb = GaussianNaiveBayes::default_config();
+        nb.fit(&x, &labels);
+        for model in [&lr as &dyn Classifier, &nb as &dyn Classifier] {
+            let proba = model.predict_proba(&x);
+            let preds = model.predict(&x);
+            for r in 0..proba.rows() {
+                prop_assert!((proba.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-6);
+                prop_assert_eq!(holistix_linalg::argmax(proba.row(r)).unwrap(), preds[r]);
+            }
+        }
+    }
+
+    /// Averaging k copies of the same report reproduces that report.
+    #[test]
+    fn report_average_is_idempotent((gold, predicted) in labels_and_predictions(), k in 1usize..6) {
+        let report = ClassificationReport::from_labels(&gold, &predicted, 6);
+        let averaged = ClassificationReport::average(&vec![report.clone(); k]);
+        prop_assert!((averaged.accuracy - report.accuracy).abs() < 1e-12);
+        prop_assert!((averaged.macro_f1 - report.macro_f1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,180 @@
+//! Persistent parameter storage.
+//!
+//! Parameters (embedding tables, attention projections, classifier heads, …) outlive
+//! any single forward pass. They are stored here as `(value, grad)` pairs addressed by
+//! a [`ParamId`]; graphs create leaf nodes that reference a parameter id, and
+//! `Graph::backward` accumulates into the corresponding gradient slot. Optimisers then
+//! walk the store and update values in place.
+
+use holistix_linalg::{xavier_uniform, Matrix, Rng64};
+
+/// Identifier of a parameter inside a [`ParamStore`].
+pub type ParamId = usize;
+
+/// A named trainable parameter.
+#[derive(Debug, Clone)]
+struct Param {
+    name: String,
+    value: Matrix,
+    grad: Matrix,
+}
+
+/// Storage for all trainable parameters of a model.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// New empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter with an explicit initial value.
+    pub fn add(&mut self, name: &str, value: Matrix) -> ParamId {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        self.params.push(Param {
+            name: name.to_string(),
+            value,
+            grad,
+        });
+        self.params.len() - 1
+    }
+
+    /// Register a Xavier-initialised `rows × cols` parameter.
+    pub fn add_xavier(&mut self, name: &str, rows: usize, cols: usize, rng: &mut Rng64) -> ParamId {
+        self.add(name, xavier_uniform(rows, cols, rng))
+    }
+
+    /// Register a zero-initialised `rows × cols` parameter (biases).
+    pub fn add_zeros(&mut self, name: &str, rows: usize, cols: usize) -> ParamId {
+        self.add(name, Matrix::zeros(rows, cols))
+    }
+
+    /// Register a constant-filled parameter (e.g. layer-norm gain of 1).
+    pub fn add_filled(&mut self, name: &str, rows: usize, cols: usize, value: f64) -> ParamId {
+        self.add(name, Matrix::filled(rows, cols, value))
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn n_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// The name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id].name
+    }
+
+    /// The current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.params[id].value
+    }
+
+    /// Mutable access to a parameter value (used by optimisers and by the
+    /// domain-adaptive initialisation in `holistix-transformer`).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id].value
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.params[id].grad
+    }
+
+    /// Mutable access to a gradient (the graph's backward pass uses this).
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id].grad
+    }
+
+    /// Reset every gradient to zero (call between optimisation steps).
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Iterate over `(id, value, grad)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix, &Matrix)> {
+        self.params.iter().enumerate().map(|(i, p)| (i, &p.value, &p.grad))
+    }
+
+    /// Ids of every parameter.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.params.len()).collect()
+    }
+
+    /// Global L2 norm of all gradients (used for clipping).
+    pub fn grad_norm(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| p.grad.data().iter().map(|g| g * g).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// True if any parameter value or gradient is NaN/inf.
+    pub fn has_non_finite(&self) -> bool {
+        self.params
+            .iter()
+            .any(|p| p.value.has_non_finite() || p.grad.has_non_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_access_parameters() {
+        let mut store = ParamStore::new();
+        let mut rng = Rng64::new(1);
+        let w = store.add_xavier("w", 4, 3, &mut rng);
+        let b = store.add_zeros("b", 1, 3);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.n_weights(), 15);
+        assert_eq!(store.name(w), "w");
+        assert_eq!(store.value(b).shape(), (1, 3));
+        assert_eq!(store.grad(w).shape(), (4, 3));
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut store = ParamStore::new();
+        let id = store.add_filled("x", 2, 2, 1.0);
+        store.grad_mut(id).map_inplace(|_| 3.0);
+        assert_eq!(store.grad_norm(), 6.0);
+        store.zero_grads();
+        assert_eq!(store.grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn grad_norm_is_global_l2() {
+        let mut store = ParamStore::new();
+        let a = store.add_zeros("a", 1, 1);
+        let b = store.add_zeros("b", 1, 1);
+        store.grad_mut(a)[(0, 0)] = 3.0;
+        store.grad_mut(b)[(0, 0)] = 4.0;
+        assert!((store.grad_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut store = ParamStore::new();
+        let id = store.add_zeros("x", 1, 1);
+        assert!(!store.has_non_finite());
+        store.value_mut(id)[(0, 0)] = f64::INFINITY;
+        assert!(store.has_non_finite());
+    }
+}

@@ -1,0 +1,110 @@
+//! N-gram extraction.
+//!
+//! Word n-grams drive the BLEU metric used in Table V (explanation quality) and the
+//! optional bigram features in the TF-IDF ablation benches; character n-grams are used
+//! by the subword vocabulary builder as a fallback segmentation for rare words.
+
+/// A word n-gram: an owned window of `n` tokens joined for hashing convenience.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NGram(pub Vec<String>);
+
+impl NGram {
+    /// The n-gram order.
+    pub fn order(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Space-joined display form.
+    pub fn joined(&self) -> String {
+        self.0.join(" ")
+    }
+}
+
+impl std::fmt::Display for NGram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.joined())
+    }
+}
+
+/// Extract all word n-grams of order `n` from `tokens`.
+///
+/// Returns an empty vector if `n == 0` or `tokens.len() < n`.
+pub fn ngrams<S: AsRef<str>>(tokens: &[S], n: usize) -> Vec<NGram> {
+    if n == 0 || tokens.len() < n {
+        return Vec::new();
+    }
+    tokens
+        .windows(n)
+        .map(|w| NGram(w.iter().map(|s| s.as_ref().to_string()).collect()))
+        .collect()
+}
+
+/// Extract all n-grams of orders `1..=max_n`.
+pub fn ngrams_up_to<S: AsRef<str>>(tokens: &[S], max_n: usize) -> Vec<NGram> {
+    let mut out = Vec::new();
+    for n in 1..=max_n {
+        out.extend(ngrams(tokens, n));
+    }
+    out
+}
+
+/// Extract character n-grams of order `n` from a word (no padding).
+pub fn char_ngrams(word: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = word.chars().collect();
+    if n == 0 || chars.len() < n {
+        return Vec::new();
+    }
+    chars
+        .windows(n)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigrams_of_sentence() {
+        let toks = ["i", "feel", "so", "alone"];
+        let grams = ngrams(&toks, 2);
+        assert_eq!(grams.len(), 3);
+        assert_eq!(grams[0].joined(), "i feel");
+        assert_eq!(grams[2].joined(), "so alone");
+    }
+
+    #[test]
+    fn unigrams_equal_tokens() {
+        let toks = ["a", "b", "c"];
+        let grams = ngrams(&toks, 1);
+        assert_eq!(grams.len(), 3);
+        assert!(grams.iter().all(|g| g.order() == 1));
+    }
+
+    #[test]
+    fn order_larger_than_input_is_empty() {
+        let toks = ["one", "two"];
+        assert!(ngrams(&toks, 3).is_empty());
+        assert!(ngrams(&toks, 0).is_empty());
+    }
+
+    #[test]
+    fn up_to_counts() {
+        let toks = ["a", "b", "c", "d"];
+        // 4 unigrams + 3 bigrams + 2 trigrams = 9
+        assert_eq!(ngrams_up_to(&toks, 3).len(), 9);
+    }
+
+    #[test]
+    fn char_ngrams_of_word() {
+        let grams = char_ngrams("sleep", 3);
+        assert_eq!(grams, vec!["sle", "lee", "eep"]);
+        assert!(char_ngrams("ab", 3).is_empty());
+    }
+
+    #[test]
+    fn char_ngrams_unicode_safe() {
+        let grams = char_ngrams("épuisé", 2);
+        assert_eq!(grams.len(), 5);
+    }
+}

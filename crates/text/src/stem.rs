@@ -1,0 +1,209 @@
+//! Light Porter-style suffix stripping.
+//!
+//! The classical baselines in the paper use TF-IDF over word forms; stemming is an
+//! optional analyzer step (exercised by the feature-ablation benches) that conflates
+//! `struggling` / `struggles` / `struggled`, which Table III shows occur across several
+//! dimensions. This is a pragmatic subset of the Porter algorithm: steps 1a/1b/1c plus
+//! a handful of common derivational suffixes — enough to normalise the inflectional
+//! variation in forum text without a full rule table.
+
+/// Measure (number of VC sequences) of a word, per Porter's definition.
+fn measure(word: &str) -> usize {
+    let mut m = 0;
+    let mut prev_vowel = false;
+    for (i, c) in word.chars().enumerate() {
+        let v = is_vowel(word, i, c);
+        if prev_vowel && !v {
+            m += 1;
+        }
+        prev_vowel = v;
+    }
+    m
+}
+
+fn is_vowel(word: &str, idx: usize, c: char) -> bool {
+    match c {
+        'a' | 'e' | 'i' | 'o' | 'u' => true,
+        'y' => {
+            // 'y' is a vowel if preceded by a consonant
+            if idx == 0 {
+                false
+            } else {
+                let prev = word.chars().nth(idx - 1).unwrap_or('a');
+                !matches!(prev, 'a' | 'e' | 'i' | 'o' | 'u')
+            }
+        }
+        _ => false,
+    }
+}
+
+fn contains_vowel(word: &str) -> bool {
+    word.chars().enumerate().any(|(i, c)| is_vowel(word, i, c))
+}
+
+fn ends_double_consonant(word: &str) -> bool {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 2 {
+        return false;
+    }
+    let last = chars[chars.len() - 1];
+    let prev = chars[chars.len() - 2];
+    last == prev && !matches!(last, 'a' | 'e' | 'i' | 'o' | 'u')
+}
+
+/// Stem a lower-cased English word.
+///
+/// Words of three characters or fewer are returned unchanged.
+pub fn stem(word: &str) -> String {
+    let word = word.to_lowercase();
+    if word.len() <= 3 || !word.chars().all(|c| c.is_ascii_alphabetic()) {
+        return word;
+    }
+    let mut w = word;
+
+    // Step 1a: plurals
+    if let Some(base) = w.strip_suffix("sses") {
+        w = format!("{base}ss");
+    } else if let Some(base) = w.strip_suffix("ies") {
+        w = format!("{base}i");
+    } else if w.ends_with("ss") {
+        // keep
+    } else if let Some(base) = w.strip_suffix('s') {
+        if base.len() > 2 {
+            w = base.to_string();
+        }
+    }
+
+    // Step 1b: -ed / -ing
+    let mut cleanup = false;
+    if let Some(base) = w.strip_suffix("eed") {
+        if measure(base) > 0 {
+            w = format!("{base}ee");
+        }
+    } else if let Some(base) = w.strip_suffix("ing") {
+        if contains_vowel(base) && base.len() >= 2 {
+            w = base.to_string();
+            cleanup = true;
+        }
+    } else if let Some(base) = w.strip_suffix("ed") {
+        if contains_vowel(base) && base.len() >= 2 {
+            w = base.to_string();
+            cleanup = true;
+        }
+    }
+    if cleanup {
+        if w.ends_with("at") || w.ends_with("bl") || w.ends_with("iz") {
+            w.push('e');
+        } else if ends_double_consonant(&w) && !w.ends_with('l') && !w.ends_with('s') && !w.ends_with('z')
+        {
+            w.pop();
+        } else if measure(&w) == 1 && ends_cvc(&w) {
+            w.push('e');
+        }
+    }
+
+    // Step 1c: -y -> -i when a vowel precedes
+    if w.ends_with('y') {
+        let base = &w[..w.len() - 1];
+        if contains_vowel(base) {
+            w = format!("{base}i");
+        }
+    }
+
+    // A few high-value derivational suffixes (subset of Porter steps 2-4).
+    for (suffix, replacement, min_measure) in [
+        ("ational", "ate", 0),
+        ("fulness", "ful", 0),
+        ("ousness", "ous", 0),
+        ("iveness", "ive", 0),
+        ("ization", "ize", 0),
+        ("ousli", "ous", 0),
+        ("entli", "ent", 0),
+        ("fulli", "ful", 0),
+        ("lessli", "less", 0),
+        ("alli", "al", 0),
+        ("ness", "", 1),
+        ("ment", "", 1),
+        ("tion", "t", 1),
+    ] {
+        if let Some(base) = w.strip_suffix(suffix) {
+            if measure(base) > min_measure && !base.is_empty() {
+                w = format!("{base}{replacement}");
+                break;
+            }
+        }
+    }
+
+    w
+}
+
+fn ends_cvc(word: &str) -> bool {
+    let chars: Vec<char> = word.chars().collect();
+    if chars.len() < 3 {
+        return false;
+    }
+    let n = chars.len();
+    let c2 = chars[n - 1];
+    let v = chars[n - 2];
+    let c1 = chars[n - 3];
+    let is_v = |c: char| matches!(c, 'a' | 'e' | 'i' | 'o' | 'u');
+    !is_v(c1) && is_v(v) && !is_v(c2) && !matches!(c2, 'w' | 'x' | 'y')
+}
+
+/// Stem every word in a token sequence.
+pub fn stem_all<I, S>(words: I) -> Vec<String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    words.into_iter().map(|w| stem(w.as_ref())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflections_conflate() {
+        assert_eq!(stem("struggling"), stem("struggled"));
+        assert_eq!(stem("feelings"), stem("feeling"));
+        assert_eq!(stem("crying"), "cry");
+    }
+
+    #[test]
+    fn plural_stripping() {
+        assert_eq!(stem("friends"), "friend");
+        assert_eq!(stem("deadlines"), "deadline");
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(stem("me"), "me");
+        assert_eq!(stem("job"), "job");
+        assert_eq!(stem("sad"), "sad");
+    }
+
+    #[test]
+    fn y_to_i() {
+        assert_eq!(stem("anxiety"), "anxieti");
+        assert_eq!(stem("lonely"), "loneli");
+    }
+
+    #[test]
+    fn double_ss_kept() {
+        assert_eq!(stem("stress"), "stress");
+        assert_eq!(stem("hopelessness"), "hopeless");
+    }
+
+    #[test]
+    fn non_alphabetic_passthrough() {
+        assert_eq!(stem("self-harm"), "self-harm");
+        assert_eq!(stem("<url>"), "<url>");
+    }
+
+    #[test]
+    fn stem_all_maps_each() {
+        let out = stem_all(["friends", "working"]);
+        assert_eq!(out, vec!["friend", "work"]);
+    }
+}

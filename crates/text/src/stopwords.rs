@@ -1,0 +1,161 @@
+//! English stop-word handling.
+//!
+//! The Table III analysis ("most frequent words in explanatory text spans") only makes
+//! sense after function words are removed; the TF-IDF baselines likewise benefit from
+//! dropping them. The list below is a compact English stop-word list extended with
+//! contractions and informal forms that dominate forum text (`im`, `ive`, `dont`, …).
+//!
+//! Note that the paper's own frequent-word lists keep the pronoun `me` (SA and EA rows
+//! of Table III), so first-person object pronouns are deliberately *not* stop-words
+//! here — in mental-health text they carry signal about self-focus.
+
+use std::collections::HashSet;
+
+/// Core English stop-word list (function words, auxiliaries, frequent fillers).
+pub const ENGLISH_STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
+    "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't", "do", "does", "doesn't",
+    "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had", "hadn't",
+    "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's", "her", "here",
+    "here's", "hers", "herself", "him", "himself", "his", "how", "how's", "i'd", "i'll", "i'm",
+    "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself", "let's", "more",
+    "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off", "on", "once", "only",
+    "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "same", "shan't",
+    "she", "she'd", "she'll", "she's", "should", "shouldn't", "so", "some", "such", "than",
+    "that", "that's", "the", "their", "theirs", "them", "themselves", "then", "there", "there's",
+    "these", "they", "they'd", "they'll", "they're", "they've", "this", "those", "through", "to",
+    "too", "under", "until", "up", "very", "was", "wasn't", "we", "we'd", "we'll", "we're",
+    "we've", "were", "weren't", "what", "what's", "when", "when's", "where", "where's", "which",
+    "while", "who", "who's", "whom", "why", "why's", "with", "won't", "would", "wouldn't", "you",
+    "you'd", "you'll", "you're", "you've", "your", "yours", "yourself", "yourselves",
+    // informal / forum-specific variants without apostrophes
+    "im", "ive", "id", "ill", "dont", "doesnt", "didnt", "cant", "wont", "isnt", "arent",
+    "wasnt", "werent", "havent", "hasnt", "hadnt", "wouldnt", "couldnt", "shouldnt", "thats",
+    "theres", "youre", "youve", "theyre", "gonna", "wanna", "u", "ur", "just", "really", "also",
+    "even", "still", "much", "will", "get", "got", "like", "know", "one", "it'd", "i",
+];
+
+/// Returns `true` if `word` (already lower-cased) is an English stop-word.
+pub fn is_stopword(word: &str) -> bool {
+    StopwordFilter::english().is_stopword(word)
+}
+
+/// A reusable stop-word filter backed by a hash set.
+#[derive(Debug, Clone)]
+pub struct StopwordFilter {
+    words: HashSet<&'static str>,
+    extra: HashSet<String>,
+}
+
+impl StopwordFilter {
+    /// The built-in English list.
+    pub fn english() -> Self {
+        Self {
+            words: ENGLISH_STOPWORDS.iter().copied().collect(),
+            extra: HashSet::new(),
+        }
+    }
+
+    /// An empty filter (nothing is a stop-word).
+    pub fn empty() -> Self {
+        Self {
+            words: HashSet::new(),
+            extra: HashSet::new(),
+        }
+    }
+
+    /// Add extra stop-words (lower-cased automatically).
+    pub fn with_extra<I, S>(mut self, extra: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for w in extra {
+            self.extra.insert(w.as_ref().to_lowercase());
+        }
+        self
+    }
+
+    /// Is `word` a stop-word? Case-insensitive.
+    pub fn is_stopword(&self, word: &str) -> bool {
+        if self.words.contains(word) || self.extra.contains(word) {
+            return true;
+        }
+        let lower = word.to_lowercase();
+        self.words.contains(lower.as_str()) || self.extra.contains(&lower)
+    }
+
+    /// Remove stop-words from a token sequence.
+    pub fn filter<'a, I>(&self, tokens: I) -> Vec<String>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        tokens
+            .into_iter()
+            .filter(|t| !self.is_stopword(t))
+            .map(|t| t.to_string())
+            .collect()
+    }
+
+    /// Number of words in the filter.
+    pub fn len(&self) -> usize {
+        self.words.len() + self.extra.len()
+    }
+
+    /// Whether the filter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty() && self.extra.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopwords() {
+        for w in ["the", "and", "is", "i'm", "dont"] {
+            assert!(is_stopword(w), "{w} should be a stop-word");
+        }
+    }
+
+    #[test]
+    fn me_is_not_a_stopword() {
+        // Table III lists "me" among the most frequent SA/EA span words.
+        assert!(!is_stopword("me"));
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["anxiety", "sleep", "job", "friends", "suicide", "feel"] {
+            assert!(!is_stopword(w), "{w} should not be a stop-word");
+        }
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert!(StopwordFilter::english().is_stopword("The"));
+    }
+
+    #[test]
+    fn extra_words_extend_filter() {
+        let f = StopwordFilter::english().with_extra(["foo"]);
+        assert!(f.is_stopword("FOO"));
+        assert!(!StopwordFilter::english().is_stopword("foo"));
+    }
+
+    #[test]
+    fn filter_removes_stopwords() {
+        let f = StopwordFilter::english();
+        let kept = f.filter(["i", "feel", "so", "alone"]);
+        assert_eq!(kept, vec!["feel", "alone"]);
+    }
+
+    #[test]
+    fn empty_filter_keeps_everything() {
+        let f = StopwordFilter::empty();
+        assert!(!f.is_stopword("the"));
+        assert!(f.is_empty());
+    }
+}

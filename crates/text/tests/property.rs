@@ -1,0 +1,145 @@
+//! Property-based tests for the text substrate: invariants that must hold for
+//! arbitrary input text, not just the fixtures in the unit tests.
+
+use holistix_text::{
+    char_ngrams, ngrams, normalize, stem, tokenize_with_spans, NormalizeOptions, StopwordFilter,
+    SubwordTokenizer, TokenKind, VocabularyBuilder,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every token's byte span must slice the source text back to exactly the token.
+    #[test]
+    fn token_spans_round_trip(text in ".{0,200}") {
+        for token in tokenize_with_spans(&text) {
+            prop_assert_eq!(&text[token.start..token.end], token.text.as_str());
+            prop_assert!(token.start <= token.end);
+            prop_assert!(token.end <= text.len());
+        }
+    }
+
+    /// Tokens appear in non-decreasing byte order and never overlap.
+    #[test]
+    fn token_spans_are_ordered_and_disjoint(text in ".{0,200}") {
+        let tokens = tokenize_with_spans(&text);
+        for pair in tokens.windows(2) {
+            prop_assert!(pair[0].end <= pair[1].start);
+        }
+    }
+
+    /// Word tokens never contain whitespace and are never empty.
+    #[test]
+    fn word_tokens_have_no_whitespace(text in "[a-zA-Z ,.!?'\\-]{0,200}") {
+        for token in tokenize_with_spans(&text) {
+            prop_assert!(!token.text.is_empty());
+            if token.kind == TokenKind::Word {
+                prop_assert!(!token.text.chars().any(char::is_whitespace));
+            }
+        }
+    }
+
+    /// Default normalisation is idempotent.
+    #[test]
+    fn normalization_is_idempotent(text in ".{0,200}") {
+        let options = NormalizeOptions::default();
+        let once = normalize(&text, &options);
+        let twice = normalize(&once, &options);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Normalised output never contains ASCII upper-case letters or repeated spaces.
+    /// (Some Unicode code points, e.g. mathematical capital letters, have no lowercase
+    /// mapping and legitimately pass through unchanged.)
+    #[test]
+    fn normalization_output_is_clean(text in ".{0,200}") {
+        let normalized = normalize(&text, &NormalizeOptions::default());
+        prop_assert!(!normalized.chars().any(|c| c.is_ascii_uppercase()));
+        prop_assert!(!normalized.contains("  "));
+        prop_assert_eq!(normalized.trim(), &normalized);
+    }
+
+    /// The stemmer never produces a longer word and never panics.
+    #[test]
+    fn stem_never_grows_ascii_words(word in "[a-z]{1,20}") {
+        let stemmed = stem(&word);
+        prop_assert!(stemmed.len() <= word.len() + 1, "{} -> {}", word, stemmed);
+        prop_assert!(!stemmed.is_empty());
+    }
+
+    /// n-gram count equals max(0, len - n + 1), and every n-gram has order n.
+    #[test]
+    fn ngram_counts_match_formula(words in proptest::collection::vec("[a-z]{1,8}", 0..20), n in 1usize..5) {
+        let grams = ngrams(&words, n);
+        let expected = if words.len() >= n { words.len() - n + 1 } else { 0 };
+        prop_assert_eq!(grams.len(), expected);
+        prop_assert!(grams.iter().all(|g| g.order() == n));
+    }
+
+    /// Character n-grams of a word cover exactly len - n + 1 windows.
+    #[test]
+    fn char_ngram_counts(word in "[a-zé]{0,15}", n in 1usize..4) {
+        let grams = char_ngrams(&word, n);
+        let chars = word.chars().count();
+        let expected = if chars >= n { chars - n + 1 } else { 0 };
+        prop_assert_eq!(grams.len(), expected);
+    }
+
+    /// The stop-word filter never removes non-stop-words and never keeps stop-words.
+    #[test]
+    fn stopword_filter_partitions(words in proptest::collection::vec("[a-z]{1,10}", 0..30)) {
+        let filter = StopwordFilter::english();
+        let refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+        let kept = filter.filter(refs.iter().copied());
+        prop_assert!(kept.iter().all(|w| !filter.is_stopword(w)));
+        let removed = words.len() - kept.len();
+        let stopword_count = words.iter().filter(|w| filter.is_stopword(w)).count();
+        prop_assert_eq!(removed, stopword_count);
+    }
+
+    /// Vocabulary ids are dense, unique and consistent with term lookup.
+    #[test]
+    fn vocabulary_ids_are_dense(docs in proptest::collection::vec(
+        proptest::collection::vec("[a-f]{1,4}", 1..10), 1..8)) {
+        let mut builder = VocabularyBuilder::new();
+        for doc in &docs {
+            builder.add_document(doc);
+        }
+        let vocab = builder.build(1, None);
+        for (term, id) in vocab.iter() {
+            prop_assert_eq!(vocab.id(term), Some(id));
+            prop_assert_eq!(vocab.term(id), Some(term));
+            prop_assert!(vocab.term_frequency(term) >= 1);
+            prop_assert!(vocab.document_frequency(term) as usize <= docs.len());
+        }
+    }
+
+    /// Subword encoding of any lower-case word uses valid piece ids, and the decoded
+    /// string reassembles the word when no <unk> was produced.
+    #[test]
+    fn subword_encode_decode(word in "[a-z]{1,15}") {
+        let tokenizer = SubwordTokenizer::from_pieces(
+            ["a","b","c","d","e","f","g","h","i","j","k","l","m","n","o","p","q","r","s","t","u","v","w","x","y","z",
+             "##a","##b","##c","##d","##e","##f","##g","##h","##i","##j","##k","##l","##m","##n","##o","##p","##q","##r","##s","##t","##u","##v","##w","##x","##y","##z"],
+        );
+        let ids = tokenizer.encode_word(&word);
+        prop_assert!(!ids.is_empty());
+        prop_assert!(ids.iter().all(|&id| id < tokenizer.vocab_size()));
+        if !ids.contains(&tokenizer.unk_id()) {
+            prop_assert_eq!(tokenizer.decode(&ids).replace(' ', ""), word);
+        }
+    }
+
+    /// Fixed-length classification encoding always has the requested length and starts
+    /// with CLS.
+    #[test]
+    fn classification_encoding_is_fixed_length(
+        words in proptest::collection::vec("[a-z]{1,8}", 0..40),
+        max_len in 4usize..40,
+    ) {
+        let tokenizer = SubwordTokenizer::from_pieces(["feel", "##ing", "a", "##b"]);
+        let ids = tokenizer.encode_for_classification(&words, max_len);
+        prop_assert_eq!(ids.len(), max_len);
+        prop_assert_eq!(ids[0], tokenizer.cls_id());
+        prop_assert!(ids.contains(&tokenizer.sep_id()));
+    }
+}

@@ -1,0 +1,49 @@
+//! # holistix-transformer
+//!
+//! Transformer baselines for the Holistix reproduction.
+//!
+//! §III-A of the paper fine-tunes six pretrained transformers — BERT, DistilBERT,
+//! MentalBERT, Flan-T5, XLNet and GPT-2 — for 6-class wellness-dimension
+//! classification. Pretrained checkpoints are not available offline, so this crate
+//! builds *architecture-faithful small analogues* trained from scratch on top of the
+//! `holistix-tensor` autograd engine:
+//!
+//! | Paper model | Analogue here |
+//! |---|---|
+//! | BERT        | bidirectional encoder, CLS pooling, generic (shuffled-corpus) pre-initialisation |
+//! | DistilBERT  | same but half the encoder layers |
+//! | MentalBERT  | same depth as BERT but **in-domain** masked-LM pre-initialisation |
+//! | Flan-T5     | encoder with mean pooling and a GELU bottleneck head (encoder–decoder stand-in) |
+//! | XLNet       | encoder with learned relative-position attention biases |
+//! | GPT-2       | causal (left-to-right) attention with last-token pooling |
+//!
+//! The paper's fine-tuning hyper-parameters are kept verbatim where they transfer
+//! (batch sizes 16/8/4, 10 epochs; learning rates are scaled to from-scratch training
+//! — see [`zoo::FineTuneRecipe`]). The "pretrained vs not" distinction — the thing that
+//! makes MentalBERT win Table IV — is reproduced by the masked-LM pre-initialisation
+//! stage in [`pretrain`]: the MentalBERT analogue gets it on in-domain text, the BERT
+//! analogue on a domain-degraded (shuffled word order) copy, and the rest according to
+//! their provenance.
+//!
+//! Modules:
+//! * [`config`] — architectural configuration and the [`ModelKind`](config::ModelKind) enum,
+//! * [`attention`] — multi-head self-attention (bidirectional / causal / relative),
+//! * [`layers`] — feed-forward blocks, layer-norm parameter bundles, encoder layers,
+//! * [`model`] — the end-to-end [`TransformerClassifier`](model::TransformerClassifier),
+//! * [`pretrain`] — masked-LM domain-adaptive pre-initialisation,
+//! * [`trainer`] — the fine-tuning loop (Adam, batching, early stopping on validation loss),
+//! * [`zoo`] — the named model zoo with per-model recipes.
+
+pub mod attention;
+pub mod config;
+pub mod layers;
+pub mod model;
+pub mod pretrain;
+pub mod trainer;
+pub mod zoo;
+
+pub use config::{AttentionKind, ModelConfig, ModelKind, Pooling};
+pub use model::TransformerClassifier;
+pub use pretrain::{pretrain_masked_lm, PretrainConfig};
+pub use trainer::{FineTuneConfig, Trainer, TrainingSummary};
+pub use zoo::{build_model, FineTuneRecipe};

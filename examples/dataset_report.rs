@@ -1,0 +1,55 @@
+//! Dataset report: regenerate the paper's Table II (dataset statistics), Table III
+//! (frequent words in explanation spans) and the class distribution of §II-C, and
+//! compare them against the published reference values.
+//!
+//! Run with:
+//! ```bash
+//! cargo run --release --example dataset_report
+//! ```
+
+use holistix::prelude::*;
+use holistix::corpus::CorpusStatistics;
+
+fn main() {
+    // The full-size synthetic corpus (1,420 posts, Table II class balance).
+    let corpus = HolistixCorpus::generate(42);
+
+    println!("=== Table II: statistics of the dataset ===\n");
+    let stats = run_table2(&corpus);
+    println!("{stats}");
+
+    println!("Class distribution (paper: IA 10.91%, VA 10.56%, SpiA 13.38%, PA 20.84%, SA 28.59%, EA 15.70%):");
+    let percentages = stats.class_percentages();
+    for dim in ALL_DIMENSIONS {
+        println!("  {:<5} {:>6.2}%", dim.code(), percentages[dim.index()]);
+    }
+
+    println!("\nDeviation from the paper's reference counts:");
+    let reference = CorpusStatistics::paper_reference();
+    println!("  total posts      measured {:>6}   paper {:>6}", stats.total_posts, reference.total_posts);
+    println!("  total words      measured {:>6}   paper {:>6}", stats.total_words, reference.total_words);
+    println!("  total sentences  measured {:>6}   paper {:>6}", stats.total_sentences, reference.total_sentences);
+    println!("  max words/post   measured {:>6}   paper {:>6}", stats.max_words_per_post, reference.max_words_per_post);
+    println!("  max sents/post   measured {:>6}   paper {:>6}", stats.max_sentences_per_post, reference.max_sentences_per_post);
+
+    println!("\n=== Table III: frequent words in explanatory text spans ===\n");
+    let frequent = holistix::run_table3(&corpus);
+    println!("{frequent}");
+
+    println!("=== Indicator lexicon coverage (Table I sanity check) ===\n");
+    let lexicon = holistix::corpus::IndicatorLexicon::new();
+    for dim in ALL_DIMENSIONS {
+        let posts: Vec<_> = corpus.iter().filter(|p| p.label == dim).collect();
+        let hits = posts
+            .iter()
+            .filter(|p| lexicon.classify_by_indicators(p.span_text()) == Some(dim))
+            .count();
+        println!(
+            "  {:<5} indicator classifier recovers the label from the gold span for {:>4}/{:<4} posts ({:.1}%)",
+            dim.code(),
+            hits,
+            posts.len(),
+            100.0 * hits as f64 / posts.len().max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Explainability evaluation: reproduce the paper's Table V — LIME explanation quality
+//! (F1, precision, recall, ROUGE, BLEU against gold explanation spans) for the two
+//! top-performing models, logistic regression and the MentalBERT analogue.
+//!
+//! Run with:
+//! ```bash
+//! cargo run --release --example explainability             # fast profile
+//! cargo run --release --example explainability -- --paper  # full corpus, slow
+//! ```
+
+use holistix::prelude::*;
+
+fn main() {
+    let paper_mode = std::env::args().any(|a| a == "--paper");
+    let config = if paper_mode {
+        Table5Config::paper()
+    } else {
+        Table5Config::fast()
+    };
+
+    println!(
+        "Explaining {} held-out posts per model with LIME ({} samples per explanation)…\n",
+        config.n_explanations, config.lime.n_samples
+    );
+
+    let result = run_table5(&config);
+    println!("=== Table V: explainability of top performing models using LIME ===\n");
+    println!("{result}");
+    println!("Paper reference:");
+    println!("LR           0.4221     0.3140   0.6976   0.3645   0.1349");
+    println!("MentalBERT   0.4471     0.4901   0.7463   0.3833   0.1412");
+
+    // A qualitative look at a single explanation, Fig. 1 style.
+    println!("\n=== Single-post walkthrough (Fig. 1) ===\n");
+    let walkthrough = run_fig1_walkthrough(42);
+    println!("{walkthrough}");
+}

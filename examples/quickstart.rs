@@ -1,0 +1,53 @@
+//! Quickstart: generate a Holistix-style corpus, train a baseline, classify a post and
+//! explain the prediction — the Fig. 1 workflow of the paper in ~40 lines.
+//!
+//! Run with:
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use holistix::prelude::*;
+
+fn main() {
+    // 1. A synthetic Holistix corpus calibrated to the paper's Table II statistics.
+    //    (Swap in a real release with `holistix::corpus::io::read_jsonl` if you have one.)
+    let corpus = HolistixCorpus::generate_small(300, 42);
+    println!(
+        "Corpus: {} posts across {} wellness dimensions\n",
+        corpus.len(),
+        ALL_DIMENSIONS.len()
+    );
+
+    // 2. Train the logistic-regression baseline on the paper's train split.
+    let labels = corpus.label_indices();
+    let texts = corpus.texts();
+    let split = holistix::corpus::splits::paper_split(&labels, 6, 42);
+    let train_texts: Vec<&str> = split.train.iter().map(|&i| texts[i]).collect();
+    let train_labels: Vec<usize> = split.train.iter().map(|&i| labels[i]).collect();
+    let model = FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Fast,
+        &train_texts,
+        &train_labels,
+        42,
+    );
+
+    // 3. Classify a held-out post.
+    let post = &corpus.posts[split.test[0]];
+    let probabilities = model.probabilities_one(&post.post.text);
+    let predicted = WellnessDimension::from_index(
+        holistix::linalg::argmax(&probabilities).expect("six-class probabilities"),
+    );
+    println!("Post:      {}", post.post.text);
+    println!("Gold:      {}", post.label.name());
+    println!("Predicted: {}", predicted.name());
+    for dim in ALL_DIMENSIONS {
+        println!("  P({:<4}) = {:.3}", dim.code(), probabilities[dim.index()]);
+    }
+
+    // 4. Explain the prediction with LIME and compare against the gold span.
+    let explainer = LimeExplainer::default_config();
+    let explanation = explainer.explain(&model, &post.post.text, None);
+    println!("\nGold explanation span: \"{}\"", post.span_text());
+    println!("LIME top keywords:     {}", explanation.top_tokens(5).join(", "));
+}

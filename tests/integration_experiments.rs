@@ -1,0 +1,135 @@
+//! Integration tests of the experiment runners: every table and figure of the paper
+//! can be regenerated, and the qualitative shape of the published results holds on the
+//! synthetic corpus.
+
+use holistix::prelude::*;
+use holistix::corpus::CorpusStatistics;
+
+#[test]
+fn table2_statistics_match_the_paper_reference_shape() {
+    let corpus = HolistixCorpus::generate(42);
+    let stats = run_table2(&corpus);
+    let paper = CorpusStatistics::paper_reference();
+
+    assert_eq!(stats.total_posts, paper.total_posts);
+    assert_eq!(stats.class_counts, paper.class_counts);
+    assert!(stats.max_sentences_per_post <= paper.max_sentences_per_post);
+    // Word and sentence volume within a generous band of the published values.
+    let word_deviation = (stats.total_words as f64 - paper.total_words as f64).abs() / paper.total_words as f64;
+    assert!(word_deviation < 0.35, "total word count deviates {word_deviation:.2} from the paper");
+    // Class percentages of §II-C.
+    let pct = stats.class_percentages();
+    assert!((pct[WellnessDimension::Social.index()] - 28.59).abs() < 0.1);
+    assert!((pct[WellnessDimension::Vocational.index()] - 10.56).abs() < 0.1);
+}
+
+#[test]
+fn table3_top_words_contain_the_papers_leaders() {
+    let corpus = HolistixCorpus::generate(42);
+    let frequent = run_table3(&corpus);
+    let top_words = |dim: WellnessDimension, k: usize| -> Vec<String> {
+        frequent
+            .for_dimension(dim)
+            .iter()
+            .take(k)
+            .map(|(w, _)| w.clone())
+            .collect()
+    };
+    // Table III headline words per dimension.
+    assert!(top_words(WellnessDimension::Vocational, 5).iter().any(|w| w == "job" || w == "work"));
+    assert!(top_words(WellnessDimension::Physical, 6).iter().any(|w| w == "anxiety" || w == "sleep"));
+    assert!(top_words(WellnessDimension::Social, 8).iter().any(|w| w == "feel" || w == "alone" || w == "people"));
+    assert!(top_words(WellnessDimension::Spiritual, 8).iter().any(|w| w == "feel" || w == "life"));
+}
+
+#[test]
+fn annotation_study_reproduces_the_kappa_band() {
+    let corpus = HolistixCorpus::generate(42);
+    let study = run_annotation_study(&corpus, 7);
+    // Paper: Fleiss' kappa = 75.92 %. The simulated annotators are calibrated to land
+    // in the same band.
+    assert!(
+        (study.agreement.fleiss_kappa - 0.7592).abs() < 0.08,
+        "kappa {} outside the paper band",
+        study.agreement.fleiss_kappa
+    );
+    // The documented EA/SpiA subjectivity shows up as those classes having the most
+    // annotator confusion relative to their size.
+    let errors_for = |d: WellnessDimension| -> f64 {
+        study
+            .confusion_pairs()
+            .iter()
+            .filter(|(g, _, _)| *g == d)
+            .map(|(_, _, c)| *c as f64)
+            .sum::<f64>()
+            / d.paper_count() as f64
+    };
+    assert!(errors_for(WellnessDimension::Emotional) > errors_for(WellnessDimension::Physical));
+}
+
+#[test]
+fn table4_classical_rows_reproduce_the_papers_ordering() {
+    // Classical-only Table IV on a mid-size corpus: LR/SVM > GaussianNB, and the
+    // majority classes (SA, PA) are easier than EA.
+    let config = EvaluationConfig {
+        corpus_size: Some(360),
+        n_folds: 5,
+        speed: holistix::SpeedProfile::Fast,
+        ..EvaluationConfig::fast()
+    }
+    .classical_only();
+    let result = run_table4(&config);
+    assert_eq!(result.rows.len(), 3);
+
+    let accuracy = |m: &str| result.accuracy_of(m).unwrap();
+    assert!(accuracy("LR") > accuracy("Gaussian NB"), "LR {} vs NB {}", accuracy("LR"), accuracy("Gaussian NB"));
+    assert!(accuracy("Linear SVM") > accuracy("Gaussian NB"));
+
+    // Per-class difficulty shape for LR: the Social/Physical majority classes score
+    // higher F1 than the Emotional class (the paper's hardest class).
+    let lr = result.row("LR").unwrap();
+    let f1 = |d: WellnessDimension| lr.report.class(d.index()).f1;
+    assert!(f1(WellnessDimension::Social) > f1(WellnessDimension::Emotional));
+    assert!(f1(WellnessDimension::Physical) > f1(WellnessDimension::Emotional));
+}
+
+#[test]
+fn table5_explanations_overlap_gold_spans_better_than_chance() {
+    let config = Table5Config {
+        corpus_size: Some(200),
+        n_explanations: 12,
+        ..Table5Config::smoke()
+    };
+    let result = run_table5(&config);
+    let report = result.report_for("LR").expect("LR report");
+    assert_eq!(result.n_explanations, report.n_items);
+    // LIME keywords drawn from the model must overlap the gold span far better than
+    // random words would (gold spans are ~10 words of a ~25-word post).
+    assert!(report.recall > 0.15, "recall {}", report.recall);
+    assert!(report.f1 > 0.1, "f1 {}", report.f1);
+    assert!(report.rouge > 0.05);
+    assert!(report.bleu >= 0.0);
+}
+
+#[test]
+fn fig1_walkthrough_produces_a_plausible_explanation() {
+    let walkthrough = run_fig1_walkthrough(42);
+    assert_eq!(walkthrough.probabilities.len(), 6);
+    assert!((walkthrough.probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    assert!(!walkthrough.explanation_keywords.is_empty());
+    // The rendered walkthrough mentions both dimensions involved.
+    let rendered = walkthrough.to_string();
+    assert!(rendered.contains(walkthrough.gold.name()));
+    assert!(rendered.contains(walkthrough.predicted.name()));
+}
+
+#[test]
+fn experiment_runners_are_deterministic() {
+    let config = EvaluationConfig::smoke();
+    let a = run_table4(&config);
+    let b = run_table4(&config);
+    assert_eq!(a, b);
+
+    let t5 = Table5Config::smoke();
+    assert_eq!(run_table5(&t5), run_table5(&t5));
+}

@@ -1,0 +1,124 @@
+//! Integration tests of the explainability stack against real fitted models:
+//! LIME explanations of trained baselines, their overlap with gold spans, and the
+//! agreement between LIME and the models' own feature weights.
+
+use holistix::explain::{ExplanationMetrics, LimeConfig, LimeExplainer};
+use holistix::prelude::*;
+
+fn fitted_lr(corpus: &HolistixCorpus, seed: u64) -> FittedBaseline {
+    FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Fast,
+        &corpus.texts(),
+        &corpus.label_indices(),
+        seed,
+    )
+}
+
+#[test]
+fn lime_keywords_come_from_the_explained_post() {
+    let corpus = HolistixCorpus::generate_small(200, 17);
+    let model = fitted_lr(&corpus, 17);
+    let explainer = LimeExplainer::default_config();
+    for post in corpus.iter().take(10) {
+        let explanation = explainer.explain(&model, &post.post.text, None);
+        let lowered = post.post.text.to_lowercase();
+        for token in explanation.top_tokens(5) {
+            assert!(
+                lowered.contains(&token),
+                "LIME keyword {token:?} not present in the post"
+            );
+        }
+    }
+}
+
+#[test]
+fn lime_overlaps_gold_spans_for_correctly_classified_posts() {
+    let corpus = HolistixCorpus::generate_small(260, 23);
+    let model = fitted_lr(&corpus, 23);
+    let explainer = LimeExplainer::new(LimeConfig {
+        n_samples: 150,
+        ..LimeConfig::default()
+    });
+
+    let mut scored = 0usize;
+    let mut f1_sum = 0.0;
+    for post in corpus.iter().take(30) {
+        let predicted = model.predict(&[post.post.text.as_str()])[0];
+        if predicted != post.label.index() {
+            continue; // the paper also explains the model's own (correct) predictions
+        }
+        let explanation = explainer.explain(&model, &post.post.text, None);
+        let metrics = ExplanationMetrics::score(&explanation.top_tokens(5), post.span_text());
+        f1_sum += metrics.f1;
+        scored += 1;
+    }
+    assert!(scored >= 5, "too few correctly classified posts to evaluate");
+    let mean_f1 = f1_sum / scored as f64;
+    assert!(mean_f1 > 0.15, "mean explanation F1 {mean_f1}");
+}
+
+#[test]
+fn lime_agrees_with_logistic_regression_feature_weights() {
+    // For a linear model over TF-IDF features, LIME's local surrogate should rank the
+    // same indicator words highly that the model itself weights most for the class.
+    let corpus = HolistixCorpus::generate_small(240, 29);
+    let model = fitted_lr(&corpus, 29);
+    let explainer = LimeExplainer::default_config();
+
+    // A strongly vocational post built from Table I indicator phrasing.
+    let text = "I lost my job last month and the financial stress about money is crushing me";
+    let proba = model.probabilities_one(text);
+    let predicted = holistix::linalg::argmax(&proba).unwrap();
+    if predicted == WellnessDimension::Vocational.index() {
+        let explanation = explainer.explain(&model, text, None);
+        let top = explanation.top_tokens(4);
+        assert!(
+            top.iter().any(|t| ["job", "money", "financial", "stress"].contains(&t.as_str())),
+            "top tokens {top:?} should contain a vocational indicator"
+        );
+    } else {
+        // If the small model misclassifies this post, the explanation must still be
+        // well-formed and drawn from the text.
+        let explanation = explainer.explain(&model, text, None);
+        assert!(!explanation.token_weights.is_empty());
+    }
+}
+
+#[test]
+fn rouge_and_bleu_agree_on_extreme_cases() {
+    use holistix::explain::{bleu, rouge_1};
+    let gold: Vec<String> = holistix::text::content_words("I feel exhausted and cannot sleep");
+    let perfect: Vec<String> = gold.clone();
+    let disjoint = vec!["job".to_string(), "career".to_string()];
+    assert!(rouge_1(&perfect, &gold).f1 > 0.99);
+    assert!(bleu(&perfect, &gold) > 0.99);
+    assert_eq!(rouge_1(&disjoint, &gold).f1, 0.0);
+    assert_eq!(bleu(&disjoint, &gold), 0.0);
+}
+
+#[test]
+fn transformer_models_can_be_explained_too() {
+    // The paper explains fine-tuned MentalBERT; verify the adapter path works with a
+    // tiny transformer and produces well-formed explanations.
+    let corpus = HolistixCorpus::generate_small(80, 31);
+    let model = FittedBaseline::fit(
+        BaselineKind::Transformer(ModelKind::MentalBert),
+        SpeedProfile::Tiny,
+        &corpus.texts(),
+        &corpus.label_indices(),
+        31,
+    );
+    let explainer = LimeExplainer::new(LimeConfig {
+        n_samples: 40,
+        ..LimeConfig::default()
+    });
+    let post = &corpus.posts[0];
+    let explanation = explainer.explain(&model, &post.post.text, None);
+    assert!(explanation.target_class < 6);
+    assert!(explanation.target_probability >= 0.0 && explanation.target_probability <= 1.0);
+    for (token, weight) in &explanation.token_weights {
+        assert!(!token.is_empty());
+        assert!(weight.is_finite());
+    }
+}
