@@ -23,7 +23,10 @@ fn print_sweep() {
         42,
     );
     println!("\n=== Ablation: LIME sample budget vs explanation quality (measured) ===\n");
-    println!("{:<12}{:>10}{:>12}{:>10}", "samples", "F1", "precision", "recall");
+    println!(
+        "{:<12}{:>10}{:>12}{:>10}",
+        "samples", "F1", "precision", "recall"
+    );
     for &budget in &BUDGETS {
         let explainer = LimeExplainer::new(LimeConfig {
             n_samples: budget,
@@ -66,9 +69,13 @@ fn bench_lime_samples(c: &mut Criterion) {
             n_samples: budget,
             ..LimeConfig::default()
         });
-        group.bench_with_input(BenchmarkId::from_parameter(budget), &explainer, |b, explainer| {
-            b.iter(|| black_box(explainer.explain(&model, black_box(&post.post.text), None)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(budget),
+            &explainer,
+            |b, explainer| {
+                b.iter(|| black_box(explainer.explain(&model, black_box(&post.post.text), None)))
+            },
+        );
     }
     group.finish();
 }

@@ -30,7 +30,10 @@ fn accuracy_with_pretrain(pretrain: Option<PretrainConfig>, label: &str) -> f64 
     trainer.fit(&train_texts, &train_labels);
     let predictions = trainer.predict(&test_texts);
     let report = ClassificationReport::from_labels(&test_labels, &predictions, 6);
-    println!("{label:<28}{:>10.3}{:>12.3}", report.accuracy, report.macro_f1);
+    println!(
+        "{label:<28}{:>10.3}{:>12.3}",
+        report.accuracy, report.macro_f1
+    );
     report.accuracy
 }
 

@@ -14,13 +14,27 @@ fn print_agreement() {
     let study = AnnotationStudy::run(&corpus.posts, 7);
     println!("\n=== Fig. 2 / §II-E: annotation study (measured vs paper) ===");
     println!("  posts annotated:          {}", corpus.len());
-    println!("  percentage agreement:     {:.2}%", 100.0 * study.agreement.percent_agreement);
-    println!("  Fleiss' kappa (measured): {:.2}%", 100.0 * study.agreement.fleiss_kappa);
+    println!(
+        "  percentage agreement:     {:.2}%",
+        100.0 * study.agreement.percent_agreement
+    );
+    println!(
+        "  Fleiss' kappa (measured): {:.2}%",
+        100.0 * study.agreement.fleiss_kappa
+    );
     println!("  Fleiss' kappa (paper):    75.92%");
-    println!("  Cohen's kappa (measured): {:.2}%", 100.0 * study.agreement.cohen_kappa);
+    println!(
+        "  Cohen's kappa (measured): {:.2}%",
+        100.0 * study.agreement.cohen_kappa
+    );
     println!("  top confusions:");
     for (gold, assigned, count) in study.confusion_pairs().into_iter().take(5) {
-        println!("    {:<4} -> {:<4} {:>4}", gold.code(), assigned.code(), count);
+        println!(
+            "    {:<4} -> {:<4} {:>4}",
+            gold.code(),
+            assigned.code(),
+            count
+        );
     }
 }
 
@@ -28,7 +42,8 @@ fn bench_annotation(c: &mut Criterion) {
     print_agreement();
     let corpus = HolistixCorpus::generate(42);
     let study = AnnotationStudy::run(&corpus.posts, 7);
-    let table = holistix::corpus::agreement::two_rater_table(&study.annotator_a, &study.annotator_b, 6);
+    let table =
+        holistix::corpus::agreement::two_rater_table(&study.annotator_a, &study.annotator_b, 6);
 
     let mut group = c.benchmark_group("fig2_annotation_pipeline");
     group.sample_size(20);

@@ -1,0 +1,71 @@
+//! Sparse vs dense classical inference.
+//!
+//! The multi-layer sparse refactor replaced the dense `documents × vocabulary`
+//! TF-IDF grid with CSR matrices threaded through vectorisation, training and
+//! scoring. This bench quantifies the win on the hot path of every classical
+//! experiment: vectorise + score 1,000 synthetic posts, dense vs sparse vs the
+//! batched parallel production path (`FittedBaseline::probabilities`).
+//!
+//! Correctness of the comparison is pinned by construction: property tests in
+//! `holistix-ml` assert the sparse transform equals the dense one bitwise, and
+//! the pipeline tests assert batched parallel scoring equals single-text
+//! scoring bit for bit — so all three variants compute the same numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::linalg::FeatureMatrix;
+use holistix::ml::Classifier;
+use holistix::pipeline::tfidf_features_sparse;
+use holistix::prelude::*;
+use std::hint::black_box;
+
+fn bench_sparse_vs_dense(c: &mut Criterion) {
+    let corpus = HolistixCorpus::generate_small(1000, 42);
+    let texts = corpus.texts();
+    let labels = corpus.label_indices();
+
+    let (vectorizer, sparse) = tfidf_features_sparse(&texts);
+    println!(
+        "corpus: {} posts, vocabulary {} terms, feature density {:.4} ({} nnz vs {} dense cells)",
+        texts.len(),
+        vectorizer.n_features(),
+        sparse.density(),
+        sparse.nnz(),
+        sparse.rows() * sparse.cols(),
+    );
+
+    let mut model = holistix::ml::LogisticRegression::default_config();
+    model.fit_features(&FeatureMatrix::Sparse(sparse), &labels);
+    let fitted = FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Fast,
+        &texts,
+        &labels,
+        42,
+    );
+
+    let mut group = c.benchmark_group("sparse_vs_dense_inference");
+    group.sample_size(10);
+
+    group.bench_function("dense_vectorize_and_score_1k", |b| {
+        b.iter(|| {
+            let features = vectorizer.transform(black_box(&texts));
+            black_box(model.predict_proba(&features))
+        })
+    });
+
+    group.bench_function("sparse_vectorize_and_score_1k", |b| {
+        b.iter(|| {
+            let features = vectorizer.transform_sparse(black_box(&texts));
+            black_box(model.predict_proba_features(&FeatureMatrix::Sparse(features)))
+        })
+    });
+
+    group.bench_function("batched_parallel_pipeline_1k", |b| {
+        b.iter(|| black_box(fitted.probabilities(black_box(&texts))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_vs_dense);
+criterion_main!(benches);

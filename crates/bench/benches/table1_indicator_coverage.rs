@@ -14,7 +14,10 @@ fn print_coverage() {
     let corpus = HolistixCorpus::generate(42);
     let lexicon = IndicatorLexicon::new();
     println!("\n=== Table I: indicator lexicon coverage (measured) ===");
-    println!("{:<6}{:>18}{:>18}{:>16}", "Class", "span accuracy", "post accuracy", "distinctiveness");
+    println!(
+        "{:<6}{:>18}{:>18}{:>16}",
+        "Class", "span accuracy", "post accuracy", "distinctiveness"
+    );
     for dim in ALL_DIMENSIONS {
         let posts: Vec<_> = corpus.iter().filter(|p| p.label == dim).collect();
         let span_hits = posts

@@ -14,7 +14,9 @@ fn print_table3() {
     println!("\n=== Table III: frequent words in explanatory text spans (measured) ===");
     println!("{}", frequent.to_table());
     println!("Paper top words: IA future/feel/hard, VA job/work/money, SpiA feel/life/thoughts,");
-    println!("                 PA anxiety/sleep/depression, SA me/feel/people, EA feel/anxiety/feeling");
+    println!(
+        "                 PA anxiety/sleep/depression, SA me/feel/people, EA feel/anxiety/feeling"
+    );
 }
 
 fn bench_table3(c: &mut Criterion) {

@@ -15,7 +15,10 @@
 use crate::pipeline::{BaselineKind, BaselinePipeline, FittedBaseline, SpeedProfile};
 use holistix_corpus::annotation::AnnotationStudy;
 use holistix_corpus::splits::{kfold_stratified, paper_split};
-use holistix_corpus::{frequent_span_words, CorpusStatistics, FrequentWords, HolistixCorpus, WellnessDimension, ALL_DIMENSIONS};
+use holistix_corpus::{
+    frequent_span_words, CorpusStatistics, FrequentWords, HolistixCorpus, WellnessDimension,
+    ALL_DIMENSIONS,
+};
 use holistix_explain::{evaluate_explanations, ExplanationReport, LimeConfig, LimeExplainer};
 use holistix_ml::{cross_validate, ClassificationReport};
 use holistix_transformer::ModelKind;
@@ -154,7 +157,8 @@ impl Table4Result {
 
     /// Per-class F1 of a model for a wellness dimension.
     pub fn f1_of(&self, model: &str, dimension: WellnessDimension) -> Option<f64> {
-        self.row(model).map(|r| r.report.class(dimension.index()).f1)
+        self.row(model)
+            .map(|r| r.report.class(dimension.index()).f1)
     }
 
     /// Render the result in the shape of the paper's Table IV
@@ -178,7 +182,10 @@ impl Table4Result {
             s.push_str(&format!("{:<12}", row.model));
             for dim in ALL_DIMENSIONS {
                 let m = row.report.class(dim.index());
-                s.push_str(&format!("{:>6.2}{:>6.2}{:>6.2}", m.precision, m.recall, m.f1));
+                s.push_str(&format!(
+                    "{:>6.2}{:>6.2}{:>6.2}",
+                    m.precision, m.recall, m.f1
+                ));
             }
             s.push_str(&format!("{:>8.2}\n", row.report.accuracy));
         }
@@ -314,9 +321,7 @@ impl Table5Result {
 
     /// Render in the shape of the paper's Table V.
     pub fn to_table(&self) -> String {
-        let mut s = String::from(
-            "Method       F1-score  Precision   Recall    ROUGE     BLEU\n",
-        );
+        let mut s = String::from("Method       F1-score  Precision   Recall    ROUGE     BLEU\n");
         for report in &self.reports {
             s.push_str(&report.to_table_row());
             s.push('\n');
@@ -358,7 +363,8 @@ pub fn run_table5_on(corpus: &HolistixCorpus, config: &Table5Config) -> Table5Re
     let explainer = LimeExplainer::new(config.lime.clone());
     let mut reports = Vec::with_capacity(config.models.len());
     for &kind in &config.models {
-        let fitted = FittedBaseline::fit(kind, config.speed, &train_texts, &train_labels, config.seed);
+        let fitted =
+            FittedBaseline::fit(kind, config.speed, &train_texts, &train_labels, config.seed);
         let items: Vec<(Vec<String>, String)> = explain_indices
             .iter()
             .map(|&i| {
@@ -406,7 +412,11 @@ impl fmt::Display for Fig1Walkthrough {
         writeln!(f, "Gold dimension:      {}", self.gold.name())?;
         writeln!(f, "Predicted dimension: {}", self.predicted.name())?;
         writeln!(f, "Gold span:           {}", self.gold_span)?;
-        writeln!(f, "LIME keywords:       {}", self.explanation_keywords.join(", "))
+        writeln!(
+            f,
+            "LIME keywords:       {}",
+            self.explanation_keywords.join(", ")
+        )
     }
 }
 
@@ -428,9 +438,8 @@ pub fn run_fig1_walkthrough(seed: u64) -> Fig1Walkthrough {
     );
     let post = &corpus.posts[split.test[0]];
     let probabilities = fitted.probabilities_one(&post.post.text);
-    let predicted = WellnessDimension::from_index(
-        holistix_linalg::argmax(&probabilities).unwrap_or(0),
-    );
+    let predicted =
+        WellnessDimension::from_index(holistix_linalg::argmax(&probabilities).unwrap_or(0));
     let explainer = LimeExplainer::default_config();
     let explanation = explainer.explain(&fitted, &post.post.text, None);
     Fig1Walkthrough {

@@ -21,6 +21,33 @@
 //! * re-exports of the substrate crates, so `use holistix::prelude::*` is enough for
 //!   most applications.
 //!
+//! ## Performance architecture
+//!
+//! The classical-baseline stack is built around two decisions that let it scale far
+//! past the paper's 1,420 posts:
+//!
+//! 1. **Sparse features end to end.** TF-IDF design matrices are >99% zeros at
+//!    realistic vocabulary sizes, so `holistix_ml`'s vectorisers build
+//!    [`linalg::CsrMatrix`](holistix_linalg::CsrMatrix) rows directly from token
+//!    counts (`transform_sparse`) and the three classical classifiers train and
+//!    score over [`linalg::FeatureMatrix`](holistix_linalg::FeatureMatrix) without
+//!    ever materialising the dense `documents × vocabulary` grid. Within a row,
+//!    CSR stores entries in increasing column order, so linear operations are
+//!    bit-identical to their dense counterparts — property tests in `holistix-ml`
+//!    and `holistix-linalg` assert exact equality.
+//!
+//! 2. **Batched parallel inference.** [`FittedBaseline::predict`] and
+//!    [`FittedBaseline::probabilities`] split large inputs into contiguous batches
+//!    and score them on crossbeam scoped threads (the same pattern the
+//!    cross-validation driver uses for folds). Each row's features and scores
+//!    depend only on that row's text, so batched parallel output is bit-for-bit
+//!    identical to one-text-at-a-time scoring. The LIME explainer feeds its
+//!    perturbation sets (200 variants per explanation by default) through this
+//!    path in chunks, which is the hot loop of the Table V reproduction.
+//!
+//! The `sparse_vs_dense_inference` bench in `holistix-bench` tracks the speedup of
+//! this path over the dense one on a 1k-post corpus.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -76,8 +103,8 @@ pub use pipeline::{BaselineKind, BaselinePipeline, FittedBaseline, SpeedProfile}
 /// The things most applications need.
 pub mod prelude {
     pub use crate::experiments::{
-        run_annotation_study, run_fig1_walkthrough, run_table2, run_table3, run_table4,
-        run_table5, EvaluationConfig, Table4Result, Table5Config,
+        run_annotation_study, run_fig1_walkthrough, run_table2, run_table3, run_table4, run_table5,
+        EvaluationConfig, Table4Result, Table5Config,
     };
     pub use crate::pipeline::{BaselineKind, BaselinePipeline, FittedBaseline, SpeedProfile};
     pub use holistix_corpus::{

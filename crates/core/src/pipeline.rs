@@ -11,7 +11,7 @@
 //! explainer for the Table V experiment.
 
 use holistix_explain::ProbabilityModel;
-use holistix_linalg::Matrix;
+use holistix_linalg::{CsrMatrix, FeatureMatrix, Matrix};
 use holistix_ml::{
     Classifier, GaussianNaiveBayes, LinearSvm, LinearSvmConfig, LogisticRegression,
     LogisticRegressionConfig, TextPipeline, TfidfVectorizer, VectorizerOptions,
@@ -94,13 +94,86 @@ pub enum ClassicalClassifier {
 }
 
 impl ClassicalClassifier {
-    fn as_classifier(&self) -> &dyn Classifier {
+    fn as_classifier(&self) -> &(dyn Classifier + Sync) {
         match self {
             ClassicalClassifier::LogisticRegression(m) => m,
             ClassicalClassifier::LinearSvm(m) => m,
             ClassicalClassifier::GaussianNb(m) => m,
         }
     }
+}
+
+/// Texts per scoring batch: large enough to amortise per-batch overhead, small
+/// enough that a LIME perturbation set (200 samples) spreads across threads.
+const SCORE_BATCH: usize = 64;
+
+/// Split `texts` into at most `available_parallelism` contiguous chunks of at
+/// least [`SCORE_BATCH`] texts, score each chunk on a crossbeam scoped thread
+/// (the same pattern `holistix_ml::cv` uses for folds), and return the per-chunk
+/// results in order. Each chunk is vectorised to CSR and scored independently;
+/// since every row's features and scores depend only on that row's text, the
+/// result is bit-for-bit identical to scoring texts one at a time.
+fn score_chunked<T, F>(texts: &[&str], score: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&[&str]) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if texts.len() <= SCORE_BATCH || threads < 2 {
+        return vec![score(texts)];
+    }
+    let n_chunks = threads.min(texts.len().div_ceil(SCORE_BATCH));
+    let chunk_size = texts.len().div_ceil(n_chunks);
+    let chunks: Vec<&[&str]> = texts.chunks(chunk_size).collect();
+    let mut results: Vec<Option<T>> = chunks.iter().map(|_| None).collect();
+    let score = &score;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| scope.spawn(move |_| score(chunk)))
+            .collect();
+        for (slot, handle) in results.iter_mut().zip(handles) {
+            *slot = Some(handle.join().expect("batched scoring thread panicked"));
+        }
+    })
+    .expect("batched scoring thread scope failed");
+    results
+        .into_iter()
+        .map(|r| r.expect("missing chunk result"))
+        .collect()
+}
+
+/// Class probabilities for classical baselines: sparse vectorisation + sparse
+/// scoring, parallel across chunks.
+fn classical_predict_proba(
+    vectorizer: &TfidfVectorizer,
+    classifier: &ClassicalClassifier,
+    texts: &[&str],
+) -> Matrix {
+    let blocks = score_chunked(texts, |chunk| {
+        let features = FeatureMatrix::Sparse(vectorizer.transform_sparse(chunk));
+        classifier.as_classifier().predict_proba_features(&features)
+    });
+    let refs: Vec<&Matrix> = blocks.iter().collect();
+    Matrix::vstack(&refs)
+}
+
+/// Hard predictions for classical baselines, batched and parallel like
+/// [`classical_predict_proba`].
+fn classical_predict(
+    vectorizer: &TfidfVectorizer,
+    classifier: &ClassicalClassifier,
+    texts: &[&str],
+) -> Vec<usize> {
+    score_chunked(texts, |chunk| {
+        let features = FeatureMatrix::Sparse(vectorizer.transform_sparse(chunk));
+        classifier.as_classifier().predict_features(&features)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// A fitted baseline: ready to predict and to be explained with LIME.
@@ -163,7 +236,10 @@ impl FittedBaseline {
         seed: u64,
     ) -> Self {
         assert_eq!(texts.len(), labels.len(), "texts/labels length mismatch");
-        assert!(!texts.is_empty(), "cannot fit a baseline on an empty training set");
+        assert!(
+            !texts.is_empty(),
+            "cannot fit a baseline on an empty training set"
+        );
         match kind {
             BaselineKind::Transformer(model_kind) => {
                 let mut trainer = Self::transformer_recipe(model_kind, profile, seed).build();
@@ -172,7 +248,9 @@ impl FittedBaseline {
             }
             classical => {
                 let vectorizer = TfidfVectorizer::fit(texts, VectorizerOptions::paper_default());
-                let features = vectorizer.transform(texts);
+                // CSR end to end: the dense documents × vocabulary grid is never
+                // materialised, for training or for any later prediction.
+                let features = FeatureMatrix::Sparse(vectorizer.transform_sparse(texts));
                 let epochs = Self::classical_epochs(profile);
                 let classifier = match classical {
                     BaselineKind::LogisticRegression => {
@@ -181,7 +259,7 @@ impl FittedBaseline {
                             seed,
                             ..LogisticRegressionConfig::default()
                         });
-                        model.fit(&features, labels);
+                        model.fit_features(&features, labels);
                         ClassicalClassifier::LogisticRegression(model)
                     }
                     BaselineKind::LinearSvm => {
@@ -190,12 +268,12 @@ impl FittedBaseline {
                             seed,
                             ..LinearSvmConfig::default()
                         });
-                        model.fit(&features, labels);
+                        model.fit_features(&features, labels);
                         ClassicalClassifier::LinearSvm(model)
                     }
                     BaselineKind::GaussianNb => {
                         let mut model = GaussianNaiveBayes::default_config();
-                        model.fit(&features, labels);
+                        model.fit_features(&features, labels);
                         ClassicalClassifier::GaussianNb(model)
                     }
                     BaselineKind::Transformer(_) => unreachable!("handled above"),
@@ -217,23 +295,23 @@ impl FittedBaseline {
         }
     }
 
-    /// Hard class predictions for texts.
+    /// Hard class predictions for texts. Classical baselines vectorise to CSR and
+    /// score in parallel batches; large inputs (CV test folds, LIME perturbation
+    /// sets) fan out across threads with bit-identical results.
     pub fn predict(&self, texts: &[&str]) -> Vec<usize> {
         match self {
             FittedBaseline::Classical {
                 vectorizer,
                 classifier,
                 ..
-            } => {
-                let features = vectorizer.transform(texts);
-                classifier.as_classifier().predict(&features)
-            }
+            } => classical_predict(vectorizer, classifier, texts),
             FittedBaseline::Transformer { trainer } => trainer.predict(texts),
         }
     }
 
     /// Class-probability vectors for texts (always 6 columns, padded if a training
-    /// fold happened to miss a class).
+    /// fold happened to miss a class). Classical baselines use the batched
+    /// parallel sparse path of [`predict`](Self::predict).
     pub fn probabilities(&self, texts: &[&str]) -> Vec<Vec<f64>> {
         match self {
             FittedBaseline::Classical {
@@ -241,8 +319,7 @@ impl FittedBaseline {
                 classifier,
                 ..
             } => {
-                let features = vectorizer.transform(texts);
-                let proba = classifier.as_classifier().predict_proba(&features);
+                let proba = classical_predict_proba(vectorizer, classifier, texts);
                 (0..proba.rows())
                     .map(|r| {
                         let mut row = proba.row(r).to_vec();
@@ -259,7 +336,10 @@ impl FittedBaseline {
 
     /// Convenience: probability vector for one text.
     pub fn probabilities_one(&self, text: &str) -> Vec<f64> {
-        self.probabilities(&[text]).into_iter().next().unwrap_or_else(|| vec![0.0; 6])
+        self.probabilities(&[text])
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| vec![0.0; 6])
     }
 }
 
@@ -306,7 +386,13 @@ impl BaselinePipeline {
 
 impl TextPipeline for BaselinePipeline {
     fn fit(&mut self, texts: &[&str], labels: &[usize]) {
-        self.fitted = Some(FittedBaseline::fit(self.kind, self.profile, texts, labels, self.seed));
+        self.fitted = Some(FittedBaseline::fit(
+            self.kind,
+            self.profile,
+            texts,
+            labels,
+            self.seed,
+        ));
     }
 
     fn predict(&self, texts: &[&str]) -> Vec<usize> {
@@ -331,7 +417,10 @@ pub struct FnProbabilityModel<F: Fn(&str) -> Vec<f64>> {
 impl<F: Fn(&str) -> Vec<f64>> FnProbabilityModel<F> {
     /// Wrap a closure.
     pub fn new(function: F, n_classes: usize) -> Self {
-        Self { function, n_classes }
+        Self {
+            function,
+            n_classes,
+        }
     }
 }
 
@@ -346,10 +435,20 @@ impl<F: Fn(&str) -> Vec<f64>> ProbabilityModel for FnProbabilityModel<F> {
 }
 
 /// Dense feature matrix helper shared by ablation benches: TF-IDF transform of texts
-/// with the paper-default options.
+/// with the paper-default options. Production code paths use
+/// [`tfidf_features_sparse`]; this dense variant exists for benches that measure
+/// the dense/sparse gap and for ablation studies over raw matrices.
 pub fn tfidf_features(texts: &[&str]) -> (TfidfVectorizer, Matrix) {
     let vectorizer = TfidfVectorizer::fit(texts, VectorizerOptions::paper_default());
     let features = vectorizer.transform(texts);
+    (vectorizer, features)
+}
+
+/// Sparse counterpart of [`tfidf_features`]: CSR TF-IDF of texts with the
+/// paper-default options, never allocating the dense grid.
+pub fn tfidf_features_sparse(texts: &[&str]) -> (TfidfVectorizer, CsrMatrix) {
+    let vectorizer = TfidfVectorizer::fit(texts, VectorizerOptions::paper_default());
+    let features = vectorizer.transform_sparse(texts);
     (vectorizer, features)
 }
 
@@ -467,5 +566,42 @@ mod tests {
     fn pipeline_predict_before_fit_panics() {
         let pipeline = BaselinePipeline::new(BaselineKind::GaussianNb, SpeedProfile::Tiny, 1);
         let _ = pipeline.predict(&["text"]);
+    }
+
+    /// The acceptance bar for the batched parallel scorer: a large batch (forcing
+    /// the multi-threaded chunked path) must reproduce one-text-at-a-time scoring
+    /// bit for bit, for every classical baseline.
+    #[test]
+    fn batched_parallel_scoring_matches_single_text_bitwise() {
+        let (texts, labels) = training_data(420, 17);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        for kind in BaselineKind::CLASSICAL {
+            let fitted =
+                FittedBaseline::fit(kind, SpeedProfile::Tiny, &refs[..200], &labels[..200], 3);
+            let batched = fitted.probabilities(&refs);
+            assert_eq!(batched.len(), refs.len());
+            for (i, text) in refs.iter().enumerate().step_by(29) {
+                let single = fitted.probabilities_one(text);
+                assert_eq!(batched[i], single, "{} row {i} diverged", kind.name());
+            }
+            let batched_preds = fitted.predict(&refs);
+            for (i, text) in refs.iter().enumerate().step_by(41) {
+                assert_eq!(batched_preds[i], fitted.predict(&[text])[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_and_dense_feature_helpers_agree() {
+        let (texts, _) = training_data(60, 23);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        let (_, dense) = tfidf_features(&refs);
+        let (_, sparse) = tfidf_features_sparse(&refs);
+        assert_eq!(sparse.to_dense(), dense);
+        assert!(
+            sparse.density() < 0.2,
+            "synthetic posts should be sparse, got {}",
+            sparse.density()
+        );
     }
 }

@@ -61,7 +61,11 @@ pub fn fleiss_kappa(ratings: &[Vec<usize>]) -> Option<f64> {
     if (1.0 - p_e).abs() < 1e-12 {
         // Chance agreement is total: kappa is undefined unless observed agreement is
         // also total, in which case we follow the convention kappa = 1.
-        return if (p_bar - 1.0).abs() < 1e-12 { Some(1.0) } else { None };
+        return if (p_bar - 1.0).abs() < 1e-12 {
+            Some(1.0)
+        } else {
+            None
+        };
     }
     Some((p_bar - p_e) / (1.0 - p_e))
 }
@@ -84,20 +88,32 @@ pub fn cohen_kappa(rater_a: &[usize], rater_b: &[usize], n_categories: usize) ->
     }
     let p_o: f64 = (0..n_categories).map(|k| confusion[k][k]).sum::<f64>() / n;
     let mut p_e = 0.0;
-    for k in 0..n_categories {
-        let row: f64 = confusion[k].iter().sum::<f64>() / n;
-        let col: f64 = (0..n_categories).map(|j| confusion[j][k]).sum::<f64>() / n;
+    for (k, confusion_row) in confusion.iter().enumerate() {
+        let row: f64 = confusion_row.iter().sum::<f64>() / n;
+        let col: f64 = confusion.iter().map(|r| r[k]).sum::<f64>() / n;
         p_e += row * col;
     }
     if (1.0 - p_e).abs() < 1e-12 {
-        return if (p_o - 1.0).abs() < 1e-12 { Some(1.0) } else { None };
+        return if (p_o - 1.0).abs() < 1e-12 {
+            Some(1.0)
+        } else {
+            None
+        };
     }
     Some((p_o - p_e) / (1.0 - p_e))
 }
 
 /// Build the Fleiss rating table for two raters from their label sequences.
-pub fn two_rater_table(rater_a: &[usize], rater_b: &[usize], n_categories: usize) -> Vec<Vec<usize>> {
-    assert_eq!(rater_a.len(), rater_b.len(), "two_rater_table: length mismatch");
+pub fn two_rater_table(
+    rater_a: &[usize],
+    rater_b: &[usize],
+    n_categories: usize,
+) -> Vec<Vec<usize>> {
+    assert_eq!(
+        rater_a.len(),
+        rater_b.len(),
+        "two_rater_table: length mismatch"
+    );
     rater_a
         .iter()
         .zip(rater_b)
@@ -127,15 +143,15 @@ impl AgreementReport {
     /// Compute the report from two raters' labels.
     pub fn from_two_raters(rater_a: &[usize], rater_b: &[usize], n_categories: usize) -> Self {
         let n_items = rater_a.len();
-        let agree = rater_a
-            .iter()
-            .zip(rater_b)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = rater_a.iter().zip(rater_b).filter(|(a, b)| a == b).count();
         let table = two_rater_table(rater_a, rater_b, n_categories);
         Self {
             n_items,
-            percent_agreement: if n_items == 0 { 0.0 } else { agree as f64 / n_items as f64 },
+            percent_agreement: if n_items == 0 {
+                0.0
+            } else {
+                agree as f64 / n_items as f64
+            },
             fleiss_kappa: fleiss_kappa(&table).unwrap_or(0.0),
             cohen_kappa: cohen_kappa(rater_a, rater_b, n_categories).unwrap_or(0.0),
         }
@@ -199,7 +215,11 @@ mod tests {
         let a: Vec<usize> = (0..600).map(|i| i % 6).collect();
         let b: Vec<usize> = (0..600).map(|i| (i / 6) % 6).collect();
         let report = AgreementReport::from_two_raters(&a, &b, 6);
-        assert!(report.fleiss_kappa.abs() < 0.1, "kappa = {}", report.fleiss_kappa);
+        assert!(
+            report.fleiss_kappa.abs() < 0.1,
+            "kappa = {}",
+            report.fleiss_kappa
+        );
     }
 
     #[test]

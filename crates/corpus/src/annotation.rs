@@ -167,7 +167,10 @@ impl AnnotationStudy {
     /// pattern the Limitations section describes qualitatively.
     pub fn confusion_pairs(&self) -> Vec<(WellnessDimension, WellnessDimension, usize)> {
         let mut counts = vec![vec![0usize; 6]; 6];
-        for (labels, gold) in [(&self.annotator_a, &self.gold), (&self.annotator_b, &self.gold)] {
+        for (labels, gold) in [
+            (&self.annotator_a, &self.gold),
+            (&self.annotator_b, &self.gold),
+        ] {
             for (&assigned, &g) in labels.iter().zip(gold) {
                 if assigned != g {
                     counts[g][assigned] += 1;
@@ -182,7 +185,7 @@ impl AnnotationStudy {
                 }
             }
         }
-        out.sort_by(|x, y| y.2.cmp(&x.2));
+        out.sort_by_key(|x| std::cmp::Reverse(x.2));
         out
     }
 }
@@ -195,16 +198,11 @@ mod tests {
     #[test]
     fn annotator_mostly_agrees_with_gold() {
         let corpus = HolistixCorpus::generate_small(300, 21);
-        let mut annotator =
-            SimulatedAnnotator::new(AnnotatorProfile::student("a"), 5);
+        let mut annotator = SimulatedAnnotator::new(AnnotatorProfile::student("a"), 5);
         let labels = annotator.annotate_all(&corpus.posts);
         let gold = corpus.label_indices();
-        let acc = labels
-            .iter()
-            .zip(&gold)
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / gold.len() as f64;
+        let acc =
+            labels.iter().zip(&gold).filter(|(a, b)| a == b).count() as f64 / gold.len() as f64;
         assert!(acc > 0.8, "accuracy {acc}");
         assert!(acc < 1.0, "a simulated annotator should make some errors");
     }
@@ -237,19 +235,29 @@ mod tests {
         assert!(!pairs.is_empty());
         // Among gold EA/SpiA errors there should be more confusion than among gold VA.
         let errors_for = |d: WellnessDimension| -> usize {
-            pairs.iter().filter(|(g, _, _)| *g == d).map(|(_, _, c)| c).sum()
+            pairs
+                .iter()
+                .filter(|(g, _, _)| *g == d)
+                .map(|(_, _, c)| c)
+                .sum()
         };
         let ea_rate = errors_for(WellnessDimension::Emotional) as f64
             / WellnessDimension::Emotional.paper_count() as f64;
         let va_rate = errors_for(WellnessDimension::Vocational) as f64
             / WellnessDimension::Vocational.paper_count() as f64;
-        assert!(ea_rate > va_rate, "EA error rate {ea_rate} should exceed VA {va_rate}");
+        assert!(
+            ea_rate > va_rate,
+            "EA error rate {ea_rate} should exceed VA {va_rate}"
+        );
     }
 
     #[test]
     fn keep_probability_clamped_and_ordered() {
         let p = AnnotatorProfile::student("x");
-        assert!(p.keep_probability(WellnessDimension::Emotional) < p.keep_probability(WellnessDimension::Social));
+        assert!(
+            p.keep_probability(WellnessDimension::Emotional)
+                < p.keep_probability(WellnessDimension::Social)
+        );
         for d in ALL_DIMENSIONS {
             let kp = p.keep_probability(d);
             assert!((0.0..=1.0).contains(&kp));

@@ -271,7 +271,10 @@ impl CorpusGenerator {
         let preferred: &[&str] = match dim {
             Physical => &["Anxiety", "Depression"],
             Emotional => &["Depression", "Anxiety", "Grief and Loss"],
-            Social => &["Relationship and Family Issues", "Supporting Friends and Family"],
+            Social => &[
+                "Relationship and Family Issues",
+                "Supporting Friends and Family",
+            ],
             Spiritual => &["Suicidal Thoughts and Self-Harm", "Depression"],
             Vocational => &["Depression", "Anxiety"],
             Intellectual => &["Anxiety", "Depression"],
@@ -442,8 +445,16 @@ mod tests {
     fn sentence_and_word_limits_respected() {
         let corpus = HolistixCorpus::generate_small(200, 5);
         for p in corpus.iter() {
-            assert!(p.post.sentence_count() <= 9, "too many sentences: {}", p.post.text);
-            assert!(p.post.word_count() <= 130, "too many words: {}", p.post.text);
+            assert!(
+                p.post.sentence_count() <= 9,
+                "too many sentences: {}",
+                p.post.text
+            );
+            assert!(
+                p.post.word_count() <= 130,
+                "too many words: {}",
+                p.post.text
+            );
             assert!(p.post.word_count() >= 5, "too few words: {}", p.post.text);
         }
     }

@@ -22,6 +22,222 @@ struct JsonlRecord {
     span_end: usize,
 }
 
+impl JsonlRecord {
+    /// Render as a single-line JSON object. Hand-rolled because the build is
+    /// offline (the vendored serde shim has no data model); the field set is small
+    /// and fixed, so this stays byte-compatible with what `serde_json` produced.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":{},\"text\":{},\"category\":{},\"label\":{},\"span_start\":{},\"span_end\":{}}}",
+            self.id,
+            json_escape(&self.text),
+            json_escape(&self.category),
+            json_escape(&self.label),
+            self.span_start,
+            self.span_end
+        )
+    }
+
+    /// Parse one JSON object. Field order is free, unknown scalar fields are
+    /// ignored (matching serde's default), missing fields are errors.
+    fn from_json(line: &str) -> Result<Self, String> {
+        let mut p = JsonParser::new(line);
+        let mut id = None;
+        let mut text = None;
+        let mut category = None;
+        let mut label = None;
+        let mut span_start = None;
+        let mut span_end = None;
+        p.expect('{')?;
+        p.skip_ws();
+        if !p.eat('}') {
+            loop {
+                let key = p.parse_string()?;
+                p.expect(':')?;
+                match key.as_str() {
+                    "id" => id = Some(p.parse_usize()?),
+                    "span_start" => span_start = Some(p.parse_usize()?),
+                    "span_end" => span_end = Some(p.parse_usize()?),
+                    "text" => text = Some(p.parse_string()?),
+                    "category" => category = Some(p.parse_string()?),
+                    "label" => label = Some(p.parse_string()?),
+                    _ => p.skip_scalar()?,
+                }
+                p.skip_ws();
+                if p.eat(',') {
+                    continue;
+                }
+                p.expect('}')?;
+                break;
+            }
+        }
+        p.expect_end()?;
+        Ok(Self {
+            id: id.ok_or("missing field `id`")?,
+            text: text.ok_or("missing field `text`")?,
+            category: category.ok_or("missing field `category`")?,
+            label: label.ok_or("missing field `label`")?,
+            span_start: span_start.ok_or("missing field `span_start`")?,
+            span_end: span_end.ok_or("missing field `span_end`")?,
+        })
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON scanner for the flat string/number objects JSONL records use.
+struct JsonParser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            chars: input.chars().peekable(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        self.skip_ws();
+        if self.chars.peek() == Some(&expected) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: char) -> Result<(), String> {
+        if self.eat(expected) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{expected}`, found {:?}",
+                self.chars.peek()
+            ))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.peek() {
+            None => Ok(()),
+            Some(c) => Err(format!("trailing characters starting at {c:?}")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".to_string()),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let code = self.parse_hex4()?;
+                        // Non-BMP characters arrive as UTF-16 surrogate pairs
+                        // (e.g. from serializers with ASCII-only output).
+                        let code = if (0xD800..0xDC00).contains(&code) {
+                            if self.chars.next() != Some('\\') || self.chars.next() != Some('u') {
+                                return Err("lone high surrogate in \\u escape".to_string());
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("invalid low surrogate in \\u escape".to_string());
+                            }
+                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                        } else {
+                            code
+                        };
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = self
+                .chars
+                .next()
+                .and_then(|c| c.to_digit(16))
+                .ok_or("invalid \\u escape")?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_usize(&mut self) -> Result<usize, String> {
+        self.skip_ws();
+        let mut digits = String::new();
+        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+            digits.push(self.chars.next().unwrap());
+        }
+        if digits.is_empty() {
+            return Err(format!("expected number, found {:?}", self.chars.peek()));
+        }
+        digits
+            .parse()
+            .map_err(|e| format!("invalid integer {digits:?}: {e}"))
+    }
+
+    fn skip_scalar(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.peek() {
+            Some('"') => self.parse_string().map(|_| ()),
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+                {
+                    self.chars.next();
+                }
+                Ok(())
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+                    self.chars.next();
+                }
+                Ok(())
+            }
+            other => Err(format!("cannot skip value starting with {other:?}")),
+        }
+    }
+}
+
 impl From<&AnnotatedPost> for JsonlRecord {
     fn from(p: &AnnotatedPost) -> Self {
         Self {
@@ -46,7 +262,10 @@ impl TryFrom<JsonlRecord> for AnnotatedPost {
         if r.span_end < r.span_start || r.span_end > r.text.len() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("record {}: span {}..{} out of range", r.id, r.span_start, r.span_end),
+                format!(
+                    "record {}: span {}..{} out of range",
+                    r.id, r.span_start, r.span_end
+                ),
             ));
         }
         Ok(AnnotatedPost {
@@ -66,7 +285,7 @@ pub fn to_jsonl(posts: &[AnnotatedPost]) -> String {
     let mut out = String::new();
     for p in posts {
         let record = JsonlRecord::from(p);
-        out.push_str(&serde_json::to_string(&record).expect("record serialisation cannot fail"));
+        out.push_str(&record.to_json());
         out.push('\n');
     }
     out
@@ -80,7 +299,7 @@ pub fn from_jsonl(data: &str) -> io::Result<Vec<AnnotatedPost>> {
         if line.is_empty() {
             continue;
         }
-        let record: JsonlRecord = serde_json::from_str(line).map_err(|e| {
+        let record = JsonlRecord::from_json(line).map_err(|e| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("line {}: {e}", lineno + 1),
@@ -139,9 +358,12 @@ pub fn from_csv(data: &str) -> io::Result<Vec<(String, WellnessDimension)>> {
                 format!("line {}: expected at least 2 fields", lineno + 1),
             ));
         }
-        let label: WellnessDimension = fields[1]
-            .parse()
-            .map_err(|e: String| io::Error::new(io::ErrorKind::InvalidData, format!("line {}: {e}", lineno + 1)))?;
+        let label: WellnessDimension = fields[1].parse().map_err(|e: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {e}", lineno + 1),
+            )
+        })?;
         rows.push((fields[0].clone(), label));
     }
     Ok(rows)
@@ -192,10 +414,25 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_accepts_surrogate_pair_escapes() {
+        // ASCII-only serializers (e.g. Python's json.dumps default) emit non-BMP
+        // characters as UTF-16 surrogate pairs.
+        let line = r#"{"id":0,"text":"ok \ud83d\ude42","category":"Anxiety","label":"PA","span_start":0,"span_end":2}"#;
+        let posts = from_jsonl(line).unwrap();
+        assert_eq!(posts[0].post.text, "ok \u{1F642}");
+        // Lone or malformed surrogates are rejected, not mangled.
+        let lone = r#"{"id":0,"text":"\ud83d","category":"Anxiety","label":"PA","span_start":0,"span_end":0}"#;
+        assert!(from_jsonl(lone).is_err());
+        let bad_low = r#"{"id":0,"text":"\ud83dA","category":"Anxiety","label":"PA","span_start":0,"span_end":0}"#;
+        assert!(from_jsonl(bad_low).is_err());
+    }
+
+    #[test]
     fn jsonl_rejects_bad_span_and_label() {
         let bad_span = r#"{"id":0,"text":"hi","category":"Anxiety","label":"PA","span_start":0,"span_end":99}"#;
         assert!(from_jsonl(bad_span).is_err());
-        let bad_label = r#"{"id":0,"text":"hi","category":"Anxiety","label":"ZZ","span_start":0,"span_end":1}"#;
+        let bad_label =
+            r#"{"id":0,"text":"hi","category":"Anxiety","label":"ZZ","span_start":0,"span_end":1}"#;
         assert!(from_jsonl(bad_label).is_err());
     }
 

@@ -83,12 +83,28 @@ impl IndicatorLexicon {
             DimensionLexicon {
                 dimension: Intellectual,
                 keywords: vec![
-                    w("future", 10.0), w("feel", 9.0), w("hard", 9.0), w("thoughts", 7.0),
-                    w("lack", 7.0), w("think", 6.0), w("struggling", 5.0),
-                    w("exams", 3.0), w("study", 3.0), w("studying", 2.5), w("smart", 2.5),
-                    w("learning", 2.0), w("concentrate", 2.0), w("focus", 2.0), w("grades", 2.0),
-                    w("university", 1.5), w("assignments", 1.5), w("failing", 1.5),
-                    w("brain", 1.0), w("stupid", 1.0), w("understand", 1.0), w("school", 1.0),
+                    w("future", 10.0),
+                    w("feel", 9.0),
+                    w("hard", 9.0),
+                    w("thoughts", 7.0),
+                    w("lack", 7.0),
+                    w("think", 6.0),
+                    w("struggling", 5.0),
+                    w("exams", 3.0),
+                    w("study", 3.0),
+                    w("studying", 2.5),
+                    w("smart", 2.5),
+                    w("learning", 2.0),
+                    w("concentrate", 2.0),
+                    w("focus", 2.0),
+                    w("grades", 2.0),
+                    w("university", 1.5),
+                    w("assignments", 1.5),
+                    w("failing", 1.5),
+                    w("brain", 1.0),
+                    w("stupid", 1.0),
+                    w("understand", 1.0),
+                    w("school", 1.0),
                 ],
                 templates: vec![
                     "I feel like I'll never be {} enough to pass my exams",
@@ -107,12 +123,27 @@ impl IndicatorLexicon {
             DimensionLexicon {
                 dimension: Vocational,
                 keywords: vec![
-                    w("job", 45.0), w("work", 43.0), w("money", 8.0), w("career", 7.0),
-                    w("financial", 7.0), w("struggling", 6.0), w("unemployed", 6.0),
-                    w("boss", 3.0), w("workplace", 2.5), w("shifts", 2.0), w("salary", 2.0),
-                    w("redundant", 1.5), w("deadlines", 2.0), w("overworked", 1.5),
-                    w("bills", 2.0), w("fired", 1.5), w("promotion", 1.0), w("colleagues", 1.5),
-                    w("interview", 1.0), w("centrelink", 1.0), w("rent", 1.5),
+                    w("job", 45.0),
+                    w("work", 43.0),
+                    w("money", 8.0),
+                    w("career", 7.0),
+                    w("financial", 7.0),
+                    w("struggling", 6.0),
+                    w("unemployed", 6.0),
+                    w("boss", 3.0),
+                    w("workplace", 2.5),
+                    w("shifts", 2.0),
+                    w("salary", 2.0),
+                    w("redundant", 1.5),
+                    w("deadlines", 2.0),
+                    w("overworked", 1.5),
+                    w("bills", 2.0),
+                    w("fired", 1.5),
+                    w("promotion", 1.0),
+                    w("colleagues", 1.5),
+                    w("interview", 1.0),
+                    w("centrelink", 1.0),
+                    w("rent", 1.5),
                 ],
                 templates: vec![
                     "my 9-5 {} drains me and I don't see the point in trying anymore",
@@ -131,12 +162,26 @@ impl IndicatorLexicon {
             DimensionLexicon {
                 dimension: Spiritual,
                 keywords: vec![
-                    w("feel", 40.0), w("life", 31.0), w("thoughts", 9.0), w("suicide", 8.0),
-                    w("struggling", 7.0), w("feeling", 6.0),
-                    w("purpose", 4.0), w("meaningless", 3.0), w("pointless", 3.0), w("empty", 3.0),
-                    w("hopeless", 3.0), w("lost", 2.5), w("existence", 2.0), w("meaning", 2.5),
-                    w("worthless", 2.0), w("faith", 1.5), w("numb", 1.5), w("direction", 1.5),
-                    w("reason", 1.5), w("living", 1.5),
+                    w("feel", 40.0),
+                    w("life", 31.0),
+                    w("thoughts", 9.0),
+                    w("suicide", 8.0),
+                    w("struggling", 7.0),
+                    w("feeling", 6.0),
+                    w("purpose", 4.0),
+                    w("meaningless", 3.0),
+                    w("pointless", 3.0),
+                    w("empty", 3.0),
+                    w("hopeless", 3.0),
+                    w("lost", 2.5),
+                    w("existence", 2.0),
+                    w("meaning", 2.5),
+                    w("worthless", 2.0),
+                    w("faith", 1.5),
+                    w("numb", 1.5),
+                    w("direction", 1.5),
+                    w("reason", 1.5),
+                    w("living", 1.5),
                 ],
                 templates: vec![
                     "I don't know what my {} is anymore and everything feels meaningless",
@@ -150,17 +195,34 @@ impl IndicatorLexicon {
                 ],
                 indicators: "Expressions of hopelessness, self-doubt, existential crises, or \
                              struggling with purpose in life.",
-                example: "I don't know what my purpose is anymore, and everything feels meaningless.",
+                example:
+                    "I don't know what my purpose is anymore, and everything feels meaningless.",
             },
             DimensionLexicon {
                 dimension: Physical,
                 keywords: vec![
-                    w("anxiety", 42.0), w("sleep", 30.0), w("depression", 28.0), w("disorder", 17.0),
-                    w("diagnosed", 14.0), w("bad", 11.0),
-                    w("exhausted", 5.0), w("tired", 4.0), w("insomnia", 3.0), w("medication", 4.0),
-                    w("body", 4.0), w("weight", 3.0), w("eating", 3.0), w("pain", 3.0),
-                    w("panic", 3.0), w("fatigue", 2.5), w("appetite", 2.0), w("headaches", 2.0),
-                    w("nauseous", 1.5), w("doctor", 2.0), w("mirror", 1.5), w("disgusting", 1.5),
+                    w("anxiety", 42.0),
+                    w("sleep", 30.0),
+                    w("depression", 28.0),
+                    w("disorder", 17.0),
+                    w("diagnosed", 14.0),
+                    w("bad", 11.0),
+                    w("exhausted", 5.0),
+                    w("tired", 4.0),
+                    w("insomnia", 3.0),
+                    w("medication", 4.0),
+                    w("body", 4.0),
+                    w("weight", 3.0),
+                    w("eating", 3.0),
+                    w("pain", 3.0),
+                    w("panic", 3.0),
+                    w("fatigue", 2.5),
+                    w("appetite", 2.0),
+                    w("headaches", 2.0),
+                    w("nauseous", 1.5),
+                    w("doctor", 2.0),
+                    w("mirror", 1.5),
+                    w("disgusting", 1.5),
                 ],
                 templates: vec![
                     "I feel exhausted all the time and can't even {} properly",
@@ -180,12 +242,28 @@ impl IndicatorLexicon {
             DimensionLexicon {
                 dimension: Social,
                 keywords: vec![
-                    w("me", 48.0), w("feel", 43.0), w("people", 35.0), w("talk", 21.0),
-                    w("alone", 18.0), w("friends", 17.0), w("relationship", 17.0),
-                    w("lonely", 5.0), w("family", 6.0), w("breakup", 4.0), w("invisible", 3.0),
-                    w("isolated", 3.0), w("excluded", 2.5), w("bullying", 2.5), w("belong", 3.0),
-                    w("partner", 3.0), w("divorce", 2.0), w("ignored", 2.0), w("connection", 2.0),
-                    w("social", 2.5), w("circle", 1.5), w("marriage", 1.5),
+                    w("me", 48.0),
+                    w("feel", 43.0),
+                    w("people", 35.0),
+                    w("talk", 21.0),
+                    w("alone", 18.0),
+                    w("friends", 17.0),
+                    w("relationship", 17.0),
+                    w("lonely", 5.0),
+                    w("family", 6.0),
+                    w("breakup", 4.0),
+                    w("invisible", 3.0),
+                    w("isolated", 3.0),
+                    w("excluded", 2.5),
+                    w("bullying", 2.5),
+                    w("belong", 3.0),
+                    w("partner", 3.0),
+                    w("divorce", 2.0),
+                    w("ignored", 2.0),
+                    w("connection", 2.0),
+                    w("social", 2.5),
+                    w("circle", 1.5),
+                    w("marriage", 1.5),
                 ],
                 templates: vec![
                     "I have no real {} and I feel invisible at school",
@@ -205,12 +283,28 @@ impl IndicatorLexicon {
             DimensionLexicon {
                 dimension: Emotional,
                 keywords: vec![
-                    w("feel", 41.0), w("anxiety", 23.0), w("feeling", 18.0), w("me", 9.0),
-                    w("sad", 8.0), w("crying", 7.0), w("hard", 7.0),
-                    w("overwhelmed", 4.0), w("cope", 4.0), w("angry", 3.0), w("hate", 3.0),
-                    w("scared", 3.0), w("emotions", 3.0), w("breakdown", 2.5), w("tears", 2.5),
-                    w("hopeless", 2.0), w("mood", 2.0), w("unstable", 1.5), w("exhausted", 2.0),
-                    w("worthless", 2.0), w("guilt", 1.5), w("shame", 1.5),
+                    w("feel", 41.0),
+                    w("anxiety", 23.0),
+                    w("feeling", 18.0),
+                    w("me", 9.0),
+                    w("sad", 8.0),
+                    w("crying", 7.0),
+                    w("hard", 7.0),
+                    w("overwhelmed", 4.0),
+                    w("cope", 4.0),
+                    w("angry", 3.0),
+                    w("hate", 3.0),
+                    w("scared", 3.0),
+                    w("emotions", 3.0),
+                    w("breakdown", 2.5),
+                    w("tears", 2.5),
+                    w("hopeless", 2.0),
+                    w("mood", 2.0),
+                    w("unstable", 1.5),
+                    w("exhausted", 2.0),
+                    w("worthless", 2.0),
+                    w("guilt", 1.5),
+                    w("shame", 1.5),
                 ],
                 templates: vec![
                     "I hate myself and don't think I {} in this world",
@@ -234,13 +328,25 @@ impl IndicatorLexicon {
             ("I feel lost", vec![Spiritual, Emotional]),
             ("I feel overwhelmed", vec![Emotional, Vocational]),
             ("I haven't left my room in days", vec![Social, Physical]),
-            ("everything feels too much lately", vec![Emotional, Spiritual]),
+            (
+                "everything feels too much lately",
+                vec![Emotional, Spiritual],
+            ),
             ("I just feel empty inside", vec![Spiritual, Emotional]),
-            ("I can't stop crying when I'm alone", vec![Emotional, Social]),
-            ("I feel like giving up on everything", vec![Spiritual, Emotional]),
+            (
+                "I can't stop crying when I'm alone",
+                vec![Emotional, Social],
+            ),
+            (
+                "I feel like giving up on everything",
+                vec![Spiritual, Emotional],
+            ),
         ];
 
-        Self { lexicons, ambiguous }
+        Self {
+            lexicons,
+            ambiguous,
+        }
     }
 
     /// The lexicon for a dimension.
@@ -346,11 +452,20 @@ mod tests {
     fn table3_top_words_present_with_reported_weights() {
         let lex = IndicatorLexicon::new();
         let va = lex.for_dimension(Vocational);
-        assert!(va.keywords.iter().any(|k| k.word == "job" && k.weight == 45.0));
+        assert!(va
+            .keywords
+            .iter()
+            .any(|k| k.word == "job" && k.weight == 45.0));
         let pa = lex.for_dimension(Physical);
-        assert!(pa.keywords.iter().any(|k| k.word == "anxiety" && k.weight == 42.0));
+        assert!(pa
+            .keywords
+            .iter()
+            .any(|k| k.word == "anxiety" && k.weight == 42.0));
         let sa = lex.for_dimension(Social);
-        assert!(sa.keywords.iter().any(|k| k.word == "me" && k.weight == 48.0));
+        assert!(sa
+            .keywords
+            .iter()
+            .any(|k| k.word == "me" && k.weight == 48.0));
     }
 
     #[test]
@@ -367,14 +482,21 @@ mod tests {
     fn indicator_scores_pick_obvious_dimension() {
         let lex = IndicatorLexicon::new();
         assert_eq!(
-            lex.classify_by_indicators("I lost my job and the financial stress about money is unbearable"),
+            lex.classify_by_indicators(
+                "I lost my job and the financial stress about money is unbearable"
+            ),
             Some(Vocational)
         );
         assert_eq!(
-            lex.classify_by_indicators("my insomnia and medication leave me exhausted and my sleep is bad"),
+            lex.classify_by_indicators(
+                "my insomnia and medication leave me exhausted and my sleep is bad"
+            ),
             Some(Physical)
         );
-        assert_eq!(lex.classify_by_indicators("completely unrelated words xyz"), None);
+        assert_eq!(
+            lex.classify_by_indicators("completely unrelated words xyz"),
+            None
+        );
     }
 
     #[test]

@@ -145,8 +145,13 @@ impl Span {
         let end = self.end.min(text.len());
         let start = self.start.min(end);
         // Guard against slicing inside a UTF-8 code point.
-        let start = (start..=end).find(|&i| text.is_char_boundary(i)).unwrap_or(end);
-        let end = (start..=end).rev().find(|&i| text.is_char_boundary(i)).unwrap_or(start);
+        let start = (start..=end)
+            .find(|&i| text.is_char_boundary(i))
+            .unwrap_or(end);
+        let end = (start..=end)
+            .rev()
+            .find(|&i| text.is_char_boundary(i))
+            .unwrap_or(start);
         &text[start..end]
     }
 

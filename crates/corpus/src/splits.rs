@@ -90,7 +90,11 @@ impl CrossValidationFolds {
 
     /// Verify the fold test sets partition `0..n_items`.
     pub fn test_sets_partition_items(&self) -> bool {
-        let mut all: Vec<usize> = self.folds.iter().flat_map(|f| f.test.iter().copied()).collect();
+        let mut all: Vec<usize> = self
+            .folds
+            .iter()
+            .flat_map(|f| f.test.iter().copied())
+            .collect();
         all.sort_unstable();
         all.len() == self.n_items && all.iter().enumerate().all(|(i, &v)| i == v)
     }
@@ -100,7 +104,10 @@ impl CrossValidationFolds {
 fn indices_by_class(labels: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
     let mut by_class = vec![Vec::new(); n_classes];
     for (i, &c) in labels.iter().enumerate() {
-        assert!(c < n_classes, "label {c} out of range for {n_classes} classes");
+        assert!(
+            c < n_classes,
+            "label {c} out of range for {n_classes} classes"
+        );
         by_class[c].push(i);
     }
     by_class
@@ -204,7 +211,12 @@ pub fn paper_split(labels: &[usize], n_classes: usize, seed: u64) -> DatasetSpli
 /// Stratified k-fold cross-validation over dense labels. Deterministic for a seed.
 ///
 /// Panics if `k < 2` or `k > labels.len()`.
-pub fn kfold_stratified(labels: &[usize], n_classes: usize, k: usize, seed: u64) -> CrossValidationFolds {
+pub fn kfold_stratified(
+    labels: &[usize],
+    n_classes: usize,
+    k: usize,
+    seed: u64,
+) -> CrossValidationFolds {
     assert!(k >= 2, "k-fold requires k >= 2 (got {k})");
     assert!(
         k <= labels.len(),
@@ -277,9 +289,11 @@ mod tests {
         let labels = corpus.label_indices();
         let split = paper_split(&labels, 6, 42);
         // Class proportions in train should be within a few points of the corpus.
-        let corpus_frac = |c: usize| labels.iter().filter(|&&l| l == c).count() as f64 / labels.len() as f64;
+        let corpus_frac =
+            |c: usize| labels.iter().filter(|&&l| l == c).count() as f64 / labels.len() as f64;
         let train_frac = |c: usize| {
-            split.train.iter().filter(|&&i| labels[i] == c).count() as f64 / split.train.len() as f64
+            split.train.iter().filter(|&&i| labels[i] == c).count() as f64
+                / split.train.len() as f64
         };
         for c in 0..6 {
             assert!(

@@ -97,11 +97,20 @@ impl CorpusStatistics {
         let paper = Self::paper_reference();
         let rel = |m: f64, p: f64| if p == 0.0 { 0.0 } else { (m - p).abs() / p };
         let mut out = HashMap::new();
-        out.insert("total_posts", rel(self.total_posts as f64, paper.total_posts as f64));
-        out.insert("total_words", rel(self.total_words as f64, paper.total_words as f64));
+        out.insert(
+            "total_posts",
+            rel(self.total_posts as f64, paper.total_posts as f64),
+        );
+        out.insert(
+            "total_words",
+            rel(self.total_words as f64, paper.total_words as f64),
+        );
         out.insert(
             "max_words_per_post",
-            rel(self.max_words_per_post as f64, paper.max_words_per_post as f64),
+            rel(
+                self.max_words_per_post as f64,
+                paper.max_words_per_post as f64,
+            ),
         );
         out.insert(
             "total_sentences",
@@ -109,7 +118,10 @@ impl CorpusStatistics {
         );
         out.insert(
             "max_sentences_per_post",
-            rel(self.max_sentences_per_post as f64, paper.max_sentences_per_post as f64),
+            rel(
+                self.max_sentences_per_post as f64,
+                paper.max_sentences_per_post as f64,
+            ),
         );
         out
     }
@@ -227,19 +239,38 @@ mod tests {
     use crate::post::{Post, Span};
 
     fn tiny_posts() -> Vec<AnnotatedPost> {
-        let make = |id: usize, text: &str, label: WellnessDimension, s: usize, e: usize| AnnotatedPost {
-            post: Post {
-                id,
-                text: text.to_string(),
-                category: "Anxiety".to_string(),
-            },
-            label,
-            span: Span::new(s, e),
-        };
+        let make =
+            |id: usize, text: &str, label: WellnessDimension, s: usize, e: usize| AnnotatedPost {
+                post: Post {
+                    id,
+                    text: text.to_string(),
+                    category: "Anxiety".to_string(),
+                },
+                label,
+                span: Span::new(s, e),
+            };
         vec![
-            make(0, "I lost my job. I feel awful.", WellnessDimension::Vocational, 0, 13),
-            make(1, "I cannot sleep and my anxiety is bad.", WellnessDimension::Physical, 0, 36),
-            make(2, "I feel so alone without my friends.", WellnessDimension::Social, 0, 34),
+            make(
+                0,
+                "I lost my job. I feel awful.",
+                WellnessDimension::Vocational,
+                0,
+                13,
+            ),
+            make(
+                1,
+                "I cannot sleep and my anxiety is bad.",
+                WellnessDimension::Physical,
+                0,
+                36,
+            ),
+            make(
+                2,
+                "I feel so alone without my friends.",
+                WellnessDimension::Social,
+                0,
+                34,
+            ),
         ]
     }
 
@@ -278,8 +309,16 @@ mod tests {
         assert_eq!(stats.class_counts, [155, 150, 190, 296, 406, 223]);
         // Word/sentence volume within a reasonable band of the paper's values.
         let dev = stats.relative_deviation_from_paper();
-        assert!(dev["total_words"] < 0.35, "total_words deviation {}", dev["total_words"]);
-        assert!(dev["total_sentences"] < 0.6, "total_sentences deviation {}", dev["total_sentences"]);
+        assert!(
+            dev["total_words"] < 0.35,
+            "total_words deviation {}",
+            dev["total_words"]
+        );
+        assert!(
+            dev["total_sentences"] < 0.6,
+            "total_sentences deviation {}",
+            dev["total_sentences"]
+        );
         assert!(stats.max_sentences_per_post <= 9);
     }
 
@@ -299,12 +338,22 @@ mod tests {
         let corpus = HolistixCorpus::generate_small(400, 9);
         let fw = frequent_span_words(&corpus.posts);
         let top = |d: WellnessDimension, k: usize| -> Vec<String> {
-            fw.for_dimension(d).iter().take(k).map(|(w, _)| w.clone()).collect()
+            fw.for_dimension(d)
+                .iter()
+                .take(k)
+                .map(|(w, _)| w.clone())
+                .collect()
         };
         // The headline Table III words should appear among the top span words.
-        assert!(top(WellnessDimension::Vocational, 5).iter().any(|w| w == "job" || w == "work"));
-        assert!(top(WellnessDimension::Physical, 6).iter().any(|w| w == "anxiety" || w == "sleep"));
-        assert!(top(WellnessDimension::Social, 8).iter().any(|w| w == "feel" || w == "alone" || w == "friends"));
+        assert!(top(WellnessDimension::Vocational, 5)
+            .iter()
+            .any(|w| w == "job" || w == "work"));
+        assert!(top(WellnessDimension::Physical, 6)
+            .iter()
+            .any(|w| w == "anxiety" || w == "sleep"));
+        assert!(top(WellnessDimension::Social, 8)
+            .iter()
+            .any(|w| w == "feel" || w == "alone" || w == "friends"));
     }
 
     #[test]

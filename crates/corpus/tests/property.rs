@@ -58,7 +58,7 @@ proptest! {
         let labels_b: Vec<usize> = labels_a
             .iter()
             .enumerate()
-            .map(|(i, &l)| if (i as u64 + seed) % 5 == 0 { (l + 1) % 6 } else { l })
+            .map(|(i, &l)| if (i as u64 + seed).is_multiple_of(5) { (l + 1) % 6 } else { l })
             .collect();
         let table = two_rater_table(&labels_a, &labels_b, 6);
         if let Some(kappa) = fleiss_kappa(&table) {

@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn disjoint_sequences_score_zero() {
-        assert_eq!(bleu(&["job", "money", "career"], &["sleep", "anxiety", "tired"]), 0.0);
+        assert_eq!(
+            bleu(&["job", "money", "career"], &["sleep", "anxiety", "tired"]),
+            0.0
+        );
     }
 
     #[test]

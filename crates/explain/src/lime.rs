@@ -42,6 +42,14 @@ pub struct LimeConfig {
     pub ridge_lambda: f64,
     /// Probability of keeping each word in a perturbed sample.
     pub keep_probability: f64,
+    /// How many perturbed texts are sent to the model per `predict_proba` call.
+    /// Chunks bound peak memory by the batch (not by `n_samples`). Keep this
+    /// *larger* than the core pipeline's internal 64-text scoring batch: each
+    /// `predict_proba` call fans its rows out across threads only when it
+    /// receives more than one internal batch, so a chunk of 256 parallelises
+    /// 4-wide while a chunk of 64 runs sequentially. Results are independent of
+    /// the chunking because each text is scored in isolation.
+    pub batch_size: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -54,6 +62,7 @@ impl Default for LimeConfig {
             kernel_width: 0.5,
             ridge_lambda: 1.0,
             keep_probability: 0.5,
+            batch_size: 256,
             seed: 42,
         }
     }
@@ -142,8 +151,8 @@ impl LimeExplainer {
             .into_iter()
             .next()
             .unwrap_or_else(|| vec![0.0; model.n_classes()]);
-        let target = target_class
-            .unwrap_or_else(|| holistix_linalg::argmax(&original).unwrap_or(0));
+        let target =
+            target_class.unwrap_or_else(|| holistix_linalg::argmax(&original).unwrap_or(0));
         let target_probability = original.get(target).copied().unwrap_or(0.0);
 
         if features.is_empty() {
@@ -182,13 +191,19 @@ impl LimeExplainer {
             texts.push(kept.join(" "));
         }
 
-        // 2. Model responses.
+        // 2. Model responses, in batches: the full perturbation set (n_samples + 1
+        // texts) never hits the model as one giant transform.
         let text_refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
-        let probabilities = model.predict_proba(&text_refs);
-        let responses: Vec<f64> = probabilities
-            .iter()
-            .map(|p| p.get(target).copied().unwrap_or(0.0))
-            .collect();
+        let batch = self.config.batch_size.max(1);
+        let mut responses: Vec<f64> = Vec::with_capacity(text_refs.len());
+        for chunk in text_refs.chunks(batch) {
+            responses.extend(
+                model
+                    .predict_proba(chunk)
+                    .iter()
+                    .map(|p| p.get(target).copied().unwrap_or(0.0)),
+            );
+        }
 
         // 3. Locality weights.
         let weights: Vec<f64> = design
@@ -206,10 +221,8 @@ impl LimeExplainer {
         let (coefficients, intercept) =
             weighted_ridge(&design, &responses, &weights, self.config.ridge_lambda);
 
-        let mut token_weights: Vec<(String, f64)> = features
-            .into_iter()
-            .zip(coefficients)
-            .collect();
+        let mut token_weights: Vec<(String, f64)> =
+            features.into_iter().zip(coefficients).collect();
         token_weights.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
         LimeExplanation {
@@ -231,7 +244,7 @@ fn weighted_ridge(
 ) -> (Vec<f64>, f64) {
     let n_features = design.first().map(|r| r.len()).unwrap_or(0);
     let dim = n_features + 1; // last column is the intercept
-    // Normal equations: (Xᵀ W X + λI') β = Xᵀ W y, with no penalty on the intercept.
+                              // Normal equations: (Xᵀ W X + λI') β = Xᵀ W y, with no penalty on the intercept.
     let mut a = vec![vec![0.0f64; dim]; dim];
     let mut b = vec![0.0f64; dim];
     for ((row, &y), &w) in design.iter().zip(responses).zip(weights) {
@@ -254,6 +267,10 @@ fn weighted_ridge(
 
 /// Gaussian elimination with partial pivoting; falls back to zeros for singular
 /// systems (which only arise for degenerate all-identical perturbations).
+// The elimination inner loop reads row `col` while writing row `row` of the same
+// matrix, so it cannot be expressed as a clippy-preferred iterator without
+// split_at_mut gymnastics.
+#[allow(clippy::needless_range_loop)]
 fn solve_linear_system(a: &mut [Vec<f64>], b: &mut [f64]) -> Vec<f64> {
     let n = b.len();
     for col in 0..n {
@@ -306,8 +323,10 @@ mod tests {
                 .iter()
                 .map(|t| {
                     let lower = t.to_lowercase();
-                    let job = lower.matches("job").count() as f64 + lower.matches("work").count() as f64;
-                    let alone = lower.matches("alone").count() as f64 + lower.matches("lonely").count() as f64;
+                    let job =
+                        lower.matches("job").count() as f64 + lower.matches("work").count() as f64;
+                    let alone = lower.matches("alone").count() as f64
+                        + lower.matches("lonely").count() as f64;
                     let scores = [job + 0.1, alone + 0.1];
                     let total: f64 = scores.iter().sum();
                     scores.iter().map(|s| s / total).collect()
@@ -352,10 +371,26 @@ mod tests {
         let a = explainer.explain(&KeywordModel, text, None);
         let b = explainer.explain(&KeywordModel, text, None);
         assert_eq!(a, b);
-        let other_seed = LimeExplainer::new(LimeConfig { seed: 7, ..LimeConfig::default() });
+        let other_seed = LimeExplainer::new(LimeConfig {
+            seed: 7,
+            ..LimeConfig::default()
+        });
         let c = other_seed.explain(&KeywordModel, text, None);
         // Same ranking of the decisive token even under a different seed.
         assert_eq!(a.top_tokens(1), c.top_tokens(1));
+    }
+
+    #[test]
+    fn chunked_scoring_is_independent_of_batch_size() {
+        let text = "work deadlines make me feel alone and exhausted every night";
+        let reference = LimeExplainer::default_config().explain(&KeywordModel, text, None);
+        for batch_size in [1, 7, 64, 1000] {
+            let explainer = LimeExplainer::new(LimeConfig {
+                batch_size,
+                ..LimeConfig::default()
+            });
+            assert_eq!(explainer.explain(&KeywordModel, text, None), reference);
+        }
     }
 
     #[test]

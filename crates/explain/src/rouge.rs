@@ -21,14 +21,26 @@ pub struct RougeScore {
 
 impl RougeScore {
     fn from_overlap(overlap: f64, candidate_len: usize, reference_len: usize) -> Self {
-        let precision = if candidate_len == 0 { 0.0 } else { overlap / candidate_len as f64 };
-        let recall = if reference_len == 0 { 0.0 } else { overlap / reference_len as f64 };
+        let precision = if candidate_len == 0 {
+            0.0
+        } else {
+            overlap / candidate_len as f64
+        };
+        let recall = if reference_len == 0 {
+            0.0
+        } else {
+            overlap / reference_len as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Self { precision, recall, f1 }
+        Self {
+            precision,
+            recall,
+            f1,
+        }
     }
 
     /// The all-zero score.

@@ -146,7 +146,8 @@ mod tests {
     fn partial_overlap_hand_computed() {
         // Gold content words: {feel, exhausted, sleep}; predicted {exhausted, job}.
         // precision 1/2, recall 1/3, f1 = 0.4
-        let m = ExplanationMetrics::score(&["exhausted", "job"], "I feel exhausted and cannot sleep");
+        let m =
+            ExplanationMetrics::score(&["exhausted", "job"], "I feel exhausted and cannot sleep");
         assert!((m.precision - 0.5).abs() < 1e-12);
         assert!((m.recall - 1.0 / 3.0).abs() < 1e-12);
         assert!((m.f1 - 0.4).abs() < 1e-12);
@@ -164,7 +165,10 @@ mod tests {
     #[test]
     fn report_averages_items() {
         let items = vec![
-            (vec!["exhausted", "sleep"], "I feel exhausted and cannot sleep".to_string()),
+            (
+                vec!["exhausted", "sleep"],
+                "I feel exhausted and cannot sleep".to_string(),
+            ),
             (vec!["job"], "my job drains me".to_string()),
             (vec!["zzz"], "I feel alone".to_string()),
         ];

@@ -65,7 +65,12 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "Matrix::from_rows: row {i} has length {} but expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "Matrix::from_rows: row {i} has length {} but expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
         Self {
@@ -112,19 +117,31 @@ impl Matrix {
 
     /// A view of row `r` as a slice.
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// A mutable view of row `r`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row index {r} out of bounds ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
     /// Copy of column `c`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "col index {c} out of bounds ({} cols)", self.cols);
+        assert!(
+            c < self.cols,
+            "col index {c} out of bounds ({} cols)",
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -235,7 +252,10 @@ impl Matrix {
         if self.rows == 0 {
             return vec![0.0; self.cols];
         }
-        self.col_sums().into_iter().map(|s| s / self.rows as f64).collect()
+        self.col_sums()
+            .into_iter()
+            .map(|s| s / self.rows as f64)
+            .collect()
     }
 
     /// Frobenius norm.
@@ -284,14 +304,24 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds for {}x{}", self.rows, self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -303,7 +333,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -315,7 +350,12 @@ impl Sub for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -337,8 +377,18 @@ impl fmt::Display for Matrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
         for r in 0..self.rows.min(8) {
-            let row: Vec<String> = self.row(r).iter().take(8).map(|v| format!("{v:8.4}")).collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.cols > 8 { ", …" } else { "" })?;
+            let row: Vec<String> = self
+                .row(r)
+                .iter()
+                .take(8)
+                .map(|v| format!("{v:8.4}"))
+                .collect();
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.cols > 8 { ", …" } else { "" }
+            )?;
         }
         if self.rows > 8 {
             writeln!(f, "  …")?;

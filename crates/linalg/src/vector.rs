@@ -39,7 +39,13 @@ impl Vector {
 
     /// Dot product. Panics on length mismatch.
     pub fn dot(&self, other: &Vector) -> f64 {
-        assert_eq!(self.len(), other.len(), "dot: length mismatch {} vs {}", self.len(), other.len());
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "dot: length mismatch {} vs {}",
+            self.len(),
+            other.len()
+        );
         self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
     }
 

@@ -113,3 +113,84 @@ proptest! {
         prop_assert!(xs[idx] >= max - 1e-12);
     }
 }
+
+fn random_sparse_dense_pair(
+    rows: usize,
+    cols: usize,
+    seed: u64,
+) -> (holistix_linalg::CsrMatrix, Matrix) {
+    use holistix_linalg::CsrMatrix;
+    let mut rng = Rng64::new(seed);
+    let mut dense = Matrix::zeros(rows, cols);
+    for v in dense.data_mut() {
+        // ~25% density, mirroring a (still generous) TF-IDF fill rate.
+        if rng.uniform(0.0, 1.0) < 0.25 {
+            *v = rng.uniform(-10.0, 10.0);
+        }
+    }
+    (CsrMatrix::from_dense(&dense), dense)
+}
+
+proptest! {
+    /// CSR round-trips through dense exactly, and nnz counts the non-zeros.
+    #[test]
+    fn csr_dense_round_trip(rows in 0usize..10, cols in 0usize..12, seed in 0u64..500) {
+        let (sparse, dense) = random_sparse_dense_pair(rows, cols, seed);
+        prop_assert_eq!(sparse.to_dense(), dense.clone());
+        prop_assert_eq!(sparse.nnz(), dense.data().iter().filter(|&&v| v != 0.0).count());
+        prop_assert_eq!(holistix_linalg::CsrMatrix::from_dense(&sparse.to_dense()), sparse);
+    }
+
+    /// Sparse·vector and sparse·dense products are bit-identical to their dense
+    /// counterparts (entries accumulate in the same column order; zero terms are
+    /// exact identities).
+    #[test]
+    fn csr_products_match_dense_bitwise(rows in 1usize..8, cols in 1usize..10, inner in 1usize..6, seed in 0u64..500) {
+        let (sparse, dense) = random_sparse_dense_pair(rows, cols, seed);
+        let mut rng = Rng64::new(seed ^ 0xABCD);
+        let w: Vec<f64> = (0..cols).map(|_| rng.uniform(-5.0, 5.0)).collect();
+        for r in 0..rows {
+            let dense_dot: f64 = dense.row(r).iter().zip(&w).map(|(x, wi)| wi * x).sum();
+            prop_assert_eq!(sparse.row_dot(r, &w), dense_dot);
+        }
+        let mut b = Matrix::zeros(cols, inner);
+        for v in b.data_mut() { *v = rng.uniform(-3.0, 3.0); }
+        prop_assert_eq!(sparse.matmul_dense(&b), dense.matmul(&b));
+    }
+
+    /// L2 row normalisation leaves unit (or zero) norms and matches the dense
+    /// normalisation exactly.
+    #[test]
+    fn csr_l2_normalisation_matches_dense(rows in 1usize..8, cols in 1usize..10, seed in 0u64..500) {
+        let (mut sparse, dense) = random_sparse_dense_pair(rows, cols, seed);
+        sparse.l2_normalize_rows();
+        let mut expected = dense.clone();
+        for r in 0..rows {
+            let norm: f64 = expected.row(r).iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for v in expected.row_mut(r) { *v /= norm; }
+            }
+        }
+        prop_assert_eq!(sparse.to_dense(), expected);
+    }
+
+    /// FeatureMatrix exposes identical row access for both representations.
+    #[test]
+    fn feature_matrix_variants_agree(rows in 1usize..8, cols in 1usize..10, seed in 0u64..500) {
+        use holistix_linalg::{FeatureMatrix, FeatureRows};
+        let (sparse, dense) = random_sparse_dense_pair(rows, cols, seed);
+        let fm_dense = FeatureMatrix::Dense(dense);
+        let fm_sparse = FeatureMatrix::Sparse(sparse);
+        let mut rng = Rng64::new(seed ^ 0x1234);
+        let w: Vec<f64> = (0..cols).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        prop_assert_eq!(fm_dense.shape(), fm_sparse.shape());
+        for r in 0..rows {
+            prop_assert_eq!(fm_dense.row_dot(r, &w), fm_sparse.row_dot(r, &w));
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            fm_dense.for_each_row_entry(r, |c, v| a.push((c, v)));
+            fm_sparse.for_each_row_entry(r, |c, v| b.push((c, v)));
+            prop_assert_eq!(a, b);
+        }
+    }
+}

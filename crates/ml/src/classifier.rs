@@ -4,12 +4,16 @@
 //! in the core crate and the LIME explainer all interact with models through this one
 //! trait, so classical and transformer baselines are interchangeable.
 
-use holistix_linalg::Matrix;
+use holistix_linalg::{FeatureMatrix, Matrix};
 
-/// A multi-class classifier over dense feature matrices.
+/// A multi-class classifier over feature matrices.
 ///
 /// Rows of the feature matrix are examples; labels are dense class indices
-/// `0..n_classes`.
+/// `0..n_classes`. The dense `Matrix` methods are the historical interface; the
+/// `*_features` methods accept a [`FeatureMatrix`] so sparse TF-IDF workloads
+/// never have to materialise the dense grid. The default `*_features`
+/// implementations densify — the three classical baselines override them with
+/// genuinely sparse paths.
 pub trait Classifier {
     /// Fit the model on a training matrix and its labels.
     fn fit(&mut self, features: &Matrix, labels: &[usize]);
@@ -21,6 +25,33 @@ pub trait Classifier {
     /// Hard class predictions (argmax of `predict_proba` by default).
     fn predict(&self, features: &Matrix) -> Vec<usize> {
         let proba = self.predict_proba(features);
+        (0..proba.rows())
+            .map(|r| holistix_linalg::argmax(proba.row(r)).unwrap_or(0))
+            .collect()
+    }
+
+    /// Fit on a dense-or-sparse feature matrix. The default densifies; sparse-aware
+    /// models override to train straight off the CSR representation.
+    fn fit_features(&mut self, features: &FeatureMatrix, labels: &[usize]) {
+        match features {
+            FeatureMatrix::Dense(m) => self.fit(m, labels),
+            FeatureMatrix::Sparse(m) => self.fit(&m.to_dense(), labels),
+        }
+    }
+
+    /// Probability estimates over a dense-or-sparse feature matrix. The default
+    /// densifies; sparse-aware models override.
+    fn predict_proba_features(&self, features: &FeatureMatrix) -> Matrix {
+        match features {
+            FeatureMatrix::Dense(m) => self.predict_proba(m),
+            FeatureMatrix::Sparse(m) => self.predict_proba(&m.to_dense()),
+        }
+    }
+
+    /// Hard predictions over a dense-or-sparse feature matrix (argmax of
+    /// [`predict_proba_features`](Self::predict_proba_features) by default).
+    fn predict_features(&self, features: &FeatureMatrix) -> Vec<usize> {
+        let proba = self.predict_proba_features(features);
         (0..proba.rows())
             .map(|r| holistix_linalg::argmax(proba.row(r)).unwrap_or(0))
             .collect()

@@ -14,6 +14,7 @@ use crate::classifier::Classifier;
 use crate::features::{TfidfVectorizer, VectorizerOptions};
 use crate::metrics::ClassificationReport;
 use holistix_corpus::splits::CrossValidationFolds;
+use holistix_linalg::FeatureMatrix;
 use serde::{Deserialize, Serialize};
 
 /// A text-in, label-out classification pipeline (feature extraction + model).
@@ -62,8 +63,9 @@ impl<C: Classifier> TfidfPipeline<C> {
 impl<C: Classifier + Send> TextPipeline for TfidfPipeline<C> {
     fn fit(&mut self, texts: &[&str], labels: &[usize]) {
         let vectorizer = TfidfVectorizer::fit(texts, self.options.clone());
-        let features = vectorizer.transform(texts);
-        self.classifier.fit(&features, labels);
+        // CSR end to end: the dense documents × vocabulary grid is never built.
+        let features = FeatureMatrix::Sparse(vectorizer.transform_sparse(texts));
+        self.classifier.fit_features(&features, labels);
         self.vectorizer = Some(vectorizer);
     }
 
@@ -72,8 +74,8 @@ impl<C: Classifier + Send> TextPipeline for TfidfPipeline<C> {
             .vectorizer
             .as_ref()
             .expect("TfidfPipeline::predict called before fit");
-        let features = vectorizer.transform(texts);
-        self.classifier.predict(&features)
+        let features = FeatureMatrix::Sparse(vectorizer.transform_sparse(texts));
+        self.classifier.predict_features(&features)
     }
 
     fn name(&self) -> String {
@@ -104,7 +106,11 @@ pub struct CrossValidationReport {
 impl CrossValidationReport {
     /// Standard deviation of accuracy across folds (a stability indicator).
     pub fn accuracy_std(&self) -> f64 {
-        let accs: Vec<f64> = self.fold_outcomes.iter().map(|f| f.report.accuracy).collect();
+        let accs: Vec<f64> = self
+            .fold_outcomes
+            .iter()
+            .map(|f| f.report.accuracy)
+            .collect();
         if accs.len() < 2 {
             return 0.0;
         }
@@ -132,7 +138,10 @@ where
     F: Fn() -> P + Sync,
 {
     assert_eq!(texts.len(), labels.len(), "texts/labels length mismatch");
-    assert!(!folds.is_empty(), "cross_validate requires at least one fold");
+    assert!(
+        !folds.is_empty(),
+        "cross_validate requires at least one fold"
+    );
 
     let run_fold = |fold_idx: usize| -> FoldOutcome {
         let fold = &folds.folds[fold_idx];
@@ -156,17 +165,28 @@ where
                 .map(|i| scope.spawn(move |_| run_fold(i)))
                 .collect();
             for (i, handle) in handles.into_iter().enumerate() {
-                outcomes[i] = Some(handle.join().expect("cross-validation fold thread panicked"));
+                outcomes[i] = Some(
+                    handle
+                        .join()
+                        .expect("cross-validation fold thread panicked"),
+                );
             }
         })
         .expect("cross-validation thread scope failed");
-        outcomes.into_iter().map(|o| o.expect("missing fold outcome")).collect()
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("missing fold outcome"))
+            .collect()
     } else {
         (0..folds.len()).map(run_fold).collect()
     };
 
-    let averaged =
-        ClassificationReport::average(&fold_outcomes.iter().map(|f| f.report.clone()).collect::<Vec<_>>());
+    let averaged = ClassificationReport::average(
+        &fold_outcomes
+            .iter()
+            .map(|f| f.report.clone())
+            .collect::<Vec<_>>(),
+    );
     let model_name = make_pipeline().name();
     CrossValidationReport {
         model_name,
@@ -204,7 +224,11 @@ mod tests {
             false,
         );
         assert_eq!(report.fold_outcomes.len(), 4);
-        assert!(report.averaged.accuracy > 0.4, "accuracy {}", report.averaged.accuracy);
+        assert!(
+            report.averaged.accuracy > 0.4,
+            "accuracy {}",
+            report.averaged.accuracy
+        );
         assert_eq!(report.model_name, "LR");
     }
 
@@ -257,7 +281,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one fold")]
     fn empty_folds_panic() {
-        let folds = CrossValidationFolds { folds: vec![], n_items: 0 };
+        let folds = CrossValidationFolds {
+            folds: vec![],
+            n_items: 0,
+        };
         let _ = cross_validate(
             &[],
             &[],

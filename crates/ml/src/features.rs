@@ -7,8 +7,8 @@
 //! (`ln((1+N)/(1+df)) + 1`), optional sublinear TF, and L2 row normalisation for
 //! TF-IDF.
 
-use holistix_linalg::Matrix;
-use holistix_text::{stem, ngrams, StopwordFilter, Vocabulary, VocabularyBuilder};
+use holistix_linalg::{CsrBuilder, CsrMatrix, Matrix};
+use holistix_text::{ngrams, stem, StopwordFilter, Vocabulary, VocabularyBuilder};
 use serde::{Deserialize, Serialize};
 
 /// Analyzer and vocabulary options shared by both vectorisers.
@@ -22,8 +22,9 @@ pub struct VectorizerOptions {
     pub stem: bool,
     /// Include word n-grams up to this order (1 = unigrams only).
     pub ngram_max: usize,
-    /// Drop terms occurring in fewer than this many documents.
-    pub min_document_frequency: u64,
+    /// Drop terms occurring in fewer than this many documents. `usize` because it
+    /// is compared against document counts.
+    pub min_document_frequency: usize,
     /// Cap the vocabulary at the most frequent `max_features` terms (`None` = no cap).
     pub max_features: Option<usize>,
     /// Use `1 + ln(tf)` instead of raw term frequency (TF-IDF only).
@@ -55,9 +56,10 @@ impl VectorizerOptions {
     }
 }
 
-/// Shared analyzer: text → list of (possibly n-gram) terms.
-fn analyze(text: &str, options: &VectorizerOptions) -> Vec<String> {
-    let stopwords = StopwordFilter::english();
+/// Shared analyzer: text → list of (possibly n-gram) terms. The stop-word filter
+/// is taken by reference so corpus-level callers build its hash set once, not
+/// once per document — formerly the hottest allocation in the transform path.
+fn analyze(text: &str, options: &VectorizerOptions, stopwords: &StopwordFilter) -> Vec<String> {
     let mut words: Vec<String> = holistix_text::tokenize(text)
         .into_iter()
         .filter(|t| t.kind == holistix_text::TokenKind::Word)
@@ -88,11 +90,13 @@ impl CountVectorizer {
     /// Fit a vectoriser on a document collection.
     pub fn fit<S: AsRef<str>>(documents: &[S], options: VectorizerOptions) -> Self {
         let mut builder = VocabularyBuilder::new();
+        let stopwords = StopwordFilter::english_shared();
         for doc in documents {
-            let terms = analyze(doc.as_ref(), &options);
+            let terms = analyze(doc.as_ref(), &options, stopwords);
             builder.add_document(&terms);
         }
-        let vocabulary = builder.build(options.min_document_frequency.max(1), options.max_features);
+        let vocabulary =
+            builder.build_with_min_df(options.min_document_frequency.max(1), options.max_features);
         Self {
             options,
             vocabulary,
@@ -111,21 +115,41 @@ impl CountVectorizer {
 
     /// The analyzer output for one document (useful for explanations).
     pub fn analyze_document(&self, text: &str) -> Vec<String> {
-        analyze(text, &self.options)
+        analyze(text, &self.options, StopwordFilter::english_shared())
     }
 
     /// Transform documents into a dense `documents × features` count matrix.
     /// Out-of-vocabulary terms are ignored.
     pub fn transform<S: AsRef<str>>(&self, documents: &[S]) -> Matrix {
         let mut out = Matrix::zeros(documents.len(), self.vocabulary.len());
+        let stopwords = StopwordFilter::english_shared();
         for (row, doc) in documents.iter().enumerate() {
-            for term in analyze(doc.as_ref(), &self.options) {
+            for term in analyze(doc.as_ref(), &self.options, stopwords) {
                 if let Some(col) = self.vocabulary.id(&term) {
                     out[(row, col)] += 1.0;
                 }
             }
         }
         out
+    }
+
+    /// Transform documents straight into a CSR count matrix, never allocating the
+    /// dense `documents × vocabulary` grid. `transform_sparse(d).to_dense()` equals
+    /// `transform(d)` exactly (a property test asserts bitwise equality).
+    pub fn transform_sparse<S: AsRef<str>>(&self, documents: &[S]) -> CsrMatrix {
+        let mut builder = CsrBuilder::new(self.vocabulary.len());
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        let stopwords = StopwordFilter::english_shared();
+        for doc in documents {
+            entries.clear();
+            for term in analyze(doc.as_ref(), &self.options, stopwords) {
+                if let Some(col) = self.vocabulary.id(&term) {
+                    entries.push((col, 1.0));
+                }
+            }
+            builder.push_row(&mut entries);
+        }
+        builder.finish()
     }
 }
 
@@ -182,7 +206,11 @@ impl TfidfVectorizer {
             let row = m.row_mut(r);
             for (c, value) in row.iter_mut().enumerate() {
                 if *value > 0.0 {
-                    let tf = if options.sublinear_tf { 1.0 + value.ln() } else { *value };
+                    let tf = if options.sublinear_tf {
+                        1.0 + value.ln()
+                    } else {
+                        *value
+                    };
                     *value = tf * self.idf[c];
                 }
             }
@@ -198,10 +226,53 @@ impl TfidfVectorizer {
         m
     }
 
+    /// Transform documents straight into a CSR TF-IDF matrix, never allocating the
+    /// dense grid. Entry-wise identical to [`transform`](Self::transform): the TF
+    /// and IDF factors are per-entry, and the L2 norm accumulates over the same
+    /// column order (zero terms are exact identities), so
+    /// `transform_sparse(d).to_dense()` equals `transform(d)` bitwise.
+    pub fn transform_sparse<S: AsRef<str>>(&self, documents: &[S]) -> CsrMatrix {
+        let mut m = self.counts.transform_sparse(documents);
+        let options = &self.counts.options;
+        for r in 0..m.rows() {
+            let (cols, values) = m.row_mut(r);
+            for (&c, value) in cols.iter().zip(values.iter_mut()) {
+                let tf = if options.sublinear_tf {
+                    1.0 + value.ln()
+                } else {
+                    *value
+                };
+                *value = tf * self.idf[c];
+            }
+            if options.l2_normalize {
+                let norm: f64 = values.iter().map(|v| v * v).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    for v in values.iter_mut() {
+                        *v /= norm;
+                    }
+                }
+            }
+        }
+        m
+    }
+
     /// Fit and transform in one step.
-    pub fn fit_transform<S: AsRef<str>>(documents: &[S], options: VectorizerOptions) -> (Self, Matrix) {
+    pub fn fit_transform<S: AsRef<str>>(
+        documents: &[S],
+        options: VectorizerOptions,
+    ) -> (Self, Matrix) {
         let v = Self::fit(documents, options);
         let m = v.transform(documents);
+        (v, m)
+    }
+
+    /// Fit and sparse-transform in one step.
+    pub fn fit_transform_sparse<S: AsRef<str>>(
+        documents: &[S],
+        options: VectorizerOptions,
+    ) -> (Self, CsrMatrix) {
+        let v = Self::fit(documents, options);
+        let m = v.transform_sparse(documents);
         (v, m)
     }
 }
@@ -284,7 +355,10 @@ mod tests {
             ..VectorizerOptions::default()
         };
         let v = CountVectorizer::fit(&docs(), opts);
-        assert!(v.vocabulary().id("job").is_none(), "df-1 term should be pruned");
+        assert!(
+            v.vocabulary().id("job").is_none(),
+            "df-1 term should be pruned"
+        );
         assert!(v.vocabulary().id("sleep").is_some() || v.vocabulary().id("feel").is_some());
     }
 
@@ -306,7 +380,10 @@ mod tests {
             ..VectorizerOptions::default()
         };
         let v = CountVectorizer::fit(&docs(), opts);
-        assert!(v.vocabulary().terms().iter().any(|t| t.contains(' ')), "expected bigram terms");
+        assert!(
+            v.vocabulary().terms().iter().any(|t| t.contains(' ')),
+            "expected bigram terms"
+        );
     }
 
     #[test]
@@ -321,6 +398,20 @@ mod tests {
         let col = v.vocabulary().id("sleep").unwrap();
         assert!(m[(0, col)] > 0.0);
         assert!(m[(1, col)] > 0.0);
+    }
+
+    #[test]
+    fn sparse_transform_matches_dense_for_both_vectorisers() {
+        let count = CountVectorizer::fit(&docs(), VectorizerOptions::default());
+        assert_eq!(
+            count.transform_sparse(&docs()).to_dense(),
+            count.transform(&docs())
+        );
+        let tfidf = TfidfVectorizer::fit_default(&docs());
+        let sparse = tfidf.transform_sparse(&docs());
+        assert_eq!(sparse.to_dense(), tfidf.transform(&docs()));
+        // The whole point: a realistic row stores only its own terms.
+        assert!(sparse.density() < 0.5, "density {}", sparse.density());
     }
 
     #[test]

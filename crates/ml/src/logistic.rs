@@ -7,7 +7,7 @@
 //! hundred epochs and keeps the implementation dependency-free and auditable.
 
 use crate::classifier::Classifier;
-use holistix_linalg::{softmax, Matrix, Rng64};
+use holistix_linalg::{softmax, FeatureMatrix, FeatureRows, Matrix, Rng64};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters for [`LogisticRegression`].
@@ -84,28 +84,26 @@ impl LogisticRegression {
         &self.config
     }
 
-    fn logits_row(&self, features: &Matrix, row: usize) -> Vec<f64> {
-        let x = features.row(row);
+    fn logits_row<F: FeatureRows>(&self, features: &F, row: usize) -> Vec<f64> {
         (0..self.n_classes)
-            .map(|c| {
-                let w = self.weights.row(c);
-                w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + self.bias[c]
-            })
+            .map(|c| features.row_dot(row, self.weights.row(c)) + self.bias[c])
             .collect()
     }
-}
 
-impl Classifier for LogisticRegression {
-    fn fit(&mut self, features: &Matrix, labels: &[usize]) {
+    /// Training loop, generic over the feature representation. Sparse training is
+    /// bit-identical to dense: every update the dense path applies for a zero
+    /// feature is an exact IEEE-754 identity, so skipping the zeros changes
+    /// nothing but the work done.
+    fn fit_rows<F: FeatureRows>(&mut self, features: &F, labels: &[usize]) {
         assert_eq!(
-            features.rows(),
+            features.n_rows(),
             labels.len(),
             "feature rows {} != label count {}",
-            features.rows(),
+            features.n_rows(),
             labels.len()
         );
         assert!(!labels.is_empty(), "cannot fit on an empty training set");
-        let n_features = features.cols();
+        let n_features = features.n_cols();
         self.n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
         self.weights = Matrix::zeros(self.n_classes, n_features);
         self.bias = vec![0.0; self.n_classes];
@@ -142,7 +140,6 @@ impl Classifier for LogisticRegression {
                 for &i in chunk {
                     let probs = softmax(&self.logits_row(features, i));
                     let weight = class_weights[labels[i]];
-                    let x = features.row(i);
                     for c in 0..self.n_classes {
                         let indicator = if c == labels[i] { 1.0 } else { 0.0 };
                         let err = (probs[c] - indicator) * weight;
@@ -150,9 +147,7 @@ impl Classifier for LogisticRegression {
                             continue;
                         }
                         let gw = grad_w.row_mut(c);
-                        for (g, &xv) in gw.iter_mut().zip(x) {
-                            *g += err * xv;
-                        }
+                        features.for_each_row_entry(i, |j, xv| gw[j] += err * xv);
                         grad_b[c] += err;
                     }
                 }
@@ -170,13 +165,31 @@ impl Classifier for LogisticRegression {
         }
     }
 
-    fn predict_proba(&self, features: &Matrix) -> Matrix {
+    fn predict_proba_rows<F: FeatureRows>(&self, features: &F) -> Matrix {
         assert!(self.n_classes > 0, "predict called before fit");
-        let mut out = Matrix::zeros(features.rows(), self.n_classes);
-        for r in 0..features.rows() {
+        let mut out = Matrix::zeros(features.n_rows(), self.n_classes);
+        for r in 0..features.n_rows() {
             out.set_row(r, &softmax(&self.logits_row(features, r)));
         }
         out
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, features: &Matrix, labels: &[usize]) {
+        self.fit_rows(features, labels);
+    }
+
+    fn fit_features(&mut self, features: &FeatureMatrix, labels: &[usize]) {
+        self.fit_rows(features, labels);
+    }
+
+    fn predict_proba(&self, features: &Matrix) -> Matrix {
+        self.predict_proba_rows(features)
+    }
+
+    fn predict_proba_features(&self, features: &FeatureMatrix) -> Matrix {
+        self.predict_proba_rows(features)
     }
 
     fn n_classes(&self) -> usize {

@@ -19,7 +19,11 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Build from gold and predicted label sequences.
     pub fn from_labels(gold: &[usize], predicted: &[usize], n_classes: usize) -> Self {
-        assert_eq!(gold.len(), predicted.len(), "gold/predicted length mismatch");
+        assert_eq!(
+            gold.len(),
+            predicted.len(),
+            "gold/predicted length mismatch"
+        );
         let mut counts = vec![vec![0usize; n_classes]; n_classes];
         for (&g, &p) in gold.iter().zip(predicted) {
             assert!(g < n_classes && p < n_classes, "label out of range");
@@ -82,9 +86,19 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "gold \\ pred {}", (0..self.n_classes).map(|c| format!("{c:>6}")).collect::<String>())?;
+        writeln!(
+            f,
+            "gold \\ pred {}",
+            (0..self.n_classes)
+                .map(|c| format!("{c:>6}"))
+                .collect::<String>()
+        )?;
         for (g, row) in self.counts.iter().enumerate() {
-            writeln!(f, "{g:>11} {}", row.iter().map(|c| format!("{c:>6}")).collect::<String>())?;
+            writeln!(
+                f,
+                "{g:>11} {}",
+                row.iter().map(|c| format!("{c:>6}")).collect::<String>()
+            )?;
         }
         Ok(())
     }
@@ -106,8 +120,16 @@ pub struct ClassMetrics {
 impl ClassMetrics {
     /// Compute from raw counts.
     pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
@@ -150,7 +172,13 @@ impl ClassificationReport {
     pub fn from_confusion(cm: &ConfusionMatrix) -> Self {
         let n = cm.n_classes();
         let per_class: Vec<ClassMetrics> = (0..n)
-            .map(|c| ClassMetrics::from_counts(cm.true_positives(c), cm.false_positives(c), cm.false_negatives(c)))
+            .map(|c| {
+                ClassMetrics::from_counts(
+                    cm.true_positives(c),
+                    cm.false_positives(c),
+                    cm.false_negatives(c),
+                )
+            })
             .collect();
         let total_support: usize = per_class.iter().map(|m| m.support).sum();
         let macro_precision = mean(per_class.iter().map(|m| m.precision));
@@ -192,11 +220,19 @@ impl ClassificationReport {
         let k = reports.len() as f64;
         let per_class = (0..n_classes)
             .map(|c| ClassMetrics {
-                precision: reports.iter().map(|r| r.per_class[c].precision).sum::<f64>() / k,
+                precision: reports
+                    .iter()
+                    .map(|r| r.per_class[c].precision)
+                    .sum::<f64>()
+                    / k,
                 recall: reports.iter().map(|r| r.per_class[c].recall).sum::<f64>() / k,
                 f1: reports.iter().map(|r| r.per_class[c].f1).sum::<f64>() / k,
-                support: (reports.iter().map(|r| r.per_class[c].support).sum::<usize>() as f64 / k).round()
-                    as usize,
+                support: (reports
+                    .iter()
+                    .map(|r| r.per_class[c].support)
+                    .sum::<usize>() as f64
+                    / k)
+                    .round() as usize,
             })
             .collect();
         ClassificationReport {

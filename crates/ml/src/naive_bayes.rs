@@ -9,7 +9,7 @@
 //! here.
 
 use crate::classifier::Classifier;
-use holistix_linalg::{softmax, Matrix};
+use holistix_linalg::{softmax, CsrMatrix, FeatureMatrix, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters for [`GaussianNaiveBayes`].
@@ -22,7 +22,9 @@ pub struct GaussianNbConfig {
 
 impl Default for GaussianNbConfig {
     fn default() -> Self {
-        Self { var_smoothing: 1e-9 }
+        Self {
+            var_smoothing: 1e-9,
+        }
     }
 }
 
@@ -68,6 +70,123 @@ impl GaussianNaiveBayes {
         &self.variances
     }
 
+    /// Fit from a CSR matrix without densifying. Means and variances come from
+    /// per-class sufficient statistics over the stored entries only — for the
+    /// variance, the `n_c · μ²` mass of the implicit zeros is added analytically,
+    /// so the result matches the dense two-pass computation up to floating-point
+    /// reordering (the equivalence property test uses a small tolerance).
+    fn fit_sparse(&mut self, features: &CsrMatrix, labels: &[usize]) {
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature/label length mismatch"
+        );
+        assert!(!labels.is_empty(), "cannot fit on an empty training set");
+        let n_features = features.cols();
+        self.n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        self.means = Matrix::zeros(self.n_classes, n_features);
+        self.variances = Matrix::zeros(self.n_classes, n_features);
+        self.log_priors = vec![f64::NEG_INFINITY; self.n_classes];
+
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in labels {
+            counts[l] += 1;
+        }
+
+        // Means from the stored entries (zeros contribute nothing).
+        for (i, &l) in labels.iter().enumerate() {
+            let m = self.means.row_mut(l);
+            for (j, x) in features.row_entries(i) {
+                m[j] += x;
+            }
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let inv = 1.0 / count as f64;
+            for mj in self.means.row_mut(c) {
+                *mj *= inv;
+            }
+        }
+
+        // Σ_i (x_ij - μ_cj)² = n_c μ_cj² + Σ_{stored} ((x - μ)² - μ²): seed each
+        // accumulator with the implicit-zero mass, then correct per stored entry.
+        for (c, &count) in counts.iter().enumerate() {
+            let n_c = count as f64;
+            let mu: Vec<f64> = self.means.row(c).to_vec();
+            let v = self.variances.row_mut(c);
+            for (vj, &muj) in v.iter_mut().zip(&mu) {
+                *vj = n_c * muj * muj;
+            }
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            let mu: Vec<f64> = self.means.row(l).to_vec();
+            let v = self.variances.row_mut(l);
+            for (j, x) in features.row_entries(i) {
+                let d = x - mu[j];
+                v[j] += d * d - mu[j] * mu[j];
+            }
+        }
+        let mut max_var = 0.0f64;
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let inv = 1.0 / count as f64;
+            for vj in self.variances.row_mut(c) {
+                // Cancellation in the corrected sum can leave a tiny negative
+                // residue where the true variance is zero; clamp before smoothing.
+                *vj = (*vj * inv).max(0.0);
+                max_var = max_var.max(*vj);
+            }
+        }
+        let eps = (self.config.var_smoothing * max_var).max(1e-12);
+        self.variances.map_inplace(|v| v + eps);
+
+        let n = labels.len() as f64;
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                self.log_priors[c] = (count as f64 / n).ln();
+            }
+        }
+    }
+
+    /// Joint log-likelihood over CSR features without densifying: per class, the
+    /// all-zero log-likelihood `log P(c) + Σ_j log N(0; μ, σ²)` is precomputed
+    /// once, and each stored entry contributes the difference
+    /// `log N(x) - log N(0) = -((x - μ)² - μ²) / 2σ²  =  -x(x - 2μ) / 2σ²`.
+    fn joint_log_likelihood_sparse(&self, features: &CsrMatrix) -> Matrix {
+        assert!(self.n_classes > 0, "predict called before fit");
+        assert_eq!(features.cols(), self.means.cols(), "feature width mismatch");
+        let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+        // Per-class baseline: log-likelihood of the all-zero row.
+        let baselines: Vec<f64> = (0..self.n_classes)
+            .map(|c| {
+                let mu = self.means.row(c);
+                let var = self.variances.row(c);
+                let mut ll = self.log_priors[c];
+                for j in 0..mu.len() {
+                    ll += -0.5 * (ln_2pi + var[j].ln() + mu[j] * mu[j] / var[j]);
+                }
+                ll
+            })
+            .collect();
+        let mut out = Matrix::zeros(features.rows(), self.n_classes);
+        for r in 0..features.rows() {
+            for c in 0..self.n_classes {
+                let mu = self.means.row(c);
+                let var = self.variances.row(c);
+                let mut ll = baselines[c];
+                for (j, x) in features.row_entries(r) {
+                    ll += -0.5 * x * (x - 2.0 * mu[j]) / var[j];
+                }
+                out[(r, c)] = ll;
+            }
+        }
+        out
+    }
+
     /// Joint log-likelihood `log P(class) + Σ log N(x_j; μ_cj, σ²_cj)` per class.
     pub fn joint_log_likelihood(&self, features: &Matrix) -> Matrix {
         assert!(self.n_classes > 0, "predict called before fit");
@@ -92,7 +211,11 @@ impl GaussianNaiveBayes {
 
 impl Classifier for GaussianNaiveBayes {
     fn fit(&mut self, features: &Matrix, labels: &[usize]) {
-        assert_eq!(features.rows(), labels.len(), "feature/label length mismatch");
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature/label length mismatch"
+        );
         assert!(!labels.is_empty(), "cannot fit on an empty training set");
         let n_features = features.cols();
         self.n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
@@ -113,11 +236,11 @@ impl Classifier for GaussianNaiveBayes {
                 *mj += xj;
             }
         }
-        for c in 0..self.n_classes {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 continue;
             }
-            let inv = 1.0 / counts[c] as f64;
+            let inv = 1.0 / count as f64;
             for mj in self.means.row_mut(c) {
                 *mj *= inv;
             }
@@ -136,11 +259,11 @@ impl Classifier for GaussianNaiveBayes {
             }
         }
         let mut max_var = 0.0f64;
-        for c in 0..self.n_classes {
-            if counts[c] == 0 {
+        for (c, &count) in counts.iter().enumerate() {
+            if count == 0 {
                 continue;
             }
-            let inv = 1.0 / counts[c] as f64;
+            let inv = 1.0 / count as f64;
             for vj in self.variances.row_mut(c) {
                 *vj *= inv;
                 max_var = max_var.max(*vj);
@@ -152,9 +275,9 @@ impl Classifier for GaussianNaiveBayes {
 
         // Log priors.
         let n = labels.len() as f64;
-        for c in 0..self.n_classes {
-            if counts[c] > 0 {
-                self.log_priors[c] = (counts[c] as f64 / n).ln();
+        for (c, &count) in counts.iter().enumerate() {
+            if count > 0 {
+                self.log_priors[c] = (count as f64 / n).ln();
             }
         }
     }
@@ -166,6 +289,27 @@ impl Classifier for GaussianNaiveBayes {
             out.set_row(r, &softmax(jll.row(r)));
         }
         out
+    }
+
+    fn fit_features(&mut self, features: &FeatureMatrix, labels: &[usize]) {
+        match features {
+            FeatureMatrix::Dense(m) => self.fit(m, labels),
+            FeatureMatrix::Sparse(m) => self.fit_sparse(m, labels),
+        }
+    }
+
+    fn predict_proba_features(&self, features: &FeatureMatrix) -> Matrix {
+        match features {
+            FeatureMatrix::Dense(m) => self.predict_proba(m),
+            FeatureMatrix::Sparse(m) => {
+                let jll = self.joint_log_likelihood_sparse(m);
+                let mut out = Matrix::zeros(jll.rows(), self.n_classes);
+                for r in 0..jll.rows() {
+                    out.set_row(r, &softmax(jll.row(r)));
+                }
+                out
+            }
+        }
     }
 
     fn n_classes(&self) -> usize {
@@ -247,8 +391,13 @@ mod tests {
     #[test]
     fn priors_reflect_class_imbalance() {
         let x = Matrix::from_rows(&[
-            vec![0.0], vec![0.0], vec![0.0], vec![0.0], vec![0.1],
-            vec![0.2], vec![10.0],
+            vec![0.0],
+            vec![0.0],
+            vec![0.0],
+            vec![0.0],
+            vec![0.1],
+            vec![0.2],
+            vec![10.0],
         ]);
         let y = vec![0, 0, 0, 0, 0, 0, 1];
         let mut clf = GaussianNaiveBayes::default_config();

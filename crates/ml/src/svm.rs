@@ -7,7 +7,7 @@
 //! come from a softmax over the decision values, which preserves the argmax.
 
 use crate::classifier::Classifier;
-use holistix_linalg::{softmax, Matrix, Rng64};
+use holistix_linalg::{softmax, FeatureMatrix, FeatureRows, Matrix, Rng64};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters for [`LinearSvm`].
@@ -67,29 +67,32 @@ impl LinearSvm {
 
     /// The per-class decision values for every row of `features`.
     pub fn decision_function(&self, features: &Matrix) -> Matrix {
+        self.decision_rows(features)
+    }
+
+    /// Decision values, generic over the feature representation.
+    fn decision_rows<F: FeatureRows>(&self, features: &F) -> Matrix {
         assert!(self.n_classes > 0, "decision_function called before fit");
-        let mut out = Matrix::zeros(features.rows(), self.n_classes);
-        for r in 0..features.rows() {
-            let x = features.row(r);
+        let mut out = Matrix::zeros(features.n_rows(), self.n_classes);
+        for r in 0..features.n_rows() {
             for c in 0..self.n_classes {
-                let w = self.weights.row(c);
-                out[(r, c)] = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + self.bias[c];
+                out[(r, c)] = features.row_dot(r, self.weights.row(c)) + self.bias[c];
             }
         }
         out
     }
 
-    /// The fitted weights.
-    pub fn weights(&self) -> &Matrix {
-        &self.weights
-    }
-}
-
-impl Classifier for LinearSvm {
-    fn fit(&mut self, features: &Matrix, labels: &[usize]) {
-        assert_eq!(features.rows(), labels.len(), "feature/label length mismatch");
+    /// Training loop, generic over the feature representation; the sparse path is
+    /// bit-identical to the dense one (zero-feature updates are exact IEEE-754
+    /// identities).
+    fn fit_rows<F: FeatureRows>(&mut self, features: &F, labels: &[usize]) {
+        assert_eq!(
+            features.n_rows(),
+            labels.len(),
+            "feature/label length mismatch"
+        );
         assert!(!labels.is_empty(), "cannot fit on an empty training set");
-        let n_features = features.cols();
+        let n_features = features.n_cols();
         self.n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
         self.weights = Matrix::zeros(self.n_classes, n_features);
         self.bias = vec![0.0; self.n_classes];
@@ -101,12 +104,9 @@ impl Classifier for LinearSvm {
             rng.shuffle(&mut order);
             let lr = self.config.learning_rate / (1.0 + 0.01 * epoch as f64);
             for &i in &order {
-                let x = features.row(i);
                 for c in 0..self.n_classes {
                     let target = if labels[i] == c { 1.0 } else { -1.0 };
-                    let w = self.weights.row(c);
-                    let decision: f64 =
-                        w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + self.bias[c];
+                    let decision = features.row_dot(i, self.weights.row(c)) + self.bias[c];
                     // L2 shrinkage on every step (Pegasos-style).
                     let shrink = 1.0 - lr * self.config.l2;
                     for wv in self.weights.row_mut(c) {
@@ -115,18 +115,17 @@ impl Classifier for LinearSvm {
                     if target * decision < self.config.margin {
                         // Sub-gradient of the hinge loss: move towards target * x.
                         let wrow = self.weights.row_mut(c);
-                        for (wv, &xv) in wrow.iter_mut().zip(x) {
-                            *wv += lr * target * xv;
-                        }
-                        self.bias[c] += lr * target;
+                        let step = lr * target;
+                        features.for_each_row_entry(i, |j, xv| wrow[j] += step * xv);
+                        self.bias[c] += step;
                     }
                 }
             }
         }
     }
 
-    fn predict_proba(&self, features: &Matrix) -> Matrix {
-        let decisions = self.decision_function(features);
+    fn predict_proba_rows<F: FeatureRows>(&self, features: &F) -> Matrix {
+        let decisions = self.decision_rows(features);
         let mut out = Matrix::zeros(decisions.rows(), self.n_classes);
         for r in 0..decisions.rows() {
             out.set_row(r, &softmax(decisions.row(r)));
@@ -134,11 +133,42 @@ impl Classifier for LinearSvm {
         out
     }
 
-    fn predict(&self, features: &Matrix) -> Vec<usize> {
-        let decisions = self.decision_function(features);
+    fn predict_rows<F: FeatureRows>(&self, features: &F) -> Vec<usize> {
+        let decisions = self.decision_rows(features);
         (0..decisions.rows())
             .map(|r| holistix_linalg::argmax(decisions.row(r)).unwrap_or(0))
             .collect()
+    }
+
+    /// The fitted weights.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn fit(&mut self, features: &Matrix, labels: &[usize]) {
+        self.fit_rows(features, labels);
+    }
+
+    fn fit_features(&mut self, features: &FeatureMatrix, labels: &[usize]) {
+        self.fit_rows(features, labels);
+    }
+
+    fn predict_proba(&self, features: &Matrix) -> Matrix {
+        self.predict_proba_rows(features)
+    }
+
+    fn predict_proba_features(&self, features: &FeatureMatrix) -> Matrix {
+        self.predict_proba_rows(features)
+    }
+
+    fn predict(&self, features: &Matrix) -> Vec<usize> {
+        self.predict_rows(features)
+    }
+
+    fn predict_features(&self, features: &FeatureMatrix) -> Vec<usize> {
+        self.predict_rows(features)
     }
 
     fn n_classes(&self) -> usize {
@@ -207,9 +237,9 @@ mod tests {
         clf.fit(&x, &y);
         let proba = clf.predict_proba(&x);
         let preds = clf.predict(&x);
-        for r in 0..proba.rows() {
+        for (r, &pred) in preds.iter().enumerate() {
             assert!((proba.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
-            assert_eq!(holistix_linalg::argmax(proba.row(r)).unwrap(), preds[r]);
+            assert_eq!(holistix_linalg::argmax(proba.row(r)).unwrap(), pred);
         }
     }
 

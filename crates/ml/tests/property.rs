@@ -90,9 +90,9 @@ proptest! {
         for model in [&lr as &dyn Classifier, &nb as &dyn Classifier] {
             let proba = model.predict_proba(&x);
             let preds = model.predict(&x);
-            for r in 0..proba.rows() {
+            for (r, &pred) in preds.iter().enumerate() {
                 prop_assert!((proba.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-6);
-                prop_assert_eq!(holistix_linalg::argmax(proba.row(r)).unwrap(), preds[r]);
+                prop_assert_eq!(holistix_linalg::argmax(proba.row(r)).unwrap(), pred);
             }
         }
     }
@@ -104,5 +104,137 @@ proptest! {
         let averaged = ClassificationReport::average(&vec![report.clone(); k]);
         prop_assert!((averaged.accuracy - report.accuracy).abs() < 1e-12);
         prop_assert!((averaged.macro_f1 - report.macro_f1).abs() < 1e-12);
+    }
+}
+
+mod sparse_equivalence {
+    use holistix_linalg::FeatureMatrix;
+    use holistix_ml::{
+        Classifier, CountVectorizer, GaussianNaiveBayes, LinearSvm, LinearSvmConfig,
+        LogisticRegression, LogisticRegressionConfig, TfidfVectorizer, VectorizerOptions,
+    };
+    use proptest::prelude::*;
+
+    /// Random corpora over a small alphabet so vocabularies overlap across docs.
+    fn corpus() -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec("[a-f ]{0,60}", 1..24)
+    }
+
+    fn option_grid(variant: usize) -> VectorizerOptions {
+        match variant % 4 {
+            0 => VectorizerOptions::paper_default(),
+            1 => VectorizerOptions {
+                sublinear_tf: true,
+                ..VectorizerOptions::paper_default()
+            },
+            2 => VectorizerOptions {
+                l2_normalize: false,
+                min_document_frequency: 2,
+                ..VectorizerOptions::paper_default()
+            },
+            _ => VectorizerOptions {
+                ngram_max: 2,
+                remove_stopwords: false,
+                ..VectorizerOptions::paper_default()
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The sparse count transform is exactly the dense one: same shape, same
+        /// entries, bit for bit.
+        #[test]
+        fn count_transform_sparse_equals_dense(docs in corpus(), variant in 0usize..4) {
+            let options = option_grid(variant);
+            let vectorizer = CountVectorizer::fit(&docs, options);
+            let dense = vectorizer.transform(&docs);
+            let sparse = vectorizer.transform_sparse(&docs);
+            prop_assert_eq!(sparse.to_dense(), dense);
+        }
+
+        /// The sparse TF-IDF transform (including sublinear TF and L2
+        /// normalisation) is bitwise equal to the dense one.
+        #[test]
+        fn tfidf_transform_sparse_equals_dense(docs in corpus(), variant in 0usize..4) {
+            let options = option_grid(variant);
+            let vectorizer = TfidfVectorizer::fit(&docs, options);
+            let dense = vectorizer.transform(&docs);
+            let sparse = vectorizer.transform_sparse(&docs);
+            prop_assert_eq!(sparse.to_dense(), dense);
+        }
+
+        /// Out-of-vocabulary documents sparse-transform to all-zero rows, same as
+        /// the dense path.
+        #[test]
+        fn oov_documents_are_empty_rows(docs in corpus()) {
+            let vectorizer = TfidfVectorizer::fit(&docs, VectorizerOptions::paper_default());
+            let sparse = vectorizer.transform_sparse(&["zzz qqq xyzzy", ""]);
+            prop_assert_eq!(sparse.nnz(), 0);
+            prop_assert_eq!(sparse.rows(), 2);
+        }
+
+        /// LR and SVM training and scoring over the sparse representation are
+        /// bit-identical to dense training: every update the dense loop applies
+        /// for a zero feature is an exact IEEE-754 identity.
+        #[test]
+        fn linear_models_sparse_fit_matches_dense(docs in corpus(), seed in 0u64..50) {
+            let vectorizer = TfidfVectorizer::fit(&docs, VectorizerOptions::paper_default());
+            let dense = FeatureMatrix::Dense(vectorizer.transform(&docs));
+            let sparse = FeatureMatrix::Sparse(vectorizer.transform_sparse(&docs));
+            let labels: Vec<usize> = (0..docs.len()).map(|i| i % 3).collect();
+
+            let config = LogisticRegressionConfig { epochs: 12, seed, ..Default::default() };
+            let mut lr_dense = LogisticRegression::new(config.clone());
+            let mut lr_sparse = LogisticRegression::new(config);
+            lr_dense.fit_features(&dense, &labels);
+            lr_sparse.fit_features(&sparse, &labels);
+            prop_assert_eq!(lr_dense.weights(), lr_sparse.weights());
+            prop_assert_eq!(
+                lr_dense.predict_proba_features(&dense),
+                lr_sparse.predict_proba_features(&sparse)
+            );
+
+            let config = LinearSvmConfig { epochs: 12, seed, ..Default::default() };
+            let mut svm_dense = LinearSvm::new(config.clone());
+            let mut svm_sparse = LinearSvm::new(config);
+            svm_dense.fit_features(&dense, &labels);
+            svm_sparse.fit_features(&sparse, &labels);
+            prop_assert_eq!(svm_dense.weights(), svm_sparse.weights());
+            prop_assert_eq!(
+                svm_dense.predict_features(&dense),
+                svm_sparse.predict_features(&sparse)
+            );
+        }
+
+        /// Gaussian NB's sparse sufficient-statistics fit and delta-trick scoring
+        /// agree with the dense two-pass computation up to floating-point
+        /// reordering, and produce the same hard predictions.
+        #[test]
+        fn naive_bayes_sparse_matches_dense(docs in corpus(), seed in 0u64..50) {
+            let vectorizer = TfidfVectorizer::fit(&docs, VectorizerOptions::paper_default());
+            let dense = FeatureMatrix::Dense(vectorizer.transform(&docs));
+            let sparse = FeatureMatrix::Sparse(vectorizer.transform_sparse(&docs));
+            let labels: Vec<usize> = (0..docs.len()).map(|i| (i as u64 + seed) as usize % 3).collect();
+
+            let mut nb_dense = GaussianNaiveBayes::default_config();
+            let mut nb_sparse = GaussianNaiveBayes::default_config();
+            nb_dense.fit_features(&dense, &labels);
+            nb_sparse.fit_features(&sparse, &labels);
+
+            for (md, ms) in nb_dense.means().data().iter().zip(nb_sparse.means().data()) {
+                prop_assert!((md - ms).abs() < 1e-9, "mean mismatch: {md} vs {ms}");
+            }
+            for (vd, vs) in nb_dense.variances().data().iter().zip(nb_sparse.variances().data()) {
+                prop_assert!((vd - vs).abs() < 1e-7 * vd.abs().max(1.0), "variance mismatch: {vd} vs {vs}");
+            }
+            let pd = nb_dense.predict_proba_features(&dense);
+            let ps = nb_sparse.predict_proba_features(&sparse);
+            prop_assert_eq!(pd.shape(), ps.shape());
+            for (a, b) in pd.data().iter().zip(ps.data()) {
+                prop_assert!((a - b).abs() < 1e-6, "probability mismatch: {a} vs {b}");
+            }
+        }
     }
 }

@@ -211,7 +211,15 @@ impl Graph {
                 out[j] = (row[j] - mean) / std * g[j] + b[j];
             }
         }
-        self.push(value, Op::LayerNorm { x, gamma, beta, eps })
+        self.push(
+            value,
+            Op::LayerNorm {
+                x,
+                gamma,
+                beta,
+                eps,
+            },
+        )
     }
 
     /// Embedding lookup: output row `i` is row `indices[i]` of `table`.
@@ -219,7 +227,11 @@ impl Graph {
         let t = &self.nodes[table].value;
         let mut value = Matrix::zeros(indices.len(), t.cols());
         for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < t.rows(), "gather index {idx} out of range ({} rows)", t.rows());
+            assert!(
+                idx < t.rows(),
+                "gather index {idx} out of range ({} rows)",
+                t.rows()
+            );
             value.set_row(i, t.row(idx));
         }
         self.push(
@@ -261,7 +273,10 @@ impl Graph {
     /// `noise` (same shape as `a`, values in `[0,1)`); scaling by `1/keep` is applied
     /// so evaluation needs no rescaling. Pass `keep = 1.0` to disable.
     pub fn dropout(&mut self, a: NodeId, noise: &Matrix, keep: f64) -> NodeId {
-        assert!(keep > 0.0 && keep <= 1.0, "dropout keep probability must be in (0,1]");
+        assert!(
+            keep > 0.0 && keep <= 1.0,
+            "dropout keep probability must be in (0,1]"
+        );
         let shape = self.nodes[a].value.shape();
         assert_eq!(noise.shape(), shape, "dropout noise shape mismatch");
         let mut mask = Matrix::zeros(shape.0, shape.1);
@@ -276,11 +291,19 @@ impl Graph {
     /// (`n` dense class ids). Produces a `1 × 1` node.
     pub fn cross_entropy(&mut self, logits: NodeId, targets: &[usize]) -> NodeId {
         let l = &self.nodes[logits].value;
-        assert_eq!(l.rows(), targets.len(), "cross_entropy: row/target count mismatch");
+        assert_eq!(
+            l.rows(),
+            targets.len(),
+            "cross_entropy: row/target count mismatch"
+        );
         assert!(!targets.is_empty(), "cross_entropy: empty targets");
         let mut loss = 0.0;
         for (r, &t) in targets.iter().enumerate() {
-            assert!(t < l.cols(), "target {t} out of range for {} classes", l.cols());
+            assert!(
+                t < l.cols(),
+                "target {t} out of range for {} classes",
+                l.cols()
+            );
             let probs = softmax(l.row(r));
             loss -= probs[t].max(1e-15).ln();
         }
@@ -398,7 +421,12 @@ impl Graph {
                     }
                     self.nodes[a].grad.add_scaled(&da, 1.0);
                 }
-                Op::LayerNorm { x, gamma, beta, eps } => {
+                Op::LayerNorm {
+                    x,
+                    gamma,
+                    beta,
+                    eps,
+                } => {
                     let xv = self.nodes[x].value.clone();
                     let g = self.nodes[gamma].value.row(0).to_vec();
                     let d = xv.cols() as f64;
@@ -514,8 +542,12 @@ mod tests {
     use holistix_linalg::Rng64;
 
     /// Numerically check d(loss)/d(param) for a scalar-producing forward function.
-    fn finite_difference_check<F>(store: &mut ParamStore, param: ParamId, forward: F, tolerance: f64)
-    where
+    fn finite_difference_check<F>(
+        store: &mut ParamStore,
+        param: ParamId,
+        forward: F,
+        tolerance: f64,
+    ) where
         F: Fn(&mut Graph, &ParamStore) -> NodeId,
     {
         // Analytic gradient.
@@ -553,7 +585,13 @@ mod tests {
         }
     }
 
-    fn random_param(store: &mut ParamStore, name: &str, rows: usize, cols: usize, seed: u64) -> ParamId {
+    fn random_param(
+        store: &mut ParamStore,
+        name: &str,
+        rows: usize,
+        cols: usize,
+        seed: u64,
+    ) -> ParamId {
         let mut rng = Rng64::new(seed);
         let mut m = Matrix::zeros(rows, cols);
         for v in m.data_mut() {

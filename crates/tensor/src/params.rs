@@ -107,7 +107,10 @@ impl ParamStore {
 
     /// Iterate over `(id, value, grad)` triples.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix, &Matrix)> {
-        self.params.iter().enumerate().map(|(i, p)| (i, &p.value, &p.grad))
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, &p.value, &p.grad))
     }
 
     /// Ids of every parameter.

@@ -94,7 +94,10 @@ pub fn stem(word: &str) -> String {
     if cleanup {
         if w.ends_with("at") || w.ends_with("bl") || w.ends_with("iz") {
             w.push('e');
-        } else if ends_double_consonant(&w) && !w.ends_with('l') && !w.ends_with('s') && !w.ends_with('z')
+        } else if ends_double_consonant(&w)
+            && !w.ends_with('l')
+            && !w.ends_with('s')
+            && !w.ends_with('z')
         {
             w.pop();
         } else if measure(&w) == 1 && ends_cvc(&w) {

@@ -13,27 +13,221 @@ use std::collections::HashSet;
 
 /// Core English stop-word list (function words, auxiliaries, frequent fillers).
 pub const ENGLISH_STOPWORDS: &[&str] = &[
-    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
-    "aren't", "as", "at", "be", "because", "been", "before", "being", "below", "between", "both",
-    "but", "by", "can", "cannot", "could", "couldn't", "did", "didn't", "do", "does", "doesn't",
-    "doing", "don't", "down", "during", "each", "few", "for", "from", "further", "had", "hadn't",
-    "has", "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's", "her", "here",
-    "here's", "hers", "herself", "him", "himself", "his", "how", "how's", "i'd", "i'll", "i'm",
-    "i've", "if", "in", "into", "is", "isn't", "it", "it's", "its", "itself", "let's", "more",
-    "most", "mustn't", "my", "myself", "no", "nor", "not", "of", "off", "on", "once", "only",
-    "or", "other", "ought", "our", "ours", "ourselves", "out", "over", "own", "same", "shan't",
-    "she", "she'd", "she'll", "she's", "should", "shouldn't", "so", "some", "such", "than",
-    "that", "that's", "the", "their", "theirs", "them", "themselves", "then", "there", "there's",
-    "these", "they", "they'd", "they'll", "they're", "they've", "this", "those", "through", "to",
-    "too", "under", "until", "up", "very", "was", "wasn't", "we", "we'd", "we'll", "we're",
-    "we've", "were", "weren't", "what", "what's", "when", "when's", "where", "where's", "which",
-    "while", "who", "who's", "whom", "why", "why's", "with", "won't", "would", "wouldn't", "you",
-    "you'd", "you'll", "you're", "you've", "your", "yours", "yourself", "yourselves",
+    "a",
+    "about",
+    "above",
+    "after",
+    "again",
+    "against",
+    "all",
+    "am",
+    "an",
+    "and",
+    "any",
+    "are",
+    "aren't",
+    "as",
+    "at",
+    "be",
+    "because",
+    "been",
+    "before",
+    "being",
+    "below",
+    "between",
+    "both",
+    "but",
+    "by",
+    "can",
+    "cannot",
+    "could",
+    "couldn't",
+    "did",
+    "didn't",
+    "do",
+    "does",
+    "doesn't",
+    "doing",
+    "don't",
+    "down",
+    "during",
+    "each",
+    "few",
+    "for",
+    "from",
+    "further",
+    "had",
+    "hadn't",
+    "has",
+    "hasn't",
+    "have",
+    "haven't",
+    "having",
+    "he",
+    "he'd",
+    "he'll",
+    "he's",
+    "her",
+    "here",
+    "here's",
+    "hers",
+    "herself",
+    "him",
+    "himself",
+    "his",
+    "how",
+    "how's",
+    "i'd",
+    "i'll",
+    "i'm",
+    "i've",
+    "if",
+    "in",
+    "into",
+    "is",
+    "isn't",
+    "it",
+    "it's",
+    "its",
+    "itself",
+    "let's",
+    "more",
+    "most",
+    "mustn't",
+    "my",
+    "myself",
+    "no",
+    "nor",
+    "not",
+    "of",
+    "off",
+    "on",
+    "once",
+    "only",
+    "or",
+    "other",
+    "ought",
+    "our",
+    "ours",
+    "ourselves",
+    "out",
+    "over",
+    "own",
+    "same",
+    "shan't",
+    "she",
+    "she'd",
+    "she'll",
+    "she's",
+    "should",
+    "shouldn't",
+    "so",
+    "some",
+    "such",
+    "than",
+    "that",
+    "that's",
+    "the",
+    "their",
+    "theirs",
+    "them",
+    "themselves",
+    "then",
+    "there",
+    "there's",
+    "these",
+    "they",
+    "they'd",
+    "they'll",
+    "they're",
+    "they've",
+    "this",
+    "those",
+    "through",
+    "to",
+    "too",
+    "under",
+    "until",
+    "up",
+    "very",
+    "was",
+    "wasn't",
+    "we",
+    "we'd",
+    "we'll",
+    "we're",
+    "we've",
+    "were",
+    "weren't",
+    "what",
+    "what's",
+    "when",
+    "when's",
+    "where",
+    "where's",
+    "which",
+    "while",
+    "who",
+    "who's",
+    "whom",
+    "why",
+    "why's",
+    "with",
+    "won't",
+    "would",
+    "wouldn't",
+    "you",
+    "you'd",
+    "you'll",
+    "you're",
+    "you've",
+    "your",
+    "yours",
+    "yourself",
+    "yourselves",
     // informal / forum-specific variants without apostrophes
-    "im", "ive", "id", "ill", "dont", "doesnt", "didnt", "cant", "wont", "isnt", "arent",
-    "wasnt", "werent", "havent", "hasnt", "hadnt", "wouldnt", "couldnt", "shouldnt", "thats",
-    "theres", "youre", "youve", "theyre", "gonna", "wanna", "u", "ur", "just", "really", "also",
-    "even", "still", "much", "will", "get", "got", "like", "know", "one", "it'd", "i",
+    "im",
+    "ive",
+    "id",
+    "ill",
+    "dont",
+    "doesnt",
+    "didnt",
+    "cant",
+    "wont",
+    "isnt",
+    "arent",
+    "wasnt",
+    "werent",
+    "havent",
+    "hasnt",
+    "hadnt",
+    "wouldnt",
+    "couldnt",
+    "shouldnt",
+    "thats",
+    "theres",
+    "youre",
+    "youve",
+    "theyre",
+    "gonna",
+    "wanna",
+    "u",
+    "ur",
+    "just",
+    "really",
+    "also",
+    "even",
+    "still",
+    "much",
+    "will",
+    "get",
+    "got",
+    "like",
+    "know",
+    "one",
+    "it'd",
+    "i",
 ];
 
 /// Returns `true` if `word` (already lower-cased) is an English stop-word.
@@ -55,6 +249,15 @@ impl StopwordFilter {
             words: ENGLISH_STOPWORDS.iter().copied().collect(),
             extra: HashSet::new(),
         }
+    }
+
+    /// A process-wide shared English filter. Building the stop-word hash set is
+    /// the dominant cost of [`english`](Self::english), so callers that filter
+    /// one document at a time (analyzers, explainers) should borrow this instead
+    /// of constructing their own.
+    pub fn english_shared() -> &'static StopwordFilter {
+        static SHARED: std::sync::OnceLock<StopwordFilter> = std::sync::OnceLock::new();
+        SHARED.get_or_init(StopwordFilter::english)
     }
 
     /// An empty filter (nothing is a stop-word).

@@ -245,7 +245,11 @@ impl SubwordTokenizer {
 
     /// Encode a sequence of words for classification: `[CLS] pieces... [SEP]`,
     /// truncated/padded to exactly `max_len` ids.
-    pub fn encode_for_classification<S: AsRef<str>>(&self, words: &[S], max_len: usize) -> Vec<usize> {
+    pub fn encode_for_classification<S: AsRef<str>>(
+        &self,
+        words: &[S],
+        max_len: usize,
+    ) -> Vec<usize> {
         let mut ids = vec![self.cls_id()];
         ids.extend(self.encode_words(words));
         ids.truncate(max_len.saturating_sub(1));

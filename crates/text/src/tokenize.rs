@@ -97,7 +97,9 @@ pub fn tokenize_with_spans(text: &str) -> Vec<Token> {
             let mut end = start + c.len_utf8();
             chars.next();
             while let Some(&(i, nc)) = chars.peek() {
-                if nc.is_ascii_digit() || nc == '.' && text[i + 1..].starts_with(|d: char| d.is_ascii_digit()) {
+                if nc.is_ascii_digit()
+                    || nc == '.' && text[i + 1..].starts_with(|d: char| d.is_ascii_digit())
+                {
                     end = i + nc.len_utf8();
                     chars.next();
                 } else {

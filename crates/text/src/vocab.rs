@@ -60,10 +60,32 @@ impl VocabularyBuilder {
     /// Freeze into a [`Vocabulary`], keeping terms with at least `min_count` total
     /// occurrences and at most `max_size` terms (most frequent first; `None` = no cap).
     pub fn build(&self, min_count: u64, max_size: Option<usize>) -> Vocabulary {
+        self.build_filtered(|_, term_count, _| term_count >= min_count, max_size)
+    }
+
+    /// Freeze into a [`Vocabulary`], keeping terms that occur in at least
+    /// `min_document_frequency` documents (the `min_df` semantics of scikit-learn
+    /// vectorisers, which filter on document frequency, not total occurrences) and
+    /// at most `max_size` terms.
+    pub fn build_with_min_df(
+        &self,
+        min_document_frequency: usize,
+        max_size: Option<usize>,
+    ) -> Vocabulary {
+        self.build_filtered(
+            |_, _, doc_count| doc_count as usize >= min_document_frequency,
+            max_size,
+        )
+    }
+
+    fn build_filtered<F>(&self, keep: F, max_size: Option<usize>) -> Vocabulary
+    where
+        F: Fn(&str, u64, u64) -> bool,
+    {
         let mut entries: Vec<(&String, u64)> = self
             .term_counts
             .iter()
-            .filter(|(_, &c)| c >= min_count)
+            .filter(|(t, &c)| keep(t, c, *self.doc_counts.get(*t).unwrap_or(&0)))
             .map(|(t, &c)| (t, c))
             .collect();
         entries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
@@ -258,6 +280,18 @@ mod tests {
         let v = sample_builder().build(2, None);
         assert!(v.id("feel").is_some());
         assert!(v.id("exhausted").is_none());
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn min_df_filters_on_document_frequency() {
+        // "feel" occurs 3 times but in only 2 documents; "i" occurs 2 times in
+        // 2 documents. A doc-frequency threshold of 2 keeps both and drops every
+        // single-document term, unlike the total-occurrence filter of `build`.
+        let v = sample_builder().build_with_min_df(2, None);
+        assert!(v.id("feel").is_some());
+        assert!(v.id("i").is_some());
+        assert!(v.id("work").is_none());
         assert_eq!(v.len(), 2);
     }
 

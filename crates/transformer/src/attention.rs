@@ -41,18 +41,47 @@ pub struct MultiHeadAttention {
 
 impl MultiHeadAttention {
     /// Register the block's parameters in `store`.
-    pub fn new(config: &ModelConfig, layer_index: usize, store: &mut ParamStore, rng: &mut Rng64) -> Self {
+    pub fn new(
+        config: &ModelConfig,
+        layer_index: usize,
+        store: &mut ParamStore,
+        rng: &mut Rng64,
+    ) -> Self {
         let mut heads = Vec::with_capacity(config.n_heads);
         for h in 0..config.n_heads {
             let prefix = format!("layer{layer_index}.attn.head{h}");
             heads.push(HeadParams {
-                wq: store.add_xavier(&format!("{prefix}.wq"), config.hidden_dim, config.head_dim(), rng),
-                wk: store.add_xavier(&format!("{prefix}.wk"), config.hidden_dim, config.head_dim(), rng),
-                wv: store.add_xavier(&format!("{prefix}.wv"), config.hidden_dim, config.head_dim(), rng),
-                wo: store.add_xavier(&format!("{prefix}.wo"), config.head_dim(), config.hidden_dim, rng),
+                wq: store.add_xavier(
+                    &format!("{prefix}.wq"),
+                    config.hidden_dim,
+                    config.head_dim(),
+                    rng,
+                ),
+                wk: store.add_xavier(
+                    &format!("{prefix}.wk"),
+                    config.hidden_dim,
+                    config.head_dim(),
+                    rng,
+                ),
+                wv: store.add_xavier(
+                    &format!("{prefix}.wv"),
+                    config.hidden_dim,
+                    config.head_dim(),
+                    rng,
+                ),
+                wo: store.add_xavier(
+                    &format!("{prefix}.wo"),
+                    config.head_dim(),
+                    config.hidden_dim,
+                    rng,
+                ),
             });
         }
-        let output_bias = store.add_zeros(&format!("layer{layer_index}.attn.bias"), 1, config.hidden_dim);
+        let output_bias = store.add_zeros(
+            &format!("layer{layer_index}.attn.bias"),
+            1,
+            config.hidden_dim,
+        );
         let relative_bias = if config.attention == AttentionKind::Relative {
             Some(store.add_zeros(
                 &format!("layer{layer_index}.attn.rel_bias"),
@@ -91,7 +120,13 @@ impl MultiHeadAttention {
     /// Forward pass: `x` is a `max_len × hidden` node; returns a `max_len × hidden`
     /// node. `mask` must come from [`build_mask`](Self::build_mask) for the same
     /// sequence.
-    pub fn forward(&self, graph: &mut Graph, store: &ParamStore, x: NodeId, mask: &Matrix) -> NodeId {
+    pub fn forward(
+        &self,
+        graph: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        mask: &Matrix,
+    ) -> NodeId {
         let scale = 1.0 / (self.head_dim as f64).sqrt();
         let mut combined: Option<NodeId> = None;
         for head in &self.heads {
@@ -217,7 +252,10 @@ mod tests {
         let a = run(base);
         let b = run(altered);
         for c in 0..8 {
-            assert!((a[(0, c)] - b[(0, c)]).abs() < 1e-9, "causal mask leaked future info");
+            assert!(
+                (a[(0, c)] - b[(0, c)]).abs() < 1e-9,
+                "causal mask leaked future info"
+            );
         }
         // ...but it must affect the last position itself.
         assert!((0..8).any(|c| (a[(5, c)] - b[(5, c)]).abs() > 1e-9));
@@ -234,7 +272,8 @@ mod tests {
         assert!(store.len() > before);
         // Bidirectional variant does not.
         let mut store2 = ParamStore::new();
-        let attn2 = MultiHeadAttention::new(&tiny_config(ModelKind::Bert), 0, &mut store2, &mut rng);
+        let attn2 =
+            MultiHeadAttention::new(&tiny_config(ModelKind::Bert), 0, &mut store2, &mut rng);
         assert!(attn2.relative_bias.is_none());
     }
 
@@ -262,6 +301,9 @@ mod tests {
         let out2 = attn.forward(&mut g2, &store, x2, &mask);
         let sq2 = g2.mul(out2, out2);
         let loss2 = g2.sum(sq2);
-        assert!(g2.scalar(loss2) < before, "loss should decrease after a step");
+        assert!(
+            g2.scalar(loss2) < before,
+            "loss should decrease after a step"
+        );
     }
 }

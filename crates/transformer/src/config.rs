@@ -148,7 +148,10 @@ impl ModelConfig {
 
     /// Validate internal consistency; panics with a descriptive message when invalid.
     pub fn validate(&self) {
-        assert!(self.hidden_dim > 0 && self.n_layers > 0 && self.n_heads > 0, "zero-sized model");
+        assert!(
+            self.hidden_dim > 0 && self.n_layers > 0 && self.n_heads > 0,
+            "zero-sized model"
+        );
         assert_eq!(
             self.hidden_dim % self.n_heads,
             0,
@@ -158,7 +161,10 @@ impl ModelConfig {
         );
         assert!(self.max_len >= 4, "max_len must be at least 4");
         assert!(self.n_classes >= 2, "need at least two classes");
-        assert!((0.0..1.0).contains(&self.dropout), "dropout must be in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&self.dropout),
+            "dropout must be in [0,1)"
+        );
     }
 }
 

@@ -17,12 +17,27 @@ pub struct FeedForward {
 
 impl FeedForward {
     /// Register the block's parameters.
-    pub fn new(config: &ModelConfig, layer_index: usize, store: &mut ParamStore, rng: &mut Rng64) -> Self {
+    pub fn new(
+        config: &ModelConfig,
+        layer_index: usize,
+        store: &mut ParamStore,
+        rng: &mut Rng64,
+    ) -> Self {
         let prefix = format!("layer{layer_index}.ffn");
         Self {
-            w1: store.add_xavier(&format!("{prefix}.w1"), config.hidden_dim, config.ff_dim, rng),
+            w1: store.add_xavier(
+                &format!("{prefix}.w1"),
+                config.hidden_dim,
+                config.ff_dim,
+                rng,
+            ),
             b1: store.add_zeros(&format!("{prefix}.b1"), 1, config.ff_dim),
-            w2: store.add_xavier(&format!("{prefix}.w2"), config.ff_dim, config.hidden_dim, rng),
+            w2: store.add_xavier(
+                &format!("{prefix}.w2"),
+                config.ff_dim,
+                config.hidden_dim,
+                rng,
+            ),
             b2: store.add_zeros(&format!("{prefix}.b2"), 1, config.hidden_dim),
         }
     }
@@ -79,7 +94,12 @@ pub struct EncoderLayer {
 
 impl EncoderLayer {
     /// Register all of the layer's parameters.
-    pub fn new(config: &ModelConfig, layer_index: usize, store: &mut ParamStore, rng: &mut Rng64) -> Self {
+    pub fn new(
+        config: &ModelConfig,
+        layer_index: usize,
+        store: &mut ParamStore,
+        rng: &mut Rng64,
+    ) -> Self {
         Self {
             attention: MultiHeadAttention::new(config, layer_index, store, rng),
             ln_attention: LayerNormParams::new(
@@ -104,7 +124,13 @@ impl EncoderLayer {
     }
 
     /// Forward pass on a `seq × hidden` node.
-    pub fn forward(&self, graph: &mut Graph, store: &ParamStore, x: NodeId, mask: &Matrix) -> NodeId {
+    pub fn forward(
+        &self,
+        graph: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        mask: &Matrix,
+    ) -> NodeId {
         let attended = self.attention.forward(graph, store, x, mask);
         let residual = graph.add(x, attended);
         let normed = self.ln_attention.forward(graph, store, residual);

@@ -36,23 +36,45 @@ impl TransformerClassifier {
     ///
     /// `tokenizer` must already be fitted on the training corpus (the trainer does
     /// this); its vocabulary size overrides `config.vocab_size`.
-    pub fn new(mut config: ModelConfig, name: &str, tokenizer: SubwordTokenizer, seed: u64) -> Self {
+    pub fn new(
+        mut config: ModelConfig,
+        name: &str,
+        tokenizer: SubwordTokenizer,
+        seed: u64,
+    ) -> Self {
         config.vocab_size = tokenizer.vocab_size();
         config.validate();
         let mut store = ParamStore::new();
         let mut rng = Rng64::new(seed);
-        let token_embedding =
-            store.add_xavier("embeddings.token", config.vocab_size, config.hidden_dim, &mut rng);
-        let position_embedding =
-            store.add_xavier("embeddings.position", config.max_len, config.hidden_dim, &mut rng);
-        let embedding_norm =
-            LayerNormParams::new("embeddings.ln", config.hidden_dim, config.layer_norm_eps, &mut store);
+        let token_embedding = store.add_xavier(
+            "embeddings.token",
+            config.vocab_size,
+            config.hidden_dim,
+            &mut rng,
+        );
+        let position_embedding = store.add_xavier(
+            "embeddings.position",
+            config.max_len,
+            config.hidden_dim,
+            &mut rng,
+        );
+        let embedding_norm = LayerNormParams::new(
+            "embeddings.ln",
+            config.hidden_dim,
+            config.layer_norm_eps,
+            &mut store,
+        );
         let layers = (0..config.n_layers)
             .map(|i| EncoderLayer::new(&config, i, &mut store, &mut rng))
             .collect();
         let bottleneck = if config.bottleneck_head {
             Some((
-                store.add_xavier("head.bottleneck.w", config.hidden_dim, config.hidden_dim, &mut rng),
+                store.add_xavier(
+                    "head.bottleneck.w",
+                    config.hidden_dim,
+                    config.hidden_dim,
+                    &mut rng,
+                ),
                 store.add_zeros("head.bottleneck.b", 1, config.hidden_dim),
             ))
         } else {
@@ -117,12 +139,16 @@ impl TransformerClassifier {
             .filter(|t| t.kind != holistix_text::TokenKind::Punctuation)
             .map(|t| t.lower())
             .collect::<Vec<_>>();
-        self.tokenizer.encode_for_classification(&words, self.config.max_len)
+        self.tokenizer
+            .encode_for_classification(&words, self.config.max_len)
     }
 
     /// Which positions of an encoded sequence are padding.
     pub fn padding_mask(&self, tokens: &[usize]) -> Vec<bool> {
-        tokens.iter().map(|&t| t == self.tokenizer.pad_id()).collect()
+        tokens
+            .iter()
+            .map(|&t| t == self.tokenizer.pad_id())
+            .collect()
     }
 
     /// Run the encoder stack on a token sequence, returning the `max_len × hidden`
@@ -135,7 +161,11 @@ impl TransformerClassifier {
         train: bool,
         rng: &mut Rng64,
     ) -> NodeId {
-        assert_eq!(tokens.len(), self.config.max_len, "token sequence must be padded to max_len");
+        assert_eq!(
+            tokens.len(),
+            self.config.max_len,
+            "token sequence must be padded to max_len"
+        );
         let is_padding = self.padding_mask(tokens);
         let token_table = graph.param(&self.store, self.token_embedding);
         let token_emb = graph.gather(token_table, tokens);
@@ -170,7 +200,10 @@ impl TransformerClassifier {
                 graph.mean_rows(selected)
             }
             Pooling::LastToken => {
-                let last = (0..tokens.len()).rev().find(|&i| !is_padding[i]).unwrap_or(0);
+                let last = (0..tokens.len())
+                    .rev()
+                    .find(|&i| !is_padding[i])
+                    .unwrap_or(0);
                 graph.row_select(hidden, last)
             }
         }
@@ -285,7 +318,12 @@ mod tests {
 
     #[test]
     fn forward_logits_shape_and_probabilities() {
-        for kind in [ModelKind::Bert, ModelKind::FlanT5, ModelKind::Gpt2, ModelKind::Xlnet] {
+        for kind in [
+            ModelKind::Bert,
+            ModelKind::FlanT5,
+            ModelKind::Gpt2,
+            ModelKind::Xlnet,
+        ] {
             let model = tiny_model(kind);
             let proba = model.predict_proba_text("i feel exhausted and cannot sleep");
             assert_eq!(proba.len(), 6);

@@ -178,7 +178,11 @@ pub fn pretrain_masked_lm(
             clip_gradients(model.store_mut(), 5.0);
             optimizer.step(model.store_mut());
         }
-        let mean_epoch = if batches == 0 { 0.0 } else { epoch_loss / batches as f64 };
+        let mean_epoch = if batches == 0 {
+            0.0
+        } else {
+            epoch_loss / batches as f64
+        };
         if epoch == 0 {
             first_epoch_loss = mean_epoch;
         }
@@ -256,17 +260,31 @@ mod tests {
         let a = pretrain_masked_lm(
             &mut in_domain,
             &texts,
-            &PretrainConfig { epochs: 2, max_sequences: None, ..PretrainConfig::in_domain() },
+            &PretrainConfig {
+                epochs: 2,
+                max_sequences: None,
+                ..PretrainConfig::in_domain()
+            },
         );
         let b = pretrain_masked_lm(
             &mut generic,
             &texts,
-            &PretrainConfig { epochs: 2, max_sequences: None, ..PretrainConfig::generic() },
+            &PretrainConfig {
+                epochs: 2,
+                max_sequences: None,
+                ..PretrainConfig::generic()
+            },
         );
         // Both run, and the resulting embedding matrices are not identical.
         assert!(a.sequences_per_epoch > 0 && b.sequences_per_epoch > 0);
-        let emb_a = in_domain.store().value(in_domain.token_embedding_param()).clone();
-        let emb_b = generic.store().value(generic.token_embedding_param()).clone();
+        let emb_a = in_domain
+            .store()
+            .value(in_domain.token_embedding_param())
+            .clone();
+        let emb_b = generic
+            .store()
+            .value(generic.token_embedding_param())
+            .clone();
         assert_ne!(emb_a, emb_b);
     }
 

@@ -104,7 +104,10 @@ impl Trainer {
     /// Fit on raw training texts and dense labels.
     pub fn fit(&mut self, texts: &[&str], labels: &[usize]) {
         assert_eq!(texts.len(), labels.len(), "texts/labels length mismatch");
-        assert!(!texts.is_empty(), "cannot fine-tune on an empty training set");
+        assert!(
+            !texts.is_empty(),
+            "cannot fine-tune on an empty training set"
+        );
 
         // 1. Tokenizer from the training split.
         let mut vocab_builder = SubwordVocabBuilder::new(self.finetune.subword_vocab_size);
@@ -159,7 +162,11 @@ impl Trainer {
                 clip_gradients(model.store_mut(), self.finetune.gradient_clip);
                 optimizer.step(model.store_mut());
             }
-            epoch_losses.push(if batches == 0 { 0.0 } else { epoch_loss / batches as f64 });
+            epoch_losses.push(if batches == 0 {
+                0.0
+            } else {
+                epoch_loss / batches as f64
+            });
         }
 
         self.summary = Some(TrainingSummary {
@@ -172,13 +179,19 @@ impl Trainer {
 
     /// Predict dense class indices for texts. Panics if `fit` has not run.
     pub fn predict(&self, texts: &[&str]) -> Vec<usize> {
-        let model = self.model.as_ref().expect("Trainer::predict called before fit");
+        let model = self
+            .model
+            .as_ref()
+            .expect("Trainer::predict called before fit");
         texts.iter().map(|t| model.predict_text(t)).collect()
     }
 
     /// Class-probability vector for one text. Panics if `fit` has not run.
     pub fn predict_proba(&self, text: &str) -> Vec<f64> {
-        let model = self.model.as_ref().expect("Trainer::predict_proba called before fit");
+        let model = self
+            .model
+            .as_ref()
+            .expect("Trainer::predict_proba called before fit");
         model.predict_proba_text(text)
     }
 }
@@ -233,7 +246,8 @@ mod tests {
         let mut trainer = Trainer::new(ModelKind::MentalBert, model_config, finetune);
         trainer.fit(&texts, &labels);
         let preds = trainer.predict(&texts);
-        let acc = preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
+        let acc =
+            preds.iter().zip(&labels).filter(|(a, b)| a == b).count() as f64 / labels.len() as f64;
         assert!(acc >= 0.75, "training-set accuracy {acc}");
         let summary = trainer.summary().unwrap();
         assert_eq!(summary.epoch_losses.len(), 12);
@@ -243,11 +257,14 @@ mod tests {
     #[test]
     fn pretraining_stage_runs_when_configured() {
         let (texts, labels) = tiny_task();
-        let (model_config, finetune) = fast_config(5, Some(PretrainConfig {
-            epochs: 1,
-            max_sequences: Some(8),
-            ..PretrainConfig::in_domain()
-        }));
+        let (model_config, finetune) = fast_config(
+            5,
+            Some(PretrainConfig {
+                epochs: 1,
+                max_sequences: Some(8),
+                ..PretrainConfig::in_domain()
+            }),
+        );
         let mut trainer = Trainer::new(ModelKind::MentalBert, model_config, finetune);
         trainer.fit(&texts, &labels);
         assert!(trainer.summary().unwrap().pretrain.is_some());

@@ -129,11 +129,20 @@ mod tests {
     fn only_mentalbert_pretrains_in_domain() {
         for kind in ModelKind::ALL {
             let recipe = FineTuneRecipe::paper(kind, 6, 1);
-            let pretrain = recipe.finetune.pretrain.expect("all recipes pre-initialise");
+            let pretrain = recipe
+                .finetune
+                .pretrain
+                .expect("all recipes pre-initialise");
             if kind == ModelKind::MentalBert {
-                assert!(!pretrain.degrade_domain, "MentalBERT should pretrain in-domain");
+                assert!(
+                    !pretrain.degrade_domain,
+                    "MentalBERT should pretrain in-domain"
+                );
             } else {
-                assert!(pretrain.degrade_domain, "{kind:?} should pretrain on degraded text");
+                assert!(
+                    pretrain.degrade_domain,
+                    "{kind:?} should pretrain on degraded text"
+                );
             }
         }
     }

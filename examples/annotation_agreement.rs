@@ -13,14 +13,26 @@ use holistix::prelude::*;
 
 fn main() {
     let corpus = HolistixCorpus::generate(42);
-    println!("Annotation study over {} posts with two simulated student annotators\n", corpus.len());
+    println!(
+        "Annotation study over {} posts with two simulated student annotators\n",
+        corpus.len()
+    );
 
     let study = run_annotation_study(&corpus, 7);
 
     println!("=== Inter-annotator agreement (paper: Fleiss' κ = 75.92%) ===\n");
-    println!("  Raw percentage agreement: {:.2}%", 100.0 * study.agreement.percent_agreement);
-    println!("  Fleiss' kappa:            {:.2}%", 100.0 * study.agreement.fleiss_kappa);
-    println!("  Cohen's kappa:            {:.2}%", 100.0 * study.agreement.cohen_kappa);
+    println!(
+        "  Raw percentage agreement: {:.2}%",
+        100.0 * study.agreement.percent_agreement
+    );
+    println!(
+        "  Fleiss' kappa:            {:.2}%",
+        100.0 * study.agreement.fleiss_kappa
+    );
+    println!(
+        "  Cohen's kappa:            {:.2}%",
+        100.0 * study.agreement.cohen_kappa
+    );
     println!(
         "  Disagreements adjudicated towards gold by the perplexity guidelines: {:.1}%",
         100.0 * study.adjudicated_fraction
@@ -28,12 +40,24 @@ fn main() {
 
     println!("\n=== Most frequent annotator confusions (gold -> assigned) ===\n");
     for (gold, assigned, count) in study.confusion_pairs().into_iter().take(10) {
-        println!("  {:<4} -> {:<4} {:>4} times", gold.code(), assigned.code(), count);
+        println!(
+            "  {:<4} -> {:<4} {:>4} times",
+            gold.code(),
+            assigned.code(),
+            count
+        );
     }
 
     println!("\n=== Per-annotator accuracy against the gold labels ===\n");
-    for (name, labels) in [("annotator-1", &study.annotator_a), ("annotator-2", &study.annotator_b)] {
-        let correct = labels.iter().zip(&study.gold).filter(|(a, g)| a == g).count();
+    for (name, labels) in [
+        ("annotator-1", &study.annotator_a),
+        ("annotator-2", &study.annotator_b),
+    ] {
+        let correct = labels
+            .iter()
+            .zip(&study.gold)
+            .filter(|(a, g)| a == g)
+            .count();
         println!(
             "  {name}: {:.1}% of {} posts",
             100.0 * correct as f64 / study.gold.len() as f64,

@@ -7,8 +7,8 @@
 //! cargo run --release --example dataset_report
 //! ```
 
-use holistix::prelude::*;
 use holistix::corpus::CorpusStatistics;
+use holistix::prelude::*;
 
 fn main() {
     // The full-size synthetic corpus (1,420 posts, Table II class balance).
@@ -26,11 +26,26 @@ fn main() {
 
     println!("\nDeviation from the paper's reference counts:");
     let reference = CorpusStatistics::paper_reference();
-    println!("  total posts      measured {:>6}   paper {:>6}", stats.total_posts, reference.total_posts);
-    println!("  total words      measured {:>6}   paper {:>6}", stats.total_words, reference.total_words);
-    println!("  total sentences  measured {:>6}   paper {:>6}", stats.total_sentences, reference.total_sentences);
-    println!("  max words/post   measured {:>6}   paper {:>6}", stats.max_words_per_post, reference.max_words_per_post);
-    println!("  max sents/post   measured {:>6}   paper {:>6}", stats.max_sentences_per_post, reference.max_sentences_per_post);
+    println!(
+        "  total posts      measured {:>6}   paper {:>6}",
+        stats.total_posts, reference.total_posts
+    );
+    println!(
+        "  total words      measured {:>6}   paper {:>6}",
+        stats.total_words, reference.total_words
+    );
+    println!(
+        "  total sentences  measured {:>6}   paper {:>6}",
+        stats.total_sentences, reference.total_sentences
+    );
+    println!(
+        "  max words/post   measured {:>6}   paper {:>6}",
+        stats.max_words_per_post, reference.max_words_per_post
+    );
+    println!(
+        "  max sents/post   measured {:>6}   paper {:>6}",
+        stats.max_sentences_per_post, reference.max_sentences_per_post
+    );
 
     println!("\n=== Table III: frequent words in explanatory text spans ===\n");
     let frequent = holistix::run_table3(&corpus);

@@ -49,5 +49,8 @@ fn main() {
     let explainer = LimeExplainer::default_config();
     let explanation = explainer.explain(&model, &post.post.text, None);
     println!("\nGold explanation span: \"{}\"", post.span_text());
-    println!("LIME top keywords:     {}", explanation.top_tokens(5).join(", "));
+    println!(
+        "LIME top keywords:     {}",
+        explanation.top_tokens(5).join(", ")
+    );
 }

@@ -2,8 +2,8 @@
 //! can be regenerated, and the qualitative shape of the published results holds on the
 //! synthetic corpus.
 
-use holistix::prelude::*;
 use holistix::corpus::CorpusStatistics;
+use holistix::prelude::*;
 
 #[test]
 fn table2_statistics_match_the_paper_reference_shape() {
@@ -15,8 +15,12 @@ fn table2_statistics_match_the_paper_reference_shape() {
     assert_eq!(stats.class_counts, paper.class_counts);
     assert!(stats.max_sentences_per_post <= paper.max_sentences_per_post);
     // Word and sentence volume within a generous band of the published values.
-    let word_deviation = (stats.total_words as f64 - paper.total_words as f64).abs() / paper.total_words as f64;
-    assert!(word_deviation < 0.35, "total word count deviates {word_deviation:.2} from the paper");
+    let word_deviation =
+        (stats.total_words as f64 - paper.total_words as f64).abs() / paper.total_words as f64;
+    assert!(
+        word_deviation < 0.35,
+        "total word count deviates {word_deviation:.2} from the paper"
+    );
     // Class percentages of §II-C.
     let pct = stats.class_percentages();
     assert!((pct[WellnessDimension::Social.index()] - 28.59).abs() < 0.1);
@@ -36,10 +40,18 @@ fn table3_top_words_contain_the_papers_leaders() {
             .collect()
     };
     // Table III headline words per dimension.
-    assert!(top_words(WellnessDimension::Vocational, 5).iter().any(|w| w == "job" || w == "work"));
-    assert!(top_words(WellnessDimension::Physical, 6).iter().any(|w| w == "anxiety" || w == "sleep"));
-    assert!(top_words(WellnessDimension::Social, 8).iter().any(|w| w == "feel" || w == "alone" || w == "people"));
-    assert!(top_words(WellnessDimension::Spiritual, 8).iter().any(|w| w == "feel" || w == "life"));
+    assert!(top_words(WellnessDimension::Vocational, 5)
+        .iter()
+        .any(|w| w == "job" || w == "work"));
+    assert!(top_words(WellnessDimension::Physical, 6)
+        .iter()
+        .any(|w| w == "anxiety" || w == "sleep"));
+    assert!(top_words(WellnessDimension::Social, 8)
+        .iter()
+        .any(|w| w == "feel" || w == "alone" || w == "people"));
+    assert!(top_words(WellnessDimension::Spiritual, 8)
+        .iter()
+        .any(|w| w == "feel" || w == "life"));
 }
 
 #[test]
@@ -82,7 +94,12 @@ fn table4_classical_rows_reproduce_the_papers_ordering() {
     assert_eq!(result.rows.len(), 3);
 
     let accuracy = |m: &str| result.accuracy_of(m).unwrap();
-    assert!(accuracy("LR") > accuracy("Gaussian NB"), "LR {} vs NB {}", accuracy("LR"), accuracy("Gaussian NB"));
+    assert!(
+        accuracy("LR") > accuracy("Gaussian NB"),
+        "LR {} vs NB {}",
+        accuracy("LR"),
+        accuracy("Gaussian NB")
+    );
     assert!(accuracy("Linear SVM") > accuracy("Gaussian NB"));
 
     // Per-class difficulty shape for LR: the Social/Physical majority classes score

@@ -53,7 +53,10 @@ fn lime_overlaps_gold_spans_for_correctly_classified_posts() {
         f1_sum += metrics.f1;
         scored += 1;
     }
-    assert!(scored >= 5, "too few correctly classified posts to evaluate");
+    assert!(
+        scored >= 5,
+        "too few correctly classified posts to evaluate"
+    );
     let mean_f1 = f1_sum / scored as f64;
     assert!(mean_f1 > 0.15, "mean explanation F1 {mean_f1}");
 }
@@ -74,7 +77,8 @@ fn lime_agrees_with_logistic_regression_feature_weights() {
         let explanation = explainer.explain(&model, text, None);
         let top = explanation.top_tokens(4);
         assert!(
-            top.iter().any(|t| ["job", "money", "financial", "stress"].contains(&t.as_str())),
+            top.iter()
+                .any(|t| ["job", "money", "financial", "stress"].contains(&t.as_str())),
             "top tokens {top:?} should contain a vocational indicator"
         );
     } else {

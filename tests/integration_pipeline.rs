@@ -2,9 +2,9 @@
 //! the full "generate → split → vectorise → train → evaluate" path that every
 //! experiment in the paper relies on.
 
-use holistix::prelude::*;
 use holistix::corpus::splits::{kfold_stratified, paper_split};
 use holistix::ml::{cross_validate, TextPipeline};
+use holistix::prelude::*;
 
 #[test]
 fn corpus_to_classifier_end_to_end() {
@@ -92,7 +92,11 @@ fn transformer_pipeline_runs_through_cross_validation() {
     assert_eq!(cv.model_name, "DistilBERT");
     assert_eq!(cv.fold_outcomes.len(), 2);
     // Even a tiny transformer must beat random guessing on this lexically separable data.
-    assert!(cv.averaged.accuracy > 1.0 / 6.0, "accuracy {}", cv.averaged.accuracy);
+    assert!(
+        cv.averaged.accuracy > 1.0 / 6.0,
+        "accuracy {}",
+        cv.averaged.accuracy
+    );
 }
 
 #[test]
@@ -106,7 +110,13 @@ fn pipeline_adapter_matches_direct_fit() {
     adapter.fit(&texts, &labels);
     let via_adapter = adapter.predict(&texts);
 
-    let direct = FittedBaseline::fit(BaselineKind::GaussianNb, SpeedProfile::Fast, &texts, &labels, 9);
+    let direct = FittedBaseline::fit(
+        BaselineKind::GaussianNb,
+        SpeedProfile::Fast,
+        &texts,
+        &labels,
+        9,
+    );
     let via_direct = direct.predict(&texts);
 
     assert_eq!(via_adapter, via_direct);
@@ -123,7 +133,13 @@ fn corpus_serialisation_round_trips_through_training() {
 
     let labels: Vec<usize> = reloaded.iter().map(|p| p.label.index()).collect();
     let texts: Vec<&str> = reloaded.iter().map(|p| p.post.text.as_str()).collect();
-    let a = FittedBaseline::fit(BaselineKind::LogisticRegression, SpeedProfile::Tiny, &texts, &labels, 1);
+    let a = FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Tiny,
+        &texts,
+        &labels,
+        1,
+    );
     let b = FittedBaseline::fit(
         BaselineKind::LogisticRegression,
         SpeedProfile::Tiny,
@@ -139,7 +155,13 @@ fn degenerate_inputs_are_handled_end_to_end() {
     let corpus = HolistixCorpus::generate_small(80, 13);
     let labels = corpus.label_indices();
     let texts = corpus.texts();
-    let model = FittedBaseline::fit(BaselineKind::LogisticRegression, SpeedProfile::Tiny, &texts, &labels, 1);
+    let model = FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Tiny,
+        &texts,
+        &labels,
+        1,
+    );
     // Empty and out-of-vocabulary posts must classify without panicking.
     let predictions = model.predict(&["", "zzzz qqqq xxxx", "!!!"]);
     assert_eq!(predictions.len(), 3);

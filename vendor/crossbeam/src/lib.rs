@@ -1,0 +1,104 @@
+//! Offline shim for the slice of `crossbeam` this workspace uses: scoped threads.
+//!
+//! `crossbeam::thread::scope` predates `std::thread::scope`; since Rust 1.63 the
+//! standard library provides the same guarantee (spawned threads are joined before
+//! the scope returns, so they may borrow from the caller's stack). This shim keeps
+//! the crossbeam calling convention — the spawn closure receives a `&Scope` so
+//! nested spawns work, and `scope` returns a `Result` — while delegating all the
+//! actual thread management to `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result type matching `crossbeam::thread`: `Err` carries a panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle; threads spawned through it may borrow data owned by the
+    /// caller of [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` holds the panic payload if it
+        /// panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure receives
+        /// the scope again so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads.
+    ///
+    /// Unlike crossbeam, panics of *unjoined* children propagate as panics out of
+    /// the underlying `std::thread::scope` rather than as an `Err`; every caller in
+    /// this workspace joins all handles, where the behaviour is identical.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1usize, 2, 3, 4];
+        let total = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<usize>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let result = thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(result, 42);
+    }
+
+    #[test]
+    fn joined_panic_is_an_err() {
+        thread::scope(|scope| {
+            let handle = scope.spawn(|_| panic!("boom"));
+            assert!(handle.join().is_err());
+        })
+        .unwrap();
+    }
+}

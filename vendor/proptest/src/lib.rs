@@ -1,0 +1,406 @@
+//! Offline shim for the slice of `proptest` the property tests use.
+//!
+//! Supports: range strategies over integers and `f64`, string strategies from a
+//! regex subset (`.`, `[...]` classes, `{m,n}` repetition), `collection::vec`,
+//! tuple strategies, `prop_map`, the `proptest!` macro (with an optional
+//! `#![proptest_config(...)]`), and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports its
+//! generated inputs but is not minimised) and a fixed deterministic seed per test
+//! name, so failures are reproducible across runs and machines without a
+//! persistence file.
+
+use std::ops::Range;
+
+/// Deterministic splitmix64 generator for test-case inputs.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test-name hash and case index.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a hash used to derive per-test seeds from the test name.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A value generator. The shim generates directly (no value tree / shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String literals are regex strategies (subset: `.`, char classes, `{m,n}`).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` of values from `element`, sized within `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.start + rng.below((self.len.end - self.len.start) as u64) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+mod regex {
+    use super::TestRng;
+
+    enum Atom {
+        Any,
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    struct Unit {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Characters `.` draws from: printable ASCII plus a few multi-byte
+    /// code points so byte-index handling gets exercised.
+    const ANY_EXTRAS: [char; 6] = ['é', 'ß', 'λ', '√', '中', '🙂'];
+
+    fn parse(pattern: &str) -> Vec<Unit> {
+        let mut chars = pattern.chars().peekable();
+        let mut units = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => {
+                    let mut class = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        match chars.next() {
+                            None => panic!("unterminated char class in {pattern:?}"),
+                            Some(']') => break,
+                            Some('\\') => {
+                                let esc = chars.next().expect("dangling escape");
+                                class.push(esc);
+                                prev = Some(esc);
+                            }
+                            Some('-') if prev.is_some() && chars.peek() != Some(&']') => {
+                                let start = prev.unwrap();
+                                let end = chars.next().unwrap();
+                                assert!(start <= end, "bad range in {pattern:?}");
+                                // The range start is already in `class`; add the rest.
+                                for code in (start as u32 + 1)..=(end as u32) {
+                                    if let Some(ch) = char::from_u32(code) {
+                                        class.push(ch);
+                                    }
+                                }
+                                prev = None;
+                            }
+                            Some(ch) => {
+                                class.push(ch);
+                                prev = Some(ch);
+                            }
+                        }
+                    }
+                    assert!(!class.is_empty(), "empty char class in {pattern:?}");
+                    Atom::Class(class)
+                }
+                '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+                c => Atom::Literal(c),
+            };
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition"),
+                        hi.parse().expect("bad repetition"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("bad repetition");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            units.push(Unit { atom, min, max });
+        }
+        units
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for unit in parse(pattern) {
+            let n = unit.min + rng.below((unit.max - unit.min + 1) as u64) as usize;
+            for _ in 0..n {
+                match &unit.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(class) => out.push(class[rng.below(class.len() as u64) as usize]),
+                    Atom::Any => {
+                        // ~1 in 8 draws picks a multi-byte char.
+                        if rng.below(8) == 0 {
+                            out.push(ANY_EXTRAS[rng.below(ANY_EXTRAS.len() as u64) as usize]);
+                        } else {
+                            out.push((0x20u8 + rng.below(0x5F) as u8) as char);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Declare property tests: each `fn name(arg in strategy, ...) { body }` becomes a
+/// `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        // `#[test]` comes through `$meta` — the caller writes it, as in real proptest.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let base = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::TestRng::new(base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = outcome {
+                    panic!(
+                        "property {} failed at case {case} (deterministic; rerun reproduces): {message}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )*};
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({} != {})",
+                left,
+                right,
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-h]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| ('a'..='h').contains(&c)));
+        }
+        let with_space = crate::Strategy::generate(&"[a-f ]{0,40}", &mut rng);
+        assert!(with_space
+            .chars()
+            .all(|c| c == ' ' || ('a'..='f').contains(&c)));
+        let escaped = crate::Strategy::generate(&"[a-z ,.!?'\\-]{0,20}", &mut rng);
+        assert!(escaped
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || " ,.!?'-".contains(c)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires strategies, config and assertions together.
+        #[test]
+        fn macro_machinery_works(n in 1usize..10, xs in collection::vec(0u64..5, 0..4), s in ".{0,10}") {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!(xs.len() < 4);
+            prop_assert!(xs.iter().all(|&x| x < 5));
+            prop_assert_eq!(s.len(), s.len());
+        }
+
+        /// Tuple and prop_map strategies compose.
+        #[test]
+        fn mapped_tuples((a, b) in (0usize..6, 0usize..6), v in collection::vec((0usize..3, 0usize..3), 1..5).prop_map(|pairs| pairs.into_iter().map(|(x, _)| x).collect::<Vec<_>>())) {
+            prop_assert!(a < 6 && b < 6);
+            prop_assert!(!v.is_empty());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Offline shim for the slice of `rand` 0.8 the corpus crate uses.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen::<f64>()` and
+//! `Rng::gen_range` over integer ranges. The generator is splitmix64 — not the
+//! ChaCha12 the real `StdRng` wraps, so seeded streams differ from upstream rand,
+//! but every consumer in this workspace only needs determinism *within* the
+//! workspace (synthetic corpus generation, shuffles, annotation noise), not
+//! cross-crate reproducibility of rand's exact streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (`seed_from_u64` is the only constructor used here).
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from the "standard" distribution via [`Rng::gen`].
+pub trait StandardSample {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types uniform ranges can be sampled over (stand-in for rand's
+/// `SampleUniform`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// `end - self`, as an unsigned span (caller guarantees `self <= end`).
+    fn span_to(self, end: Self) -> u64;
+    /// `self + delta` (caller guarantees no overflow within the sampled range).
+    fn offset(self, delta: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn span_to(self, end: Self) -> u64 {
+                end.wrapping_sub(self) as u64
+            }
+            fn offset(self, delta: u64) -> Self {
+                self.wrapping_add(delta as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, i64, i32);
+
+/// Ranges samplable via [`Rng::gen_range`]. Mirroring rand, there is exactly one
+/// impl per range shape (generic in the element type) so integer-literal ranges
+/// infer their type from the call site.
+pub trait SampleRange<T> {
+    /// Draw one value from the range. Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = self.start.span_to(self.end);
+        // Lemire multiply-shift reduction: unbiased enough for simulation use.
+        let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+        self.start.offset(draw)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from empty range");
+        let span = start.span_to(end) + 1;
+        let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+        start.offset(draw)
+    }
+}
+
+/// The raw random-word source.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// The user-facing sampling interface, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample from the standard distribution (uniform `[0,1)` for `f64`).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from an integer range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64; see crate docs for the
+    /// divergence from upstream rand's ChaCha-based `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self {
+                // Avoid the all-zero fixed point and decorrelate small seeds.
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..2000 {
+            let x = rng.gen_range(0..10usize);
+            assert!(x < 10);
+            let y = rng.gen_range(2..=4usize);
+            assert!((2..=4).contains(&y));
+            seen_low |= y == 2;
+            seen_high |= y == 4;
+        }
+        assert!(
+            seen_low && seen_high,
+            "inclusive endpoints should both occur"
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Provides the two derive macros (as no-ops) and marker traits under the names the
+//! codebase imports (`use serde::{Deserialize, Serialize};`). The derives live in
+//! the macro namespace and the traits in the type namespace, so one `pub use` plus
+//! two trait definitions cover both uses. See `serde_shim_derive` for why this is
+//! sufficient.
+
+pub use serde_shim_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

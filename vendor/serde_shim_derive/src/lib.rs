@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace builds fully offline, so the real `serde_derive` is unavailable.
+//! Nothing in the repository serialises through serde's data model (the one JSON
+//! code path, `holistix_corpus::io`, hand-rolls its records), so the derives only
+//! need to exist, not to generate code. These macros accept any item and expand to
+//! nothing, which keeps every `#[derive(Serialize, Deserialize)]` in the codebase
+//! compiling unchanged and leaves a drop-in seam for the real serde later.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
