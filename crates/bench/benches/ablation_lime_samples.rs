@@ -1,9 +1,15 @@
-//! Ablation — LIME sample budget.
+//! Ablation — LIME sample budget and scoring batch size.
 //!
 //! Table V depends on LIME's perturbation sample count. This ablation sweeps the
 //! budget (30 → 400 samples), reporting explanation quality (token F1 against gold
 //! spans) and benchmarking the explanation cost at each budget, which documents the
 //! quality/latency trade-off behind the default of 200 samples.
+//!
+//! A second sweep varies [`LimeConfig::batch_size`] at a fixed sample budget: the
+//! perturbation set is scored through `FittedBaseline::predict_proba` in
+//! `batch_size`-sized chunks, and only chunks larger than the pipeline's internal
+//! 64-text batch fan out across threads — so this quantifies the batching win that
+//! dominates the Table V runtime (and sizes the serving layer's defaults).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use holistix::explain::{evaluate_explanations, LimeConfig, LimeExplainer};
@@ -12,6 +18,10 @@ use std::hint::black_box;
 use std::time::Duration;
 
 const BUDGETS: [usize; 4] = [30, 100, 200, 400];
+
+/// Batch sizes for the `LimeConfig::batch_size` sweep: below, at, and above the
+/// core pipeline's 64-text internal scoring batch.
+const BATCH_SIZES: [usize; 4] = [32, 64, 256, 1024];
 
 fn print_sweep() {
     let corpus = HolistixCorpus::generate_small(260, 42);
@@ -71,6 +81,26 @@ fn bench_lime_samples(c: &mut Criterion) {
         });
         group.bench_with_input(
             BenchmarkId::from_parameter(budget),
+            &explainer,
+            |b, explainer| {
+                b.iter(|| black_box(explainer.explain(&model, black_box(&post.post.text), None)))
+            },
+        );
+    }
+    group.finish();
+
+    // The batching ablation: same explanation, increasingly large scoring chunks.
+    let mut group = c.benchmark_group("ablation_lime_batch_size");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(10));
+    for &batch_size in &BATCH_SIZES {
+        let explainer = LimeExplainer::new(LimeConfig {
+            n_samples: 400,
+            batch_size,
+            ..LimeConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(batch_size),
             &explainer,
             |b, explainer| {
                 b.iter(|| black_box(explainer.explain(&model, black_box(&post.post.text), None)))

@@ -46,7 +46,11 @@
 //!    path in chunks, which is the hot loop of the Table V reproduction.
 //!
 //! The `sparse_vs_dense_inference` bench in `holistix-bench` tracks the speedup of
-//! this path over the dense one on a 1k-post corpus.
+//! this path over the dense one on a 1k-post corpus with a paper-scale (12k-term)
+//! vocabulary. The `holistix-serve` crate builds the online story on top: fitted
+//! baselines stay warm in a model registry and concurrent HTTP requests are
+//! coalesced into scoring batches by a micro-batching scheduler, which is exactly
+//! the workload the batched parallel path exists for.
 //!
 //! ## Quick start
 //!

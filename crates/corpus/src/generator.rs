@@ -197,6 +197,87 @@ impl HolistixCorpus {
     }
 }
 
+/// Syllables composed into synthetic filler terms by [`synthetic_lexicon`]. None of
+/// the combinations collide with English words, stop-words or the Table I indicator
+/// keywords, so augmentation grows the vocabulary without disturbing the label signal.
+const LEXICON_SYLLABLES: [&str; 40] = [
+    "bel", "cor", "dan", "fen", "gol", "hun", "jor", "kel", "lom", "mur", "nel", "pol", "quin",
+    "ros", "sel", "tor", "vul", "wex", "yal", "zem", "bri", "cla", "dre", "fal", "gre", "hol",
+    "jin", "kra", "lun", "mex", "nor", "pra", "que", "ril", "ska", "tre", "vor", "wul", "xan",
+    "yor",
+];
+
+/// A deterministic synthetic lexicon of `n_terms` distinct pronounceable word types
+/// (two-syllable terms first, then three-syllable), used to scale the corpus
+/// vocabulary to paper-scale sizes (10k+ terms) for benchmarking. Panics if
+/// `n_terms` exceeds the 65,600 constructible combinations.
+pub fn synthetic_lexicon(n_terms: usize) -> Vec<String> {
+    let syl = &LEXICON_SYLLABLES;
+    let max = syl.len() * syl.len() * (1 + syl.len());
+    assert!(n_terms <= max, "synthetic lexicon caps at {max} terms");
+    let mut terms = Vec::with_capacity(n_terms);
+    'outer: for a in syl {
+        for b in syl {
+            if terms.len() == n_terms {
+                break 'outer;
+            }
+            terms.push(format!("{a}{b}"));
+        }
+    }
+    'outer3: for a in syl {
+        for b in syl {
+            for c in syl {
+                if terms.len() == n_terms {
+                    break 'outer3;
+                }
+                terms.push(format!("{a}{b}{c}"));
+            }
+        }
+    }
+    terms
+}
+
+impl HolistixCorpus {
+    /// Append a trailing filler sentence of synthetic lexicon terms to every post,
+    /// growing the corpus vocabulary to roughly `n_terms` distinct extra word types.
+    ///
+    /// Each post gains `words_per_post` terms: half drawn round-robin so every term
+    /// is guaranteed to appear (and, once the corpus has at least `2 * n_terms`
+    /// round-robin slots, to appear in at least two distinct posts — surviving any
+    /// document-frequency cut-off of 2), half drawn log-uniformly so term
+    /// frequencies fall off Zipf-style like a natural vocabulary. Terms are appended
+    /// *after* the existing text, so gold spans and labels are untouched.
+    ///
+    /// This exists for benchmarking: the built-in Table I lexicon yields only a few
+    /// hundred TF-IDF features, far below the 10k+ term vocabularies of real
+    /// corpora where sparse inference pays off.
+    pub fn augment_vocabulary(&mut self, n_terms: usize, words_per_post: usize, seed: u64) {
+        let lexicon = synthetic_lexicon(n_terms);
+        if lexicon.is_empty() || words_per_post == 0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cursor = 0usize;
+        let coverage_slots = words_per_post.div_ceil(2);
+        for p in &mut self.posts {
+            let mut extra: Vec<&str> = Vec::with_capacity(words_per_post);
+            for _ in 0..coverage_slots {
+                extra.push(&lexicon[cursor % lexicon.len()]);
+                cursor += 1;
+            }
+            for _ in coverage_slots..words_per_post {
+                // Log-uniform index: rank r is ~1/(r+1) likely, a Zipf-like tail.
+                let idx = (lexicon.len() as f64).powf(rng.gen::<f64>()) as usize - 1;
+                extra.push(&lexicon[idx.min(lexicon.len() - 1)]);
+            }
+            let text = &mut p.post.text;
+            text.push(' ');
+            text.push_str(&extra.join(" "));
+            text.push('.');
+        }
+    }
+}
+
 /// Deterministic corpus generator.
 #[derive(Debug, Clone)]
 pub struct CorpusGenerator {
@@ -479,5 +560,61 @@ mod tests {
     fn scaled_calibration_keeps_every_class() {
         let cal = CorpusCalibration::default().scaled_to(30);
         assert!(cal.class_counts.iter().all(|&c| c >= 2));
+    }
+
+    #[test]
+    fn synthetic_lexicon_terms_are_distinct() {
+        assert!(synthetic_lexicon(0).is_empty());
+        assert_eq!(synthetic_lexicon(1600).len(), 1600);
+        let terms = synthetic_lexicon(5000);
+        assert_eq!(terms.len(), 5000);
+        let mut sorted = terms.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), terms.len(), "lexicon terms must be distinct");
+        assert!(terms
+            .iter()
+            .all(|t| t.chars().all(|c| c.is_ascii_lowercase())));
+    }
+
+    #[test]
+    fn augmentation_covers_every_term_at_least_twice() {
+        let mut corpus = HolistixCorpus::generate_small(60, 5);
+        corpus.augment_vocabulary(100, 20, 9);
+        // 60 posts × 10 round-robin slots = 600 ≥ 2×100, so every term lands in
+        // at least two distinct posts (the cursor revisits a term only after a
+        // full cycle through the lexicon, which spans many posts).
+        let lexicon = synthetic_lexicon(100);
+        for term in &lexicon {
+            let posts_with_term = corpus
+                .iter()
+                .filter(|p| {
+                    p.post
+                        .text
+                        .split_whitespace()
+                        .any(|w| w.trim_end_matches('.') == term)
+                })
+                .count();
+            assert!(
+                posts_with_term >= 2,
+                "term {term} in only {posts_with_term} posts"
+            );
+        }
+    }
+
+    #[test]
+    fn augmentation_is_deterministic_and_preserves_spans() {
+        let pristine = HolistixCorpus::generate_small(40, 11);
+        let mut a = pristine.clone();
+        let mut b = pristine.clone();
+        a.augment_vocabulary(500, 16, 3);
+        b.augment_vocabulary(500, 16, 3);
+        assert_eq!(a.posts, b.posts);
+        for (augmented, original) in a.iter().zip(pristine.iter()) {
+            assert_eq!(augmented.span, original.span);
+            assert_eq!(augmented.span_text(), original.span_text());
+            assert_eq!(augmented.label, original.label);
+            assert!(augmented.post.text.starts_with(&original.post.text));
+        }
     }
 }

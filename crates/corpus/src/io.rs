@@ -4,7 +4,11 @@
 //! real release be dropped into this reproduction in place of the synthetic corpus:
 //! the JSONL format carries the full data model (text, category, label, span); the CSV
 //! format carries the `text,label` pairs most classification scripts expect.
+//!
+//! All JSON scanning and escaping lives in [`crate::json`] (shared with the
+//! serving layer); this module only knows the JSONL record schema.
 
+use crate::json::{json_escape, JsonParser};
 use crate::post::{AnnotatedPost, Post, Span, WellnessDimension};
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -23,9 +27,10 @@ struct JsonlRecord {
 }
 
 impl JsonlRecord {
-    /// Render as a single-line JSON object. Hand-rolled because the build is
-    /// offline (the vendored serde shim has no data model); the field set is small
-    /// and fixed, so this stays byte-compatible with what `serde_json` produced.
+    /// Render as a single-line JSON object via [`crate::json`] (the build is
+    /// offline and the vendored serde shim has no data model); the field set is
+    /// small and fixed, so this stays byte-compatible with what `serde_json`
+    /// produced.
     fn to_json(&self) -> String {
         format!(
             "{{\"id\":{},\"text\":{},\"category\":{},\"label\":{},\"span_start\":{},\"span_end\":{}}}",
@@ -61,7 +66,9 @@ impl JsonlRecord {
                     "text" => text = Some(p.parse_string()?),
                     "category" => category = Some(p.parse_string()?),
                     "label" => label = Some(p.parse_string()?),
-                    _ => p.skip_scalar()?,
+                    // Unknown fields of any shape (scalars, arrays, objects)
+                    // are ignored, matching serde's default.
+                    _ => p.skip_value()?,
                 }
                 p.skip_ws();
                 if p.eat(',') {
@@ -80,161 +87,6 @@ impl JsonlRecord {
             span_start: span_start.ok_or("missing field `span_start`")?,
             span_end: span_end.ok_or("missing field `span_end`")?,
         })
-    }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Minimal JSON scanner for the flat string/number objects JSONL records use.
-struct JsonParser<'a> {
-    chars: std::iter::Peekable<std::str::Chars<'a>>,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(input: &'a str) -> Self {
-        Self {
-            chars: input.chars().peekable(),
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
-            self.chars.next();
-        }
-    }
-
-    fn eat(&mut self, expected: char) -> bool {
-        self.skip_ws();
-        if self.chars.peek() == Some(&expected) {
-            self.chars.next();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, expected: char) -> Result<(), String> {
-        if self.eat(expected) {
-            Ok(())
-        } else {
-            Err(format!(
-                "expected `{expected}`, found {:?}",
-                self.chars.peek()
-            ))
-        }
-    }
-
-    fn expect_end(&mut self) -> Result<(), String> {
-        self.skip_ws();
-        match self.chars.peek() {
-            None => Ok(()),
-            Some(c) => Err(format!("trailing characters starting at {c:?}")),
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            match self.chars.next() {
-                None => return Err("unterminated string".to_string()),
-                Some('"') => return Ok(out),
-                Some('\\') => match self.chars.next() {
-                    Some('"') => out.push('"'),
-                    Some('\\') => out.push('\\'),
-                    Some('/') => out.push('/'),
-                    Some('b') => out.push('\u{8}'),
-                    Some('f') => out.push('\u{c}'),
-                    Some('n') => out.push('\n'),
-                    Some('r') => out.push('\r'),
-                    Some('t') => out.push('\t'),
-                    Some('u') => {
-                        let code = self.parse_hex4()?;
-                        // Non-BMP characters arrive as UTF-16 surrogate pairs
-                        // (e.g. from serializers with ASCII-only output).
-                        let code = if (0xD800..0xDC00).contains(&code) {
-                            if self.chars.next() != Some('\\') || self.chars.next() != Some('u') {
-                                return Err("lone high surrogate in \\u escape".to_string());
-                            }
-                            let low = self.parse_hex4()?;
-                            if !(0xDC00..0xE000).contains(&low) {
-                                return Err("invalid low surrogate in \\u escape".to_string());
-                            }
-                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
-                        } else {
-                            code
-                        };
-                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
-                    }
-                    other => return Err(format!("invalid escape {other:?}")),
-                },
-                Some(c) => out.push(c),
-            }
-        }
-    }
-
-    fn parse_hex4(&mut self) -> Result<u32, String> {
-        let mut code = 0u32;
-        for _ in 0..4 {
-            let digit = self
-                .chars
-                .next()
-                .and_then(|c| c.to_digit(16))
-                .ok_or("invalid \\u escape")?;
-            code = code * 16 + digit;
-        }
-        Ok(code)
-    }
-
-    fn parse_usize(&mut self) -> Result<usize, String> {
-        self.skip_ws();
-        let mut digits = String::new();
-        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
-            digits.push(self.chars.next().unwrap());
-        }
-        if digits.is_empty() {
-            return Err(format!("expected number, found {:?}", self.chars.peek()));
-        }
-        digits
-            .parse()
-            .map_err(|e| format!("invalid integer {digits:?}: {e}"))
-    }
-
-    fn skip_scalar(&mut self) -> Result<(), String> {
-        self.skip_ws();
-        match self.chars.peek() {
-            Some('"') => self.parse_string().map(|_| ()),
-            Some(c) if c.is_ascii_digit() || *c == '-' => {
-                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
-                {
-                    self.chars.next();
-                }
-                Ok(())
-            }
-            Some(c) if c.is_ascii_alphabetic() => {
-                while matches!(self.chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
-                    self.chars.next();
-                }
-                Ok(())
-            }
-            other => Err(format!("cannot skip value starting with {other:?}")),
-        }
     }
 }
 
@@ -425,6 +277,14 @@ mod tests {
         assert!(from_jsonl(lone).is_err());
         let bad_low = r#"{"id":0,"text":"\ud83dA","category":"Anxiety","label":"PA","span_start":0,"span_end":0}"#;
         assert!(from_jsonl(bad_low).is_err());
+    }
+
+    #[test]
+    fn jsonl_ignores_unknown_fields_of_any_shape() {
+        // A real released corpus may carry extra fields; nested ones included.
+        let line = r#"{"id":0,"text":"hi","category":"Anxiety","label":"PA","span_start":0,"span_end":1,"tags":["a",{"x":1}],"meta":{"source":"forum","ids":[1,2]},"score":0.5,"ok":true}"#;
+        let posts = from_jsonl(line).unwrap();
+        assert_eq!(posts[0].post.text, "hi");
     }
 
     #[test]

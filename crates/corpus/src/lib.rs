@@ -20,7 +20,9 @@
 //! * **splits**: the paper's fixed 990/212/213 train/validation/test split and
 //!   stratified k-fold cross-validation ([`splits`]),
 //! * **serialisation**: JSONL and CSV readers/writers so a real Holistix release (from
-//!   the authors' GitHub) can be dropped in instead of the synthetic corpus ([`io`]).
+//!   the authors' GitHub) can be dropped in instead of the synthetic corpus ([`io`]),
+//!   built on a reusable hand-rolled JSON scanner/serialiser ([`json`]) that the
+//!   `holistix-serve` HTTP layer shares.
 //!
 //! Everything is deterministic given a seed: `HolistixCorpus::generate(seed)` always
 //! produces the same posts, labels and spans.
@@ -29,6 +31,7 @@ pub mod agreement;
 pub mod annotation;
 pub mod generator;
 pub mod io;
+pub mod json;
 pub mod lexicon;
 pub mod post;
 pub mod splits;
@@ -36,7 +39,8 @@ pub mod stats;
 
 pub use agreement::{cohen_kappa, fleiss_kappa, AgreementReport};
 pub use annotation::{AnnotationStudy, AnnotatorProfile, SimulatedAnnotator};
-pub use generator::{CorpusCalibration, CorpusGenerator, HolistixCorpus};
+pub use generator::{synthetic_lexicon, CorpusCalibration, CorpusGenerator, HolistixCorpus};
+pub use json::JsonValue;
 pub use lexicon::{DimensionLexicon, IndicatorLexicon};
 pub use post::{AnnotatedPost, Post, Span, WellnessDimension, ALL_DIMENSIONS};
 pub use splits::{kfold_stratified, train_val_test_split, CrossValidationFolds, DatasetSplit};

@@ -23,6 +23,8 @@ pub mod rouge;
 pub mod span_eval;
 
 pub use bleu::{bleu, bleu_n};
-pub use lime::{LimeConfig, LimeExplainer, LimeExplanation, ProbabilityModel};
+pub use lime::{
+    interpretable_features, LimeConfig, LimeExplainer, LimeExplanation, ProbabilityModel,
+};
 pub use rouge::{rouge_1, rouge_l, RougeScore};
 pub use span_eval::{evaluate_explanations, ExplanationMetrics, ExplanationReport};

@@ -28,6 +28,35 @@ pub trait ProbabilityModel {
     fn n_classes(&self) -> usize;
 }
 
+/// The interpretable features LIME explains a text over: its distinct
+/// lower-cased word types, in first-occurrence order. Exposed so callers that
+/// need to bound explanation cost (the serving layer caps the feature count
+/// before the `(features+1)²` surrogate solve) count exactly what the
+/// explainer will solve over.
+pub fn interpretable_features(text: &str) -> Vec<String> {
+    distinct_features(&text_words(text))
+}
+
+/// First-occurrence-ordered distinct words.
+fn distinct_features(words: &[String]) -> Vec<String> {
+    let mut features: Vec<String> = Vec::new();
+    for w in words {
+        if !features.contains(w) {
+            features.push(w.clone());
+        }
+    }
+    features
+}
+
+/// All word tokens of a text, lower-cased, in order (with repeats).
+fn text_words(text: &str) -> Vec<String> {
+    holistix_text::tokenize(text)
+        .into_iter()
+        .filter(|t| t.kind == holistix_text::TokenKind::Word)
+        .map(|t| t.lower())
+        .collect()
+}
+
 /// LIME hyper-parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LimeConfig {
@@ -134,17 +163,8 @@ impl LimeExplainer {
         target_class: Option<usize>,
     ) -> LimeExplanation {
         // Interpretable features: distinct lower-cased word types, in first-occurrence order.
-        let words: Vec<String> = holistix_text::tokenize(text)
-            .into_iter()
-            .filter(|t| t.kind == holistix_text::TokenKind::Word)
-            .map(|t| t.lower())
-            .collect();
-        let mut features: Vec<String> = Vec::new();
-        for w in &words {
-            if !features.contains(w) {
-                features.push(w.clone());
-            }
-        }
+        let words = text_words(text);
+        let features = distinct_features(&words);
 
         let original = model
             .predict_proba(&[text])

@@ -1,0 +1,235 @@
+//! Cross-request micro-batching.
+//!
+//! Request worker threads never score texts themselves: they enqueue
+//! [`Job`]s on an `mpsc` channel and block on a per-job reply channel. A
+//! single batcher thread drains the queue into micro-batches — up to
+//! [`BatchConfig::max_batch`] texts, or whatever has accumulated when
+//! [`BatchConfig::max_wait`] elapses after the first text — scores each batch
+//! with one [`FittedBaseline::probabilities`] call (the sparse, internally
+//! parallel path), and fans the per-row results back out to the waiting
+//! workers.
+//!
+//! Batching is invisible in the results: `probabilities` is bit-for-bit
+//! identical to text-at-a-time scoring (a property the core pipeline tests
+//! pin), so coalescing concurrent requests changes latency, never answers.
+
+use crate::metrics::ServeMetrics;
+use crate::registry::ModelRegistry;
+use holistix::{BaselineKind, FittedBaseline};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Largest batch the scheduler assembles before scoring.
+    pub max_batch: usize,
+    /// How long the scheduler waits for more texts after the first one arrives.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_wait: Duration::from_millis(5),
+        }
+    }
+}
+
+/// One text awaiting scoring, with the channel its probabilities go back on.
+pub(crate) struct Job {
+    pub kind: BaselineKind,
+    pub text: String,
+    pub reply: Sender<Vec<f64>>,
+}
+
+/// Cloneable producer handle the request workers use to hand texts to the
+/// batcher and wait for probabilities.
+#[derive(Clone)]
+pub struct BatcherHandle {
+    sender: Sender<Job>,
+}
+
+impl BatcherHandle {
+    pub(crate) fn new(sender: Sender<Job>) -> Self {
+        Self { sender }
+    }
+
+    /// Score `texts` with the warm model for `kind`. All jobs are enqueued
+    /// before the first reply is awaited, so a multi-text request forms (or
+    /// joins) a batch as a whole. Errors when the server is shutting down,
+    /// the batcher died mid-request, or `kind` has no warm model (the batcher
+    /// answers such jobs with the empty-row sentinel).
+    pub fn predict_many(
+        &self,
+        kind: BaselineKind,
+        texts: Vec<String>,
+    ) -> Result<Vec<Vec<f64>>, String> {
+        let mut receivers = Vec::with_capacity(texts.len());
+        for text in texts {
+            let (reply, receiver) = std::sync::mpsc::channel();
+            self.sender
+                .send(Job { kind, text, reply })
+                .map_err(|_| "server is shutting down".to_string())?;
+            receivers.push(receiver);
+        }
+        receivers
+            .into_iter()
+            .map(|rx| match rx.recv() {
+                Ok(row) if row.is_empty() => Err(format!("model {:?} is not loaded", kind.name())),
+                Ok(row) => Ok(row),
+                Err(_) => Err("scoring failed".to_string()),
+            })
+            .collect()
+    }
+}
+
+/// The batcher thread body: drain → group → score → fan out, until every
+/// producer handle is dropped.
+pub(crate) fn run_batcher(
+    receiver: Receiver<Job>,
+    registry: &ModelRegistry,
+    config: &BatchConfig,
+    metrics: &ServeMetrics,
+) {
+    let max_batch = config.max_batch.max(1);
+    while let Ok(first) = receiver.recv() {
+        let deadline = Instant::now() + config.max_wait;
+        let mut jobs = vec![first];
+        while jobs.len() < max_batch {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match receiver.recv_timeout(remaining) {
+                Ok(job) => jobs.push(job),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        score_batch(&jobs, registry, metrics);
+    }
+}
+
+/// Score one assembled batch. Jobs are grouped per model kind (a mixed batch
+/// costs one `probabilities` call per distinct model) and every group is
+/// scored in a single batched call.
+fn score_batch(jobs: &[Job], registry: &ModelRegistry, metrics: &ServeMetrics) {
+    let mut kinds: Vec<BaselineKind> = Vec::new();
+    for job in jobs {
+        if !kinds.contains(&job.kind) {
+            kinds.push(job.kind);
+        }
+    }
+    for kind in kinds {
+        let group: Vec<&Job> = jobs.iter().filter(|j| j.kind == kind).collect();
+        let rows = match registry.get(kind) {
+            Some(model) => {
+                let rows = score_group(&model, &group);
+                metrics.record_batch(group.len());
+                rows
+            }
+            // resolve() runs before enqueue, so this only happens if a caller
+            // bypasses it; answer with the empty-row sentinel (which
+            // predict_many surfaces as an error) rather than hanging workers,
+            // and record nothing — no model scored these texts.
+            None => vec![Vec::new(); group.len()],
+        };
+        for (job, row) in group.iter().zip(rows) {
+            // A dropped receiver just means the client went away mid-request.
+            let _ = job.reply.send(row);
+        }
+    }
+}
+
+fn score_group(model: &FittedBaseline, group: &[&Job]) -> Vec<Vec<f64>> {
+    let texts: Vec<&str> = group.iter().map(|j| j.text.as_str()).collect();
+    model.probabilities(&texts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use holistix::SpeedProfile;
+    use std::sync::mpsc;
+
+    fn tiny_registry() -> ModelRegistry {
+        ModelRegistry::fit_synthetic(&RegistryConfig {
+            kinds: vec![BaselineKind::LogisticRegression],
+            profile: SpeedProfile::Tiny,
+            training_posts: 90,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn batched_replies_match_direct_scoring() {
+        let registry = tiny_registry();
+        let model = registry.get(BaselineKind::LogisticRegression).unwrap();
+        let (sender, receiver) = mpsc::channel();
+        let handle = BatcherHandle::new(sender);
+        let metrics = ServeMetrics::new();
+        let config = BatchConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(20),
+        };
+
+        let texts = vec![
+            "i feel alone and tired".to_string(),
+            "my job is destroying me".to_string(),
+            "i cannot sleep at night".to_string(),
+        ];
+        let expected: Vec<Vec<f64>> = texts.iter().map(|t| model.probabilities_one(t)).collect();
+
+        crossbeam::thread::scope(|scope| {
+            let registry = &registry;
+            let metrics = &metrics;
+            let config = &config;
+            scope.spawn(move |_| run_batcher(receiver, registry, config, metrics));
+            let got = handle
+                .predict_many(BaselineKind::LogisticRegression, texts.clone())
+                .unwrap();
+            assert_eq!(got, expected);
+            drop(handle); // lets the batcher thread exit
+        })
+        .unwrap();
+
+        // All three jobs were enqueued before any reply was awaited, so they
+        // were scored as one batch.
+        assert_eq!(metrics.max_batch_size(), 3);
+    }
+
+    #[test]
+    fn unregistered_kind_is_an_error_and_records_no_metrics() {
+        let registry = tiny_registry();
+        let (sender, receiver) = mpsc::channel();
+        let handle = BatcherHandle::new(sender);
+        let metrics = ServeMetrics::new();
+        let config = BatchConfig::default();
+        crossbeam::thread::scope(|scope| {
+            let registry = &registry;
+            let metrics = &metrics;
+            let config = &config;
+            scope.spawn(move |_| run_batcher(receiver, registry, config, metrics));
+            let got = handle.predict_many(BaselineKind::LinearSvm, vec!["text".to_string()]);
+            assert!(got.err().unwrap().contains("not loaded"));
+            drop(handle);
+        })
+        .unwrap();
+        // Nothing was scored, so nothing shows up as a batch.
+        assert_eq!(metrics.max_batch_size(), 0);
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.get("texts_scored").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn predict_many_fails_cleanly_after_shutdown() {
+        let (sender, receiver) = mpsc::channel();
+        drop(receiver);
+        let handle = BatcherHandle::new(sender);
+        assert!(handle
+            .predict_many(BaselineKind::LogisticRegression, vec!["x".to_string()])
+            .is_err());
+    }
+}

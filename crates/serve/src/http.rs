@@ -1,0 +1,304 @@
+//! Minimal HTTP/1.1, hand-rolled over `std::io`.
+//!
+//! The build is offline (no tokio/hyper), and the serving layer needs only the
+//! subset of HTTP/1.1 that JSON APIs use: a request line, `Content-Length`
+//! framed bodies, and `Connection: close` responses. One request per
+//! connection keeps the state machine trivial; the worker pool in
+//! [`crate::server`] provides the concurrency.
+//!
+//! [`read_request`] and [`write_response`] are generic over `BufRead`/`Write`
+//! so they unit-test against in-memory buffers, and [`http_request`] is the
+//! matching one-shot blocking client used by the loopback integration test and
+//! the `serve_demo` load generator.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Reject request bodies larger than this (1 MiB): the API carries forum-post
+/// sized texts, so anything bigger is a client error, not a workload.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Reject request lines + headers larger than this (16 KiB) in total, so a
+/// client streaming an endless header cannot grow server memory unboundedly.
+pub const MAX_HEAD_BYTES: u64 = 16 << 10;
+
+/// A parsed HTTP request: the line, the body, nothing else retained.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), upper-case as received.
+    pub method: String,
+    /// Request path, e.g. `/predict`.
+    pub path: String,
+    /// Decoded UTF-8 body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+/// An HTTP response about to be written; the body is always JSON.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+}
+
+impl Response {
+    /// A response with the given status and JSON body.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// A `200 OK` JSON response.
+    pub fn ok(body: impl Into<String>) -> Self {
+        Self::json(200, body)
+    }
+
+    /// An error response with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(
+            status,
+            format!(
+                "{{\"error\":{}}}",
+                holistix_corpus::json::json_escape(message)
+            ),
+        )
+    }
+}
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+/// Read one `\n`-terminated line, drawing at most `budget` bytes. A line that
+/// exhausts the budget without a newline is an error ([`MAX_HEAD_BYTES`]
+/// enforcement), not an allocation.
+fn read_line_limited<R: BufRead>(reader: &mut R, budget: &mut u64) -> io::Result<String> {
+    let mut line = String::new();
+    let read = reader.by_ref().take(*budget).read_line(&mut line)? as u64;
+    if read == *budget && !line.ends_with('\n') {
+        return Err(invalid(format!(
+            "request head exceeds the {MAX_HEAD_BYTES} byte limit"
+        )));
+    }
+    *budget -= read;
+    Ok(line)
+}
+
+/// Read one request: request line, headers (only `Content-Length` is
+/// interpreted), then exactly `Content-Length` body bytes.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Request> {
+    let mut head_budget = MAX_HEAD_BYTES;
+    let line = read_line_limited(reader, &mut head_budget)?;
+    if line.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before request line",
+        ));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| invalid("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| invalid("request line missing path"))?
+        .to_string();
+
+    let mut content_length = 0usize;
+    loop {
+        let header = read_line_limited(reader, &mut head_budget)?;
+        if header.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid(format!("bad Content-Length {value:?}")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(invalid(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| invalid("body is not valid UTF-8"))?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` response.
+pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        response.body
+    )?;
+    writer.flush()
+}
+
+/// One-shot blocking HTTP client: connect, send, read the full response.
+/// Returns `(status, body)`. Used by the integration tests, the CI smoke step
+/// and the `serve_demo` load generator.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    {
+        let mut writer = &stream;
+        write!(
+            writer,
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )?;
+        writer.flush()?;
+    }
+    let mut reader = BufReader::new(&stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid(format!("bad status line {status_line:?}")))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            break;
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8(buf).map_err(|_| invalid("response body is not valid UTF-8"))?
+        }
+        // The server always closes after one response, so EOF frames the body.
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\n{\"texts\":[]}";
+        let request = read_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/predict");
+        assert_eq!(request.body, "{\"texts\":[]}");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = "GET /healthz HTTP/1.1\r\n\r\n";
+        let request = read_request(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(request.method, "GET");
+        assert_eq!(request.path, "/healthz");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let raw = "POST /p HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+        assert_eq!(read_request(&mut Cursor::new(raw)).unwrap().body, "hi");
+    }
+
+    #[test]
+    fn rejects_oversized_and_truncated_bodies() {
+        let huge = format!("POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
+        assert!(read_request(&mut Cursor::new(huge)).is_err());
+        let short = "POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
+        assert!(read_request(&mut Cursor::new(short)).is_err());
+        assert!(read_request(&mut Cursor::new("")).is_err());
+        let bad_length = "POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
+        assert!(read_request(&mut Cursor::new(bad_length)).is_err());
+    }
+
+    #[test]
+    fn rejects_unbounded_request_heads() {
+        // A header stream that never ends (no newline) must error once the
+        // head budget is spent, not grow a String until OOM.
+        let endless = format!("GET /healthz HTTP/1.1\r\nX-Junk: {}", "A".repeat(64 << 10));
+        let err = read_request(&mut Cursor::new(endless)).unwrap_err();
+        assert!(err.to_string().contains("byte limit"), "{err}");
+        // Same budget applied to an endless request line.
+        let endless_line = "G".repeat(64 << 10);
+        assert!(read_request(&mut Cursor::new(endless_line)).is_err());
+        // Many small headers also spend the budget.
+        let many = format!(
+            "GET / HTTP/1.1\r\n{}\r\n",
+            "X-H: v\r\n".repeat((MAX_HEAD_BYTES as usize / 8) + 10)
+        );
+        assert!(read_request(&mut Cursor::new(many)).is_err());
+    }
+
+    #[test]
+    fn writes_a_well_formed_response() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::ok("{\"a\":1}")).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+
+    #[test]
+    fn error_responses_escape_the_message() {
+        let response = Response::error(400, "bad \"field\"");
+        assert_eq!(response.status, 400);
+        assert_eq!(response.body, r#"{"error":"bad \"field\""}"#);
+    }
+}

@@ -1,0 +1,83 @@
+//! # holistix-serve
+//!
+//! Warm-model HTTP serving for the Holistix reproduction: the layer that turns
+//! the fitted Table IV baselines into an online prediction service.
+//!
+//! The ROADMAP's north star is a system that serves heavy traffic, and PR 1
+//! built the substrate for that: sparse TF-IDF end to end plus batched
+//! parallel [`FittedBaseline`](holistix::FittedBaseline) scoring. This crate
+//! adds the request front end on top — hand-rolled HTTP/1.1 over
+//! `std::net::TcpListener` (the build is offline, so no tokio/hyper), with the
+//! property that made the batched path worth building: **concurrent requests
+//! share scoring batches**.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!                        ┌────────────────────────────── server thread ──┐
+//!  clients ── accept ──► │ conn mpsc ─► worker pool (N scoped threads)   │
+//!                        │                │ parse HTTP, route            │
+//!                        │                ▼                              │
+//!                        │            job mpsc ─► batcher thread         │
+//!                        │                          drain ≤ max_batch    │
+//!                        │                          or until max_wait    │
+//!                        │                          ▼                    │
+//!                        │            FittedBaseline::probabilities      │
+//!                        │            (one sparse, parallel call)        │
+//!                        │                          ▼                    │
+//!                        │            per-job reply channels ─► workers  │
+//!                        └───────────────────────────────────────────────┘
+//! ```
+//!
+//! * **[`registry`]** — fits baselines once at startup (one scoped thread per
+//!   [`BaselineKind`](holistix::BaselineKind)) and keeps them warm behind
+//!   `Arc`s for the process lifetime.
+//! * **[`batcher`]** — request workers enqueue texts on an `mpsc` channel; a
+//!   single batcher thread drains up to [`BatchConfig::max_batch`] texts (or
+//!   whatever arrived within [`BatchConfig::max_wait`] of the first), scores
+//!   them with one `probabilities` call, and fans results back per request.
+//!   Batching is invisible in the answers: batched scoring is bit-for-bit
+//!   identical to text-at-a-time scoring, a property the core pipeline tests
+//!   pin and the loopback integration test re-asserts over HTTP.
+//! * **[`http`]** — the minimal HTTP/1.1 subset (Content-Length framing, one
+//!   request per connection) plus the blocking loopback client used by tests
+//!   and the `serve_demo` load generator.
+//! * **[`metrics`]** — request counters, the batch-size histogram and p50/p99
+//!   latency, served by `GET /metrics`.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint        | Body                                          | Answer |
+//! |-----------------|-----------------------------------------------|--------|
+//! | `POST /predict` | `{"texts": […], "model"?: "LR"}`             | per-text 6-dimension probabilities + label |
+//! | `POST /explain` | `{"text": "…", "top_k"?, "n_samples"?}`      | LIME token attributions via the batched perturbation path |
+//! | `GET /healthz`  | —                                             | status + loaded models |
+//! | `GET /metrics`  | —                                             | counters, batch histogram, latency percentiles |
+//!
+//! JSON parsing and serialisation are shared with the corpus crate's
+//! [`holistix_corpus::json`] module (hoisted out of its JSONL reader), whose
+//! `f64` formatting round-trips bit-for-bit — so probabilities survive the
+//! HTTP boundary exactly.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use holistix_serve::{serve, ModelRegistry, RegistryConfig, ServeConfig};
+//!
+//! let registry = ModelRegistry::fit_synthetic(&RegistryConfig::default());
+//! let server = serve("127.0.0.1:8080", registry, ServeConfig::default()).unwrap();
+//! println!("serving on http://{}", server.addr());
+//! // … server.shutdown() when done.
+//! ```
+
+pub mod batcher;
+pub mod http;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchConfig, BatcherHandle};
+pub use http::{http_request, Request, Response};
+pub use metrics::{Endpoint, ServeMetrics};
+pub use registry::{parse_kind, ModelRegistry, RegistryConfig};
+pub use server::{serve, ServeConfig, ServerHandle, MAX_TEXTS_PER_REQUEST};

@@ -1,0 +1,261 @@
+//! Serving metrics: request counters, the batch-size histogram, and request
+//! latency percentiles, all exposed as JSON by `GET /metrics`.
+//!
+//! Counters are lock-free atomics; the histogram and the latency reservoir sit
+//! behind mutexes that are touched once per batch / request (never per text),
+//! so the metrics path stays off the scoring hot path.
+
+use holistix_corpus::json::JsonValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many of the most recent request latencies the percentile window keeps.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Which endpoint a request hit, for per-endpoint counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /predict`.
+    Predict,
+    /// `POST /explain`.
+    Explain,
+    /// `GET /healthz`.
+    Health,
+    /// `GET /metrics`.
+    Metrics,
+    /// Anything else: unknown paths, wrong methods, unparseable requests.
+    Other,
+}
+
+/// Shared metrics sink. One instance per server, shared by workers and the
+/// batcher thread.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    predict_requests: AtomicU64,
+    explain_requests: AtomicU64,
+    health_requests: AtomicU64,
+    metrics_requests: AtomicU64,
+    other_requests: AtomicU64,
+    error_responses: AtomicU64,
+    texts_scored: AtomicU64,
+    /// `histogram[s]` counts scored batches of exactly `s` texts (index 0 unused).
+    batch_histogram: Mutex<Vec<u64>>,
+    /// Ring buffer of the last [`LATENCY_WINDOW`] request latencies, in µs.
+    latencies_us: Mutex<Vec<u64>>,
+    latency_cursor: AtomicU64,
+}
+
+impl ServeMetrics {
+    /// A fresh, all-zero sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count a request against its endpoint.
+    pub fn record_request(&self, endpoint: Endpoint) {
+        let counter = match endpoint {
+            Endpoint::Predict => &self.predict_requests,
+            Endpoint::Explain => &self.explain_requests,
+            Endpoint::Health => &self.health_requests,
+            Endpoint::Metrics => &self.metrics_requests,
+            Endpoint::Other => &self.other_requests,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count an error (4xx/5xx) response.
+    pub fn record_error(&self) {
+        self.error_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one scored micro-batch of `size` texts.
+    pub fn record_batch(&self, size: usize) {
+        if size == 0 {
+            return;
+        }
+        self.texts_scored.fetch_add(size as u64, Ordering::Relaxed);
+        let mut histogram = self.batch_histogram.lock().unwrap();
+        if histogram.len() <= size {
+            histogram.resize(size + 1, 0);
+        }
+        histogram[size] += 1;
+    }
+
+    /// Record one request's end-to-end latency.
+    pub fn record_latency_us(&self, micros: u64) {
+        let mut window = self.latencies_us.lock().unwrap();
+        if window.len() < LATENCY_WINDOW {
+            window.push(micros);
+        } else {
+            let slot = self.latency_cursor.fetch_add(1, Ordering::Relaxed) as usize;
+            window[slot % LATENCY_WINDOW] = micros;
+        }
+    }
+
+    /// The largest batch scored so far (0 before the first batch).
+    pub fn max_batch_size(&self) -> usize {
+        let histogram = self.batch_histogram.lock().unwrap();
+        histogram.iter().rposition(|&count| count > 0).unwrap_or(0)
+    }
+
+    /// Total requests across all endpoints (including unroutable ones, so
+    /// `total` is always ≥ `errors`).
+    pub fn total_requests(&self) -> u64 {
+        self.predict_requests.load(Ordering::Relaxed)
+            + self.explain_requests.load(Ordering::Relaxed)
+            + self.health_requests.load(Ordering::Relaxed)
+            + self.metrics_requests.load(Ordering::Relaxed)
+            + self.other_requests.load(Ordering::Relaxed)
+    }
+
+    /// The full metrics document served by `GET /metrics`.
+    pub fn snapshot(&self) -> JsonValue {
+        let histogram = self.batch_histogram.lock().unwrap().clone();
+        let batch_count: u64 = histogram.iter().sum();
+        let max_batch = histogram.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let histogram_fields: Vec<(String, JsonValue)> = histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(size, &count)| (size.to_string(), JsonValue::Number(count as f64)))
+            .collect();
+
+        let mut latencies = self.latencies_us.lock().unwrap().clone();
+        latencies.sort_unstable();
+        let percentile = |q: f64| -> JsonValue {
+            if latencies.is_empty() {
+                return JsonValue::Null;
+            }
+            // Nearest-rank on the sorted window.
+            let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+            JsonValue::Number(latencies[rank - 1] as f64)
+        };
+
+        JsonValue::object(vec![
+            (
+                "requests",
+                JsonValue::object(vec![
+                    ("total", JsonValue::Number(self.total_requests() as f64)),
+                    (
+                        "predict",
+                        JsonValue::Number(self.predict_requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "explain",
+                        JsonValue::Number(self.explain_requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "healthz",
+                        JsonValue::Number(self.health_requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "metrics",
+                        JsonValue::Number(self.metrics_requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "other",
+                        JsonValue::Number(self.other_requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "errors",
+                        JsonValue::Number(self.error_responses.load(Ordering::Relaxed) as f64),
+                    ),
+                ]),
+            ),
+            (
+                "texts_scored",
+                JsonValue::Number(self.texts_scored.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "batches",
+                JsonValue::object(vec![
+                    ("count", JsonValue::Number(batch_count as f64)),
+                    ("max_size", JsonValue::Number(max_batch as f64)),
+                    ("histogram", JsonValue::Object(histogram_fields)),
+                ]),
+            ),
+            (
+                "latency_us",
+                JsonValue::object(vec![
+                    ("window", JsonValue::Number(latencies.len() as f64)),
+                    ("p50", percentile(0.50)),
+                    ("p99", percentile(0.99)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_histogram_tracks_sizes_and_texts() {
+        let metrics = ServeMetrics::new();
+        metrics.record_batch(1);
+        metrics.record_batch(4);
+        metrics.record_batch(4);
+        metrics.record_batch(0); // ignored
+        assert_eq!(metrics.max_batch_size(), 4);
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.get("texts_scored").unwrap().as_f64(), Some(9.0));
+        let batches = snapshot.get("batches").unwrap();
+        assert_eq!(batches.get("count").unwrap().as_f64(), Some(3.0));
+        assert_eq!(batches.get("max_size").unwrap().as_f64(), Some(4.0));
+        let histogram = batches.get("histogram").unwrap();
+        assert_eq!(histogram.get("1").unwrap().as_f64(), Some(1.0));
+        assert_eq!(histogram.get("4").unwrap().as_f64(), Some(2.0));
+        assert_eq!(histogram.get("2"), None);
+    }
+
+    #[test]
+    fn latency_percentiles_use_nearest_rank() {
+        let metrics = ServeMetrics::new();
+        for micros in 1..=100u64 {
+            metrics.record_latency_us(micros);
+        }
+        let snapshot = metrics.snapshot();
+        let latency = snapshot.get("latency_us").unwrap();
+        assert_eq!(latency.get("p50").unwrap().as_f64(), Some(50.0));
+        assert_eq!(latency.get("p99").unwrap().as_f64(), Some(99.0));
+    }
+
+    #[test]
+    fn empty_latency_window_reports_null() {
+        let snapshot = ServeMetrics::new().snapshot();
+        let latency = snapshot.get("latency_us").unwrap();
+        assert_eq!(latency.get("p50"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let metrics = ServeMetrics::new();
+        for micros in 0..(LATENCY_WINDOW as u64 + 500) {
+            metrics.record_latency_us(micros);
+        }
+        let snapshot = metrics.snapshot();
+        let window = snapshot
+            .get("latency_us")
+            .unwrap()
+            .get("window")
+            .unwrap()
+            .as_usize()
+            .unwrap();
+        assert_eq!(window, LATENCY_WINDOW);
+    }
+
+    #[test]
+    fn endpoint_counters_sum_into_total() {
+        let metrics = ServeMetrics::new();
+        metrics.record_request(Endpoint::Predict);
+        metrics.record_request(Endpoint::Predict);
+        metrics.record_request(Endpoint::Health);
+        metrics.record_error();
+        assert_eq!(metrics.total_requests(), 3);
+        let snapshot = metrics.snapshot();
+        let requests = snapshot.get("requests").unwrap();
+        assert_eq!(requests.get("predict").unwrap().as_f64(), Some(2.0));
+        assert_eq!(requests.get("errors").unwrap().as_f64(), Some(1.0));
+    }
+}

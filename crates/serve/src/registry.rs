@@ -1,0 +1,226 @@
+//! The warm-model registry: fitted baselines held in memory for the lifetime
+//! of the server.
+//!
+//! Fitting a baseline (vectoriser + classifier, or a transformer fine-tune) is
+//! seconds-to-minutes of work; serving a request against a fitted model is
+//! microseconds-to-milliseconds. The registry pays the fitting cost once at
+//! startup — one crossbeam scoped thread per requested [`BaselineKind`] — and
+//! hands out `Arc<FittedBaseline>` clones to the batcher and the `/explain`
+//! handlers for the rest of the process lifetime.
+
+use holistix::{BaselineKind, FittedBaseline, SpeedProfile};
+use holistix_corpus::HolistixCorpus;
+use std::sync::Arc;
+
+/// How a registry is trained at startup.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Which baselines to fit and keep warm.
+    pub kinds: Vec<BaselineKind>,
+    /// Training cost profile.
+    pub profile: SpeedProfile,
+    /// Size of the synthetic training corpus (for [`ModelRegistry::fit_synthetic`]).
+    pub training_posts: usize,
+    /// Seed for corpus generation and model fitting.
+    pub seed: u64,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            kinds: BaselineKind::CLASSICAL.to_vec(),
+            profile: SpeedProfile::Fast,
+            training_posts: 400,
+            seed: 42,
+        }
+    }
+}
+
+/// Warm fitted baselines, keyed by [`BaselineKind`]. Immutable once built;
+/// every model is behind an `Arc` so request handlers and the batcher share
+/// them without copies.
+pub struct ModelRegistry {
+    entries: Vec<(BaselineKind, Arc<FittedBaseline>)>,
+}
+
+impl ModelRegistry {
+    /// Fit every configured baseline on a synthetic Holistix corpus. This is
+    /// the offline-friendly startup path; a deployment with the real corpus
+    /// would read JSONL via `holistix_corpus::io` and call [`Self::fit`].
+    pub fn fit_synthetic(config: &RegistryConfig) -> Self {
+        let corpus = HolistixCorpus::generate_small(config.training_posts, config.seed);
+        let texts = corpus.texts();
+        let labels = corpus.label_indices();
+        Self::fit(&config.kinds, config.profile, &texts, &labels, config.seed)
+    }
+
+    /// Fit the given baselines on explicit training data, one scoped thread per
+    /// kind (the same fan-out pattern the cross-validation driver uses for
+    /// folds). Panics if `kinds` is empty — a server with no models cannot
+    /// answer anything.
+    pub fn fit(
+        kinds: &[BaselineKind],
+        profile: SpeedProfile,
+        texts: &[&str],
+        labels: &[usize],
+        seed: u64,
+    ) -> Self {
+        assert!(!kinds.is_empty(), "registry needs at least one baseline");
+        let entries = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = kinds
+                .iter()
+                .map(|&kind| {
+                    scope.spawn(move |_| {
+                        (
+                            kind,
+                            Arc::new(FittedBaseline::fit(kind, profile, texts, labels, seed)),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("model fitting thread panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("model fitting scope failed");
+        Self { entries }
+    }
+
+    /// A registry around already-fitted models (used by tests that need to
+    /// compare server responses against direct model calls).
+    pub fn from_fitted(entries: Vec<(BaselineKind, Arc<FittedBaseline>)>) -> Self {
+        assert!(!entries.is_empty(), "registry needs at least one baseline");
+        Self { entries }
+    }
+
+    /// The warm model for a kind, if registered.
+    pub fn get(&self, kind: BaselineKind) -> Option<Arc<FittedBaseline>> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, m)| Arc::clone(m))
+    }
+
+    /// The registered kinds, in registration order.
+    pub fn kinds(&self) -> Vec<BaselineKind> {
+        self.entries.iter().map(|(k, _)| *k).collect()
+    }
+
+    /// The default model: the first registered one.
+    pub fn default_kind(&self) -> BaselineKind {
+        self.entries[0].0
+    }
+
+    /// Resolve a request's optional `model` field to a warm model. `None`
+    /// selects the default; unknown names and unregistered kinds are errors
+    /// that list what is available.
+    pub fn resolve(
+        &self,
+        name: Option<&str>,
+    ) -> Result<(BaselineKind, Arc<FittedBaseline>), String> {
+        let kind = match name {
+            None => self.default_kind(),
+            Some(name) => parse_kind(name).ok_or_else(|| {
+                format!(
+                    "unknown model {name:?}; registered models: {}",
+                    self.registered_names()
+                )
+            })?,
+        };
+        match self.get(kind) {
+            Some(model) => Ok((kind, model)),
+            None => Err(format!(
+                "model {:?} is not loaded; registered models: {}",
+                kind.name(),
+                self.registered_names()
+            )),
+        }
+    }
+
+    fn registered_names(&self) -> String {
+        self.entries
+            .iter()
+            .map(|(k, _)| format!("{:?}", k.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// Parse a model name: the Table IV row labels (`"LR"`, `"Linear SVM"`,
+/// `"Gaussian NB"`, `"BERT"`, …) case-insensitively, plus a few obvious
+/// aliases for the classical models.
+pub fn parse_kind(name: &str) -> Option<BaselineKind> {
+    let lower = name.trim().to_ascii_lowercase();
+    match lower.as_str() {
+        "lr" | "logistic" | "logistic regression" | "logistic_regression" => {
+            return Some(BaselineKind::LogisticRegression)
+        }
+        "svm" | "linear svm" | "linear_svm" => return Some(BaselineKind::LinearSvm),
+        "nb" | "gaussian nb" | "gaussian_nb" | "naive bayes" | "naive_bayes" => {
+            return Some(BaselineKind::GaussianNb)
+        }
+        _ => {}
+    }
+    BaselineKind::ALL
+        .into_iter()
+        .find(|kind| kind.name().eq_ignore_ascii_case(&lower))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_registry() -> ModelRegistry {
+        ModelRegistry::fit_synthetic(&RegistryConfig {
+            kinds: vec![BaselineKind::LogisticRegression, BaselineKind::GaussianNb],
+            profile: SpeedProfile::Tiny,
+            training_posts: 90,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn fits_and_serves_warm_models() {
+        let registry = tiny_registry();
+        assert_eq!(
+            registry.kinds(),
+            vec![BaselineKind::LogisticRegression, BaselineKind::GaussianNb]
+        );
+        let model = registry.get(BaselineKind::LogisticRegression).unwrap();
+        let proba = model.probabilities_one("i feel alone and exhausted");
+        assert_eq!(proba.len(), 6);
+        assert!(registry.get(BaselineKind::LinearSvm).is_none());
+    }
+
+    #[test]
+    fn resolve_defaults_to_first_registered_model() {
+        let registry = tiny_registry();
+        let (kind, _) = registry.resolve(None).unwrap();
+        assert_eq!(kind, BaselineKind::LogisticRegression);
+        let (kind, _) = registry.resolve(Some("gaussian nb")).unwrap();
+        assert_eq!(kind, BaselineKind::GaussianNb);
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_and_unloaded_models() {
+        let registry = tiny_registry();
+        let unknown = registry.resolve(Some("resnet")).err().unwrap();
+        assert!(unknown.contains("unknown model"), "{unknown}");
+        let unloaded = registry.resolve(Some("Linear SVM")).err().unwrap();
+        assert!(unloaded.contains("not loaded"), "{unloaded}");
+    }
+
+    #[test]
+    fn parse_kind_accepts_table_names_and_aliases() {
+        use holistix::transformer::ModelKind;
+        assert_eq!(parse_kind("LR"), Some(BaselineKind::LogisticRegression));
+        assert_eq!(parse_kind("linear svm"), Some(BaselineKind::LinearSvm));
+        assert_eq!(parse_kind(" NB "), Some(BaselineKind::GaussianNb));
+        assert_eq!(
+            parse_kind("mentalbert"),
+            Some(BaselineKind::Transformer(ModelKind::MentalBert))
+        );
+        assert_eq!(parse_kind("resnet"), None);
+    }
+}

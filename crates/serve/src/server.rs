@@ -1,0 +1,570 @@
+//! The HTTP server: accept loop, fixed worker pool, request routing.
+//!
+//! Thread model (all scoped threads in the crossbeam-shim style the rest of
+//! the workspace uses):
+//!
+//! * the **accept thread** (the server's own thread) pushes accepted
+//!   connections onto an `mpsc` channel;
+//! * a **fixed pool** of [`ServeConfig::workers`] worker threads pops
+//!   connections, parses one request each, and answers it — `/predict`
+//!   blocks on the micro-batcher, `/explain` runs LIME against the warm
+//!   model directly (its perturbation set already flows through the batched
+//!   `predict_proba` path in [`LimeConfig::batch_size`]-sized chunks);
+//! * one **batcher thread** ([`crate::batcher`]) coalesces texts across
+//!   concurrent requests and scores them in single batched calls.
+//!
+//! Shutdown: [`ServerHandle::shutdown`] flips the running flag and pokes the
+//! listener with a loopback connection; the accept loop exits, the connection
+//! channel closes, the workers drain and exit, their job senders drop, and the
+//! batcher exits — the scope then joins everything.
+
+use crate::batcher::{run_batcher, BatchConfig, BatcherHandle, Job};
+use crate::http::{read_request, write_response, Request, Response};
+use crate::metrics::{Endpoint, ServeMetrics};
+use crate::registry::ModelRegistry;
+use holistix::corpus::WellnessDimension;
+use holistix::linalg::argmax;
+use holistix_corpus::json::JsonValue;
+use holistix_explain::{LimeConfig, LimeExplainer};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Most texts one `/predict` request may carry (independent of micro-batching;
+/// this bounds per-request memory, not throughput).
+pub const MAX_TEXTS_PER_REQUEST: usize = 256;
+
+/// Most distinct word types `/explain` accepts. LIME's surrogate regression
+/// solves an `(features+1)²` system, so an uncapped text could turn one
+/// request into an hours-long, memory-exploding solve; real posts have tens
+/// of distinct words.
+pub const MAX_EXPLAIN_FEATURES: usize = 512;
+
+/// Per-connection socket read/write timeout. An idle or trickling client can
+/// pin a worker for at most this long (and shutdown joins within it).
+const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Fixed worker-pool size. Each worker handles one connection at a time,
+    /// so this is also the request concurrency ceiling.
+    pub workers: usize,
+    /// Micro-batching knobs.
+    pub batch: BatchConfig,
+    /// LIME defaults for `/explain` (per-request `top_k` / `n_samples`
+    /// overrides apply on top; `batch_size` controls how perturbation sets
+    /// chunk through the batched scoring path).
+    pub lime: LimeConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            batch: BatchConfig::default(),
+            lime: LimeConfig::default(),
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the ephemeral port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live metrics sink (the same data `GET /metrics` serves).
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Stop accepting, drain the pool, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.running.store(false, Ordering::SeqCst);
+            // Poke the blocking accept so the loop observes the flag.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind `addr` (use port 0 for an ephemeral port) and start serving the
+/// registry's warm models. Returns once the listener is bound — fitting has
+/// already happened in [`ModelRegistry`] construction, so the server answers
+/// from its first request.
+pub fn serve(
+    addr: &str,
+    registry: ModelRegistry,
+    config: ServeConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let running = Arc::new(AtomicBool::new(true));
+    let metrics = Arc::new(ServeMetrics::new());
+    let thread = {
+        let running = Arc::clone(&running);
+        let metrics = Arc::clone(&metrics);
+        std::thread::spawn(move || serve_loop(listener, registry, config, running, metrics))
+    };
+    Ok(ServerHandle {
+        addr: local_addr,
+        running,
+        metrics,
+        thread: Some(thread),
+    })
+}
+
+/// Everything a worker needs to answer requests.
+struct RequestContext<'a> {
+    registry: &'a ModelRegistry,
+    batcher: BatcherHandle,
+    lime: &'a LimeConfig,
+    metrics: &'a ServeMetrics,
+}
+
+fn serve_loop(
+    listener: TcpListener,
+    registry: ModelRegistry,
+    config: ServeConfig,
+    running: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
+) {
+    let (job_sender, job_receiver) = mpsc::channel::<Job>();
+    // Bounded connection queue: each queued TcpStream holds an open file
+    // descriptor, so an unbounded queue would let a connection burst exhaust
+    // the fd limit. When the queue is full the accept thread blocks on send,
+    // which pushes backpressure into the kernel's listen backlog.
+    let (conn_sender, conn_receiver) = mpsc::sync_channel::<TcpStream>(config.workers.max(1) * 32);
+    let conn_receiver = Mutex::new(conn_receiver);
+
+    let registry = &registry;
+    let batch_config = &config.batch;
+    let lime_config = &config.lime;
+    let metrics = &*metrics;
+    let conn_receiver = &conn_receiver;
+
+    crossbeam::thread::scope(|scope| {
+        scope.spawn(move |_| run_batcher(job_receiver, registry, batch_config, metrics));
+
+        for _ in 0..config.workers.max(1) {
+            let batcher = BatcherHandle::new(job_sender.clone());
+            scope.spawn(move |_| {
+                let context = RequestContext {
+                    registry,
+                    batcher,
+                    lime: lime_config,
+                    metrics,
+                };
+                loop {
+                    // Take the lock only to pop; handling runs unlocked so the
+                    // rest of the pool keeps accepting work.
+                    let conn = { conn_receiver.lock().unwrap().recv() };
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &context),
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+        // The workers hold clones; drop the original so the pool's exit (below)
+        // is what disconnects the batcher.
+        drop(job_sender);
+
+        for stream in listener.incoming() {
+            if !running.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    if conn_sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Transient accept failures (EMFILE, aborted handshakes):
+                // back off briefly instead of busy-spinning on the error.
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        drop(conn_sender);
+    })
+    .expect("server thread scope failed");
+}
+
+fn handle_connection(stream: TcpStream, context: &RequestContext<'_>) {
+    let started = Instant::now();
+    // Bound how long a silent or trickling client can hold this worker.
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(&stream);
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(&request, context),
+        Err(e) => {
+            context.metrics.record_request(Endpoint::Other);
+            Response::error(400, &format!("malformed request: {e}"))
+        }
+    };
+    if response.status >= 400 {
+        context.metrics.record_error();
+    }
+    let _ = write_response(&mut (&stream), &response);
+    context
+        .metrics
+        .record_latency_us(started.elapsed().as_micros() as u64);
+}
+
+fn route(request: &Request, context: &RequestContext<'_>) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            context.metrics.record_request(Endpoint::Health);
+            handle_healthz(context)
+        }
+        ("GET", "/metrics") => {
+            context.metrics.record_request(Endpoint::Metrics);
+            Response::ok(context.metrics.snapshot().to_string())
+        }
+        ("POST", "/predict") => {
+            context.metrics.record_request(Endpoint::Predict);
+            handle_predict(&request.body, context)
+        }
+        ("POST", "/explain") => {
+            context.metrics.record_request(Endpoint::Explain);
+            handle_explain(&request.body, context)
+        }
+        (_, "/healthz" | "/metrics" | "/predict" | "/explain") => {
+            context.metrics.record_request(Endpoint::Other);
+            Response::error(405, "method not allowed")
+        }
+        _ => {
+            context.metrics.record_request(Endpoint::Other);
+            Response::error(404, "no such endpoint")
+        }
+    }
+}
+
+fn handle_healthz(context: &RequestContext<'_>) -> Response {
+    let models = context
+        .registry
+        .kinds()
+        .iter()
+        .map(|k| JsonValue::string(k.name()))
+        .collect();
+    Response::ok(
+        JsonValue::object(vec![
+            ("status", JsonValue::string("ok")),
+            ("models", JsonValue::Array(models)),
+            (
+                "default_model",
+                JsonValue::string(context.registry.default_kind().name()),
+            ),
+        ])
+        .to_string(),
+    )
+}
+
+/// `POST /predict`: `{"texts": ["…", …]}` (or `{"text": "…"}`), optional
+/// `"model"`. Every text goes through the micro-batcher, so concurrent
+/// requests share scoring batches.
+fn handle_predict(body: &str, context: &RequestContext<'_>) -> Response {
+    let document = match JsonValue::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    };
+    let texts: Vec<String> = if let Some(array) = document.get("texts").and_then(|v| v.as_array()) {
+        let mut texts = Vec::with_capacity(array.len());
+        for item in array {
+            match item.as_str() {
+                Some(s) => texts.push(s.to_string()),
+                None => return Response::error(400, "`texts` must be an array of strings"),
+            }
+        }
+        texts
+    } else if let Some(text) = document.get("text").and_then(|v| v.as_str()) {
+        vec![text.to_string()]
+    } else {
+        return Response::error(400, "body needs a `texts` array or a `text` string");
+    };
+    if texts.is_empty() {
+        return Response::error(400, "no texts to score");
+    }
+    if texts.len() > MAX_TEXTS_PER_REQUEST {
+        return Response::error(
+            413,
+            &format!("at most {MAX_TEXTS_PER_REQUEST} texts per request"),
+        );
+    }
+
+    let model_name = document.get("model").and_then(|v| v.as_str());
+    let (kind, _model) = match context.registry.resolve(model_name) {
+        Ok(resolved) => resolved,
+        Err(e) => return Response::error(400, &e),
+    };
+
+    let rows = match context.batcher.predict_many(kind, texts) {
+        Ok(rows) => rows,
+        Err(e) => return Response::error(500, &e),
+    };
+
+    let results: Vec<JsonValue> = rows
+        .into_iter()
+        .map(|row| {
+            let label_index = argmax(&row).unwrap_or(0);
+            JsonValue::object(vec![
+                (
+                    "probabilities",
+                    JsonValue::Array(row.iter().map(|&p| JsonValue::Number(p)).collect()),
+                ),
+                (
+                    "label",
+                    JsonValue::string(WellnessDimension::from_index(label_index).code()),
+                ),
+                ("label_index", JsonValue::Number(label_index as f64)),
+            ])
+        })
+        .collect();
+    Response::ok(
+        JsonValue::object(vec![
+            ("model", JsonValue::string(kind.name())),
+            ("results", JsonValue::Array(results)),
+        ])
+        .to_string(),
+    )
+}
+
+/// `POST /explain`: `{"text": "…"}`, optional `"model"`, `"top_k"`,
+/// `"n_samples"`. Runs LIME against the warm model; the perturbation set is
+/// scored through the batched `predict_proba` path in
+/// [`LimeConfig::batch_size`] chunks.
+fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
+    let document = match JsonValue::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    };
+    let text = match document.get("text").and_then(|v| v.as_str()) {
+        Some(t) => t,
+        None => return Response::error(400, "body needs a `text` string"),
+    };
+    // LIME's cost is driven by the number of interpretable features (distinct
+    // word types), not bytes: cap it before the surrogate solve, counting
+    // exactly what the explainer will solve over.
+    let distinct_words = holistix_explain::interpretable_features(text).len();
+    if distinct_words > MAX_EXPLAIN_FEATURES {
+        return Response::error(
+            413,
+            &format!(
+                "text has {distinct_words} distinct words; /explain accepts at most {MAX_EXPLAIN_FEATURES}"
+            ),
+        );
+    }
+    let (kind, model) = match context
+        .registry
+        .resolve(document.get("model").and_then(|v| v.as_str()))
+    {
+        Ok(resolved) => resolved,
+        Err(e) => return Response::error(400, &e),
+    };
+
+    let mut lime = context.lime.clone();
+    if let Some(n_samples) = document.get("n_samples").and_then(|v| v.as_usize()) {
+        lime.n_samples = n_samples.clamp(10, 2000);
+    }
+    if let Some(top_k) = document.get("top_k").and_then(|v| v.as_usize()) {
+        lime.top_k = top_k.clamp(1, 50);
+    }
+    let top_k = lime.top_k;
+    let explanation = LimeExplainer::new(lime).explain(&*model, text, None);
+
+    let tokens: Vec<JsonValue> = explanation
+        .token_weights
+        .iter()
+        .take(top_k)
+        .map(|(token, weight)| {
+            JsonValue::object(vec![
+                ("token", JsonValue::string(token.clone())),
+                ("weight", JsonValue::Number(*weight)),
+            ])
+        })
+        .collect();
+    Response::ok(
+        JsonValue::object(vec![
+            ("model", JsonValue::string(kind.name())),
+            (
+                "label",
+                JsonValue::string(WellnessDimension::from_index(explanation.target_class).code()),
+            ),
+            (
+                "target_class",
+                JsonValue::Number(explanation.target_class as f64),
+            ),
+            (
+                "target_probability",
+                JsonValue::Number(explanation.target_probability),
+            ),
+            ("tokens", JsonValue::Array(tokens)),
+        ])
+        .to_string(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::http_request;
+    use crate::registry::RegistryConfig;
+    use holistix::{BaselineKind, SpeedProfile};
+    use std::time::Duration;
+
+    fn tiny_server() -> ServerHandle {
+        let registry = ModelRegistry::fit_synthetic(&RegistryConfig {
+            kinds: vec![BaselineKind::LogisticRegression],
+            profile: SpeedProfile::Tiny,
+            training_posts: 90,
+            seed: 3,
+        });
+        let config = ServeConfig {
+            workers: 4,
+            batch: BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+            },
+            lime: LimeConfig {
+                n_samples: 40,
+                ..LimeConfig::default()
+            },
+        };
+        serve("127.0.0.1:0", registry, config).expect("bind loopback")
+    }
+
+    #[test]
+    fn healthz_predict_explain_and_metrics_round_trip() {
+        let server = tiny_server();
+        let addr = server.addr();
+
+        let (status, body) = http_request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200, "{body}");
+        let health = JsonValue::parse(&body).unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(health.get("default_model").unwrap().as_str(), Some("LR"));
+
+        let (status, body) = http_request(
+            addr,
+            "POST",
+            "/predict",
+            Some(r#"{"texts":["i feel so alone lately","my job exhausts me"]}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let predict = JsonValue::parse(&body).unwrap();
+        let results = predict.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results.len(), 2);
+        for result in results {
+            let probabilities = result.get("probabilities").unwrap().as_array().unwrap();
+            assert_eq!(probabilities.len(), 6);
+            let total: f64 = probabilities.iter().map(|p| p.as_f64().unwrap()).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(result.get("label").unwrap().as_str().is_some());
+        }
+
+        let (status, body) = http_request(
+            addr,
+            "POST",
+            "/explain",
+            Some(r#"{"text":"i feel alone and isolated every day","top_k":3}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let explain = JsonValue::parse(&body).unwrap();
+        assert!(explain.get("tokens").unwrap().as_array().unwrap().len() <= 3);
+
+        let (status, body) = http_request(addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        let metrics = JsonValue::parse(&body).unwrap();
+        let requests = metrics.get("requests").unwrap();
+        assert_eq!(requests.get("predict").unwrap().as_f64(), Some(1.0));
+        assert_eq!(requests.get("explain").unwrap().as_f64(), Some(1.0));
+        assert!(metrics.get("texts_scored").unwrap().as_f64().unwrap() >= 2.0);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_4xx_json_errors() {
+        let server = tiny_server();
+        let addr = server.addr();
+
+        let (status, body) = http_request(addr, "POST", "/predict", Some("not json")).unwrap();
+        assert_eq!(status, 400);
+        assert!(JsonValue::parse(&body).unwrap().get("error").is_some());
+
+        let (status, _) = http_request(addr, "POST", "/predict", Some("{\"texts\":[]}")).unwrap();
+        assert_eq!(status, 400);
+
+        let (status, body) = http_request(
+            addr,
+            "POST",
+            "/predict",
+            Some(r#"{"texts":["x"],"model":"resnet"}"#),
+        )
+        .unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown model"));
+
+        let (status, _) = http_request(addr, "GET", "/nowhere", None).unwrap();
+        assert_eq!(status, 404);
+
+        let (status, _) = http_request(addr, "POST", "/healthz", Some("{}")).unwrap();
+        assert_eq!(status, 405);
+
+        // A text with more distinct words than LIME can affordably explain.
+        let huge: Vec<String> = (0..600).map(|i| format!("word{i}")).collect();
+        let body = format!("{{\"text\":\"{}\"}}", huge.join(" "));
+        let (status, body) = http_request(addr, "POST", "/explain", Some(&body)).unwrap();
+        assert_eq!(status, 413, "{body}");
+        assert!(body.contains("distinct words"));
+
+        let snapshot = server.metrics().snapshot();
+        let requests = snapshot.get("requests").unwrap();
+        let errors = requests.get("errors").unwrap().as_f64().unwrap();
+        let total = requests.get("total").unwrap().as_f64().unwrap();
+        assert!(errors >= 6.0);
+        // Unroutable requests count into the total, so error rates stay ≤ 1.
+        assert!(total >= errors, "total {total} < errors {errors}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly_and_port_is_released() {
+        let server = tiny_server();
+        let addr = server.addr();
+        let (status, _) = http_request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        server.shutdown();
+        // The listener is gone: either the connection is refused or the probe
+        // request fails; a fresh bind to the same port must succeed.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port not released after shutdown");
+    }
+}

@@ -1,0 +1,127 @@
+//! Serving demo: start the warm-model HTTP server and drive it over loopback.
+//!
+//! Two modes:
+//!
+//! ```bash
+//! cargo run --release --example serve_demo            # load generator + metrics report
+//! cargo run --release --example serve_demo -- --smoke # CI smoke: healthz + one predict
+//! ```
+//!
+//! The default mode fits a registry, starts the server on an ephemeral
+//! loopback port, fans out concurrent clients (each posting batches of texts
+//! drawn from a held-out synthetic corpus), and prints the `/metrics`
+//! document — the batch-size histogram shows cross-request micro-batching
+//! doing its job.
+
+use holistix::prelude::*;
+use holistix_serve::{
+    http_request, serve, BatchConfig, ModelRegistry, RegistryConfig, ServeConfig,
+};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+fn fail(message: &str) -> ! {
+    eprintln!("serve_demo: {message}");
+    std::process::exit(1);
+}
+
+fn request_ok(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
+    match http_request(addr, method, path, body) {
+        Ok((200, body)) => body,
+        Ok((status, body)) => fail(&format!("{method} {path} -> {status}: {body}")),
+        Err(e) => fail(&format!("{method} {path} failed: {e}")),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let (profile, training_posts) = if smoke {
+        (SpeedProfile::Tiny, 90)
+    } else {
+        (SpeedProfile::Fast, 400)
+    };
+    println!("fitting registry ({profile:?} profile, {training_posts} training posts)…");
+    let registry = ModelRegistry::fit_synthetic(&RegistryConfig {
+        kinds: vec![BaselineKind::LogisticRegression, BaselineKind::GaussianNb],
+        profile,
+        training_posts,
+        seed: 42,
+    });
+
+    let config = ServeConfig {
+        workers: 8,
+        batch: BatchConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(5),
+        },
+        ..ServeConfig::default()
+    };
+    let server = match serve("127.0.0.1:0", registry, config) {
+        Ok(server) => server,
+        Err(e) => fail(&format!("bind failed: {e}")),
+    };
+    let addr = server.addr();
+    println!("serving on http://{addr}");
+
+    let health = request_ok(addr, "GET", "/healthz", None);
+    println!("healthz: {health}");
+
+    if smoke {
+        let body = r#"{"texts":["i feel alone and cut off from everyone"]}"#;
+        let predict = request_ok(addr, "POST", "/predict", Some(body));
+        println!("predict: {predict}");
+        if !predict.contains("probabilities") {
+            fail("predict response carries no probabilities");
+        }
+        server.shutdown();
+        println!("smoke ok");
+        return;
+    }
+
+    // Load generator: concurrent clients posting held-out texts.
+    const CLIENTS: usize = 6;
+    const REQUESTS_PER_CLIENT: usize = 25;
+    let corpus = HolistixCorpus::generate_small(200, 7);
+    let pool: Vec<String> = corpus.texts().iter().map(|t| t.to_string()).collect();
+
+    println!("driving {CLIENTS} clients × {REQUESTS_PER_CLIENT} requests…");
+    crossbeam::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let pool = &pool;
+            scope.spawn(move |_| {
+                for i in 0..REQUESTS_PER_CLIENT {
+                    // Mix single- and multi-text requests across both models.
+                    let n_texts = 1 + (client + i) % 3;
+                    let start = (client * REQUESTS_PER_CLIENT + i * 3) % (pool.len() - n_texts);
+                    let texts: Vec<String> = pool[start..start + n_texts]
+                        .iter()
+                        .map(|t| holistix::corpus::json::json_escape(t))
+                        .collect();
+                    let model = if i % 4 == 0 { "Gaussian NB" } else { "LR" };
+                    let body = format!("{{\"texts\":[{}],\"model\":\"{model}\"}}", texts.join(","));
+                    let _ = request_ok(addr, "POST", "/predict", Some(&body));
+                }
+            });
+        }
+    })
+    .expect("load generator scope failed");
+
+    let explain = request_ok(
+        addr,
+        "POST",
+        "/explain",
+        Some(
+            r#"{"text":"i feel alone and isolated and my job drains me","top_k":5,"n_samples":100}"#,
+        ),
+    );
+    println!("\nexplain: {explain}");
+
+    let metrics = request_ok(addr, "GET", "/metrics", None);
+    println!("\nmetrics: {metrics}");
+    server.shutdown();
+    println!(
+        "\ndone: {} requests served",
+        CLIENTS * REQUESTS_PER_CLIENT + 3
+    );
+}

@@ -1,0 +1,216 @@
+//! Loopback integration test for `holistix-serve`: the acceptance bar for
+//! cross-request micro-batching.
+//!
+//! A real server on an ephemeral port, driven by genuinely concurrent clients,
+//! must (a) coalesce at least two concurrent single-text requests into one
+//! scoring batch (visible in the `/metrics` batch histogram), and (b) return
+//! per-request probabilities **bit-identical** to what the warm model answers
+//! for the same text via `probabilities_one` — batching may change latency,
+//! never answers. The JSON layer's shortest-round-trip `f64` formatting is
+//! what makes the bitwise comparison across the HTTP boundary possible.
+
+use holistix::corpus::JsonValue;
+use holistix::{BaselineKind, FittedBaseline, SpeedProfile};
+use holistix_corpus::HolistixCorpus;
+use holistix_serve::{
+    http_request, serve, BatchConfig, ModelRegistry, RegistryConfig, ServeConfig,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn start_server() -> (holistix_serve::ServerHandle, Arc<FittedBaseline>) {
+    let registry = ModelRegistry::fit_synthetic(&RegistryConfig {
+        kinds: vec![BaselineKind::LogisticRegression],
+        profile: SpeedProfile::Tiny,
+        training_posts: 120,
+        seed: 13,
+    });
+    let model = registry.get(BaselineKind::LogisticRegression).unwrap();
+    let config = ServeConfig {
+        workers: 8,
+        batch: BatchConfig {
+            max_batch: 8,
+            // Generous window so concurrent clients reliably land in one batch
+            // even on a loaded CI machine.
+            max_wait: Duration::from_millis(250),
+        },
+        ..ServeConfig::default()
+    };
+    let server = serve("127.0.0.1:0", registry, config).expect("bind loopback");
+    (server, model)
+}
+
+fn predict_one(addr: std::net::SocketAddr, text: &str) -> Vec<f64> {
+    let body = format!("{{\"text\":{}}}", holistix::corpus::json::json_escape(text));
+    let (status, body) = http_request(addr, "POST", "/predict", Some(&body)).expect("predict");
+    assert_eq!(status, 200, "predict failed: {body}");
+    let document = JsonValue::parse(&body).expect("predict response is JSON");
+    let results = document.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 1);
+    results[0]
+        .get("probabilities")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|p| p.as_f64().unwrap())
+        .collect()
+}
+
+fn max_batch_from_metrics(addr: std::net::SocketAddr) -> usize {
+    let (status, body) = http_request(addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(status, 200);
+    let document = JsonValue::parse(&body).expect("metrics response is JSON");
+    let batches = document.get("batches").unwrap();
+    let max_size = batches.get("max_size").unwrap().as_usize().unwrap();
+    // The histogram must corroborate the max: some batch of that size exists.
+    if max_size > 0 {
+        let histogram = batches.get("histogram").unwrap();
+        let count = histogram
+            .get(&max_size.to_string())
+            .and_then(|v| v.as_usize())
+            .unwrap_or(0);
+        assert!(count > 0, "histogram missing the max batch size {max_size}");
+    }
+    max_size
+}
+
+/// The acceptance test: ≥2 concurrent requests batch together, and every
+/// client gets probabilities bit-identical to single-text scoring.
+#[test]
+fn concurrent_requests_batch_together_and_stay_bit_identical() {
+    let (server, model) = start_server();
+    let addr = server.addr();
+
+    let corpus = HolistixCorpus::generate_small(30, 99);
+    let texts: Vec<String> = corpus
+        .texts()
+        .iter()
+        .take(4)
+        .map(|t| t.to_string())
+        .collect();
+    assert_eq!(texts.len(), 4);
+    let expected: Vec<Vec<f64>> = texts.iter().map(|t| model.probabilities_one(t)).collect();
+
+    // Several rounds of 4 concurrent single-text clients. One round is
+    // normally enough for a ≥2 batch; retry a few times to be immune to a
+    // pathologically scheduled CI box. Correctness is asserted every round.
+    let mismatches = Arc::new(AtomicUsize::new(0));
+    for _round in 0..5 {
+        let barrier = Arc::new(Barrier::new(texts.len()));
+        crossbeam::thread::scope(|scope| {
+            for (text, want) in texts.iter().zip(&expected) {
+                let barrier = Arc::clone(&barrier);
+                let mismatches = Arc::clone(&mismatches);
+                scope.spawn(move |_| {
+                    barrier.wait();
+                    let got = predict_one(addr, text);
+                    assert_eq!(got.len(), want.len());
+                    for (g, w) in got.iter().zip(want) {
+                        if g.to_bits() != w.to_bits() {
+                            mismatches.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("client scope failed");
+        if max_batch_from_metrics(addr) >= 2 {
+            break;
+        }
+    }
+
+    assert_eq!(
+        mismatches.load(Ordering::SeqCst),
+        0,
+        "served probabilities diverged bitwise from probabilities_one"
+    );
+    let max_batch = max_batch_from_metrics(addr);
+    assert!(
+        max_batch >= 2,
+        "no cross-request batch formed (max batch size {max_batch})"
+    );
+    server.shutdown();
+}
+
+/// A multi-text request is scored as one batch even with no concurrency, and
+/// the answers match single-text scoring bitwise.
+#[test]
+fn multi_text_request_forms_its_own_batch() {
+    let (server, model) = start_server();
+    let addr = server.addr();
+
+    let corpus = HolistixCorpus::generate_small(30, 5);
+    let texts: Vec<&str> = corpus.texts().iter().take(3).copied().collect();
+    let escaped: Vec<String> = texts
+        .iter()
+        .map(|t| holistix::corpus::json::json_escape(t))
+        .collect();
+    let body = format!("{{\"texts\":[{}]}}", escaped.join(","));
+    let (status, response) = http_request(addr, "POST", "/predict", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{response}");
+
+    let document = JsonValue::parse(&response).unwrap();
+    let results = document.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    for (result, text) in results.iter().zip(&texts) {
+        let got: Vec<f64> = result
+            .get("probabilities")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p.as_f64().unwrap())
+            .collect();
+        let want = model.probabilities_one(text);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits(), "row for {text:?} diverged");
+        }
+        // The reported label is the argmax of the probabilities.
+        let label_index = result.get("label_index").unwrap().as_usize().unwrap();
+        let argmax = holistix::linalg::argmax(&want).unwrap();
+        assert_eq!(label_index, argmax);
+    }
+    assert!(max_batch_from_metrics(addr) >= 3);
+    server.shutdown();
+}
+
+/// `/explain` over HTTP agrees with running the LIME explainer directly
+/// against the warm model (same config, same seed).
+#[test]
+fn explain_endpoint_matches_direct_lime() {
+    use holistix_explain::{LimeConfig, LimeExplainer};
+    let (server, model) = start_server();
+    let addr = server.addr();
+
+    let text = "i feel alone and isolated and nobody understands me";
+    let lime = LimeConfig {
+        n_samples: 50,
+        ..LimeConfig::default()
+    };
+    let direct = LimeExplainer::new(lime).explain(&*model, text, None);
+
+    let body = format!(
+        "{{\"text\":{},\"n_samples\":50}}",
+        holistix::corpus::json::json_escape(text)
+    );
+    let (status, response) = http_request(addr, "POST", "/explain", Some(&body)).unwrap();
+    assert_eq!(status, 200, "{response}");
+    let document = JsonValue::parse(&response).unwrap();
+    assert_eq!(
+        document.get("target_class").unwrap().as_usize().unwrap(),
+        direct.target_class
+    );
+    let tokens = document.get("tokens").unwrap().as_array().unwrap();
+    assert!(!tokens.is_empty());
+    for (served, (token, weight)) in tokens.iter().zip(&direct.token_weights) {
+        assert_eq!(served.get("token").unwrap().as_str(), Some(token.as_str()));
+        assert_eq!(
+            served.get("weight").unwrap().as_f64().unwrap().to_bits(),
+            weight.to_bits()
+        );
+    }
+    server.shutdown();
+}
