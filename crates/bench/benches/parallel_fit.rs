@@ -1,0 +1,97 @@
+//! Sharded map-reduce fit throughput.
+//!
+//! The PR-4 refactor turned vectoriser fitting — the last serial stage between
+//! a JSONL corpus and a servable model — into a map-reduce over document
+//! shards (`TfidfVectorizer::fit_parallel`). This bench measures fit
+//! throughput (documents/second) against shard count on a paper-scale
+//! vocabulary: the Table I lexicon augmented with a 12k-term synthetic lexicon
+//! (`HolistixCorpus::augment_vocabulary`), the same corpus construction the
+//! `sparse_vs_dense_inference` bench uses.
+//!
+//! Two variants per shard count:
+//!
+//! * `fit` — vocabulary counting + merge + IDF (what cross-validation folds
+//!   and the serve registry pay per model);
+//! * `fit_transform` — the one-tokenisation-pass fit + CSR transform used by
+//!   the training pipelines (per-shard token streams re-emitted as CSR blocks,
+//!   stacked in document order).
+//!
+//! Correctness is pinned elsewhere: property tests assert the sharded fit is
+//! bit-identical to the sequential one for every shard count, so this bench
+//! compares *only* speed. On a multi-core machine the expected shape is
+//! near-linear scaling until shards exceed physical cores (>1.5× at 4 shards);
+//! on a single-core container all variants collapse to sequential throughput
+//! plus a small scoped-thread overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::ml::{TfidfVectorizer, VectorizerOptions};
+use holistix::prelude::*;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Synthetic lexicon size: paper-scale (the fitted vocabulary comes out at
+/// this plus the few hundred organic terms).
+const AUGMENT_TERMS: usize = 12_000;
+/// Filler terms appended per post (half round-robin coverage, half Zipf tail).
+const AUGMENT_WORDS_PER_POST: usize = 60;
+/// Corpus size: large enough that per-shard work dominates thread setup.
+const POSTS: usize = 1_500;
+
+fn bench_parallel_fit(c: &mut Criterion) {
+    let mut corpus = HolistixCorpus::generate_small(POSTS, 42);
+    corpus.augment_vocabulary(AUGMENT_TERMS, AUGMENT_WORDS_PER_POST, 42);
+    let texts = corpus.texts();
+
+    let reference = TfidfVectorizer::fit(&texts, VectorizerOptions::paper_default());
+    assert!(
+        reference.n_features() >= 10_000,
+        "augmentation should put the vocabulary at paper scale, got {}",
+        reference.n_features()
+    );
+
+    // Headline docs/s table (criterion's per-iteration timings are below).
+    println!(
+        "corpus: {} posts, vocabulary {} terms",
+        texts.len(),
+        reference.n_features()
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let started = Instant::now();
+        let fitted =
+            TfidfVectorizer::fit_parallel(&texts, VectorizerOptions::paper_default(), shards);
+        let elapsed = started.elapsed();
+        assert_eq!(fitted.n_features(), reference.n_features());
+        println!(
+            "fit with {shards} shard(s): {:>8.1} ms  ({:>9.0} docs/s)",
+            elapsed.as_secs_f64() * 1e3,
+            texts.len() as f64 / elapsed.as_secs_f64()
+        );
+    }
+
+    let mut group = c.benchmark_group("parallel_fit");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("fit_12k_vocab_{shards}_shards"), |b| {
+            b.iter(|| {
+                black_box(TfidfVectorizer::fit_parallel(
+                    black_box(&texts),
+                    VectorizerOptions::paper_default(),
+                    shards,
+                ))
+            })
+        });
+        group.bench_function(format!("fit_transform_12k_vocab_{shards}_shards"), |b| {
+            b.iter(|| {
+                black_box(TfidfVectorizer::fit_transform_sparse_parallel(
+                    black_box(&texts),
+                    VectorizerOptions::paper_default(),
+                    shards,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_fit);
+criterion_main!(benches);

@@ -227,13 +227,31 @@ impl FittedBaseline {
         }
     }
 
-    /// Train a baseline on raw texts and dense labels.
+    /// Train a baseline on raw texts and dense labels (single-shard case of
+    /// [`fit_with_threads`](Self::fit_with_threads)).
     pub fn fit(
         kind: BaselineKind,
         profile: SpeedProfile,
         texts: &[&str],
         labels: &[usize],
         seed: u64,
+    ) -> Self {
+        Self::fit_with_threads(kind, profile, texts, labels, seed, 1)
+    }
+
+    /// Train a baseline with the classical feature fit sharded across
+    /// `n_threads` threads (the map-reduce fit of
+    /// [`TfidfVectorizer::fit_transform_sparse_parallel`], one tokenisation
+    /// pass). Fitted models are bit-identical for every `n_threads`.
+    /// Transformer baselines ignore the knob — their training loop is
+    /// epoch-sequential by construction.
+    pub fn fit_with_threads(
+        kind: BaselineKind,
+        profile: SpeedProfile,
+        texts: &[&str],
+        labels: &[usize],
+        seed: u64,
+        n_threads: usize,
     ) -> Self {
         assert_eq!(texts.len(), labels.len(), "texts/labels length mismatch");
         assert!(
@@ -247,10 +265,15 @@ impl FittedBaseline {
                 FittedBaseline::Transformer { trainer }
             }
             classical => {
-                let vectorizer = TfidfVectorizer::fit(texts, VectorizerOptions::paper_default());
                 // CSR end to end: the dense documents × vocabulary grid is never
-                // materialised, for training or for any later prediction.
-                let features = FeatureMatrix::Sparse(vectorizer.transform_sparse(texts));
+                // materialised, for training or for any later prediction — and the
+                // fit tokenises the corpus exactly once.
+                let (vectorizer, features) = TfidfVectorizer::fit_transform_sparse_parallel(
+                    texts,
+                    VectorizerOptions::paper_default(),
+                    n_threads,
+                );
+                let features = FeatureMatrix::Sparse(features);
                 let epochs = Self::classical_epochs(profile);
                 let classifier = match classical {
                     BaselineKind::LogisticRegression => {
@@ -359,6 +382,7 @@ pub struct BaselinePipeline {
     kind: BaselineKind,
     profile: SpeedProfile,
     seed: u64,
+    fit_threads: usize,
     fitted: Option<FittedBaseline>,
 }
 
@@ -369,8 +393,17 @@ impl BaselinePipeline {
             kind,
             profile,
             seed,
+            fit_threads: 1,
             fitted: None,
         }
+    }
+
+    /// Shard the classical feature fit across `n_threads` threads. This is the
+    /// experiment-pipeline knob for the sharded fit; the cross-validation
+    /// driver also sets it per fold from its [`ThreadBudget`](holistix_ml::ThreadBudget).
+    pub fn with_fit_threads(mut self, n_threads: usize) -> Self {
+        self.fit_threads = n_threads.max(1);
+        self
     }
 
     /// The fitted baseline, if `fit` has run.
@@ -386,12 +419,13 @@ impl BaselinePipeline {
 
 impl TextPipeline for BaselinePipeline {
     fn fit(&mut self, texts: &[&str], labels: &[usize]) {
-        self.fitted = Some(FittedBaseline::fit(
+        self.fitted = Some(FittedBaseline::fit_with_threads(
             self.kind,
             self.profile,
             texts,
             labels,
             self.seed,
+            self.fit_threads,
         ));
     }
 
@@ -404,6 +438,10 @@ impl TextPipeline for BaselinePipeline {
 
     fn name(&self) -> String {
         self.kind.name()
+    }
+
+    fn set_fit_threads(&mut self, n_threads: usize) {
+        self.fit_threads = n_threads.max(1);
     }
 }
 
@@ -587,6 +625,32 @@ mod tests {
             let batched_preds = fitted.predict(&refs);
             for (i, text) in refs.iter().enumerate().step_by(41) {
                 assert_eq!(batched_preds[i], fitted.predict(&[text])[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_fit_produces_bit_identical_baselines() {
+        let (texts, labels) = training_data(140, 11);
+        let refs: Vec<&str> = texts.iter().map(|s| s.as_str()).collect();
+        for kind in BaselineKind::CLASSICAL {
+            let sequential = FittedBaseline::fit(kind, SpeedProfile::Tiny, &refs, &labels, 5);
+            let expected = sequential.probabilities(&refs[..12]);
+            for n_threads in [2, 4] {
+                let sharded = FittedBaseline::fit_with_threads(
+                    kind,
+                    SpeedProfile::Tiny,
+                    &refs,
+                    &labels,
+                    5,
+                    n_threads,
+                );
+                assert_eq!(
+                    sharded.probabilities(&refs[..12]),
+                    expected,
+                    "{} diverged at {n_threads} fit shards",
+                    kind.name()
+                );
             }
         }
     }

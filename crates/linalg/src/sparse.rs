@@ -265,6 +265,40 @@ impl CsrMatrix {
     pub fn has_non_finite(&self) -> bool {
         self.values.iter().any(|v| !v.is_finite())
     }
+
+    /// Stack blocks vertically (all must share a column count). Row `r` of the
+    /// result is exactly the corresponding block row, entry for entry — this is
+    /// how the sharded vectoriser fit concatenates per-shard matrices back into
+    /// document order. Panics on a column-count mismatch or an empty block list.
+    pub fn vstack(blocks: &[CsrMatrix]) -> CsrMatrix {
+        assert!(!blocks.is_empty(), "vstack needs at least one block");
+        let cols = blocks[0].cols;
+        let rows: usize = blocks.iter().map(|b| b.rows).sum();
+        let nnz: usize = blocks.iter().map(|b| b.nnz()).sum();
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        indptr.push(0);
+        let mut offset = 0usize;
+        for block in blocks {
+            assert_eq!(
+                block.cols, cols,
+                "vstack column mismatch: {} vs {cols}",
+                block.cols
+            );
+            indptr.extend(block.indptr[1..].iter().map(|&p| p + offset));
+            indices.extend_from_slice(&block.indices);
+            values.extend_from_slice(&block.values);
+            offset += block.nnz();
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
 }
 
 /// Incremental row-by-row CSR construction.
@@ -514,6 +548,25 @@ mod tests {
         assert_eq!(sparse.shape(), (3, 4));
         assert_eq!(sparse.nnz(), 4);
         assert_eq!(sparse.to_dense(), dense);
+    }
+
+    #[test]
+    fn vstack_concatenates_rows_in_block_order() {
+        let dense = sample_dense();
+        let whole = CsrMatrix::from_dense(&dense);
+        // Split into [rows 0..2] + [row 2] + an empty block; vstack restores it.
+        let top = whole.select_rows(&[0, 1]);
+        let bottom = whole.select_rows(&[2]);
+        let empty = CsrMatrix::zeros(0, 4);
+        let stacked = CsrMatrix::vstack(&[top, empty, bottom]);
+        assert_eq!(stacked, whole);
+        assert_eq!(stacked.to_dense(), dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "column mismatch")]
+    fn vstack_rejects_mismatched_columns() {
+        let _ = CsrMatrix::vstack(&[CsrMatrix::zeros(1, 3), CsrMatrix::zeros(1, 4)]);
     }
 
     #[test]

@@ -6,7 +6,29 @@
 //! scikit-learn semantics so the baselines are comparable: smoothed IDF
 //! (`ln((1+N)/(1+df)) + 1`), optional sublinear TF, and L2 row normalisation for
 //! TF-IDF.
+//!
+//! ## The sharded map-reduce fit
+//!
+//! Fitting is a map-reduce over document shards, and there is exactly one fit
+//! code path: [`CountVectorizer::fit_parallel`] chunks the corpus into
+//! `n_threads` contiguous shards, runs the analyzer and an independent
+//! [`VocabularyBuilder`] per shard on scoped threads (the map), merges the
+//! builders in shard order (the reduce, integer-exact), and freezes the
+//! vocabulary once. The sequential [`fit`](CountVectorizer::fit) is simply
+//! `n_threads = 1`. [`TfidfVectorizer::fit_parallel`] layers a single IDF
+//! computation on top, and
+//! [`fit_transform_sparse_parallel`](TfidfVectorizer::fit_transform_sparse_parallel)
+//! retains each shard's token streams so fit + transform costs **one**
+//! tokenisation pass: every shard re-emits its documents as a [`CsrBuilder`]
+//! block and the blocks are stacked back in document order.
+//!
+//! Shard count never changes results: vocabulary order, IDF vectors and
+//! transformed matrices are bit-identical for every `n_threads` (a property
+//! test in `crates/ml/tests/property.rs` pins this), because frequency merges
+//! are integer sums, term ordering is a total order, and every transformed row
+//! depends only on its own document.
 
+use crate::parallel::scoped_map;
 use holistix_linalg::{CsrBuilder, CsrMatrix, Matrix};
 use holistix_text::{ngrams, stem, StopwordFilter, Vocabulary, VocabularyBuilder};
 use serde::{Deserialize, Serialize};
@@ -79,6 +101,82 @@ fn analyze(text: &str, options: &VectorizerOptions, stopwords: &StopwordFilter) 
     terms
 }
 
+/// One shard's map output: vocabulary counts, plus (when requested) the
+/// per-document token streams so a following transform never tokenises again.
+struct ShardFit {
+    builder: VocabularyBuilder,
+    tokens: Vec<Vec<String>>,
+}
+
+/// Analyze one contiguous document shard into a [`ShardFit`].
+fn analyze_shard<S: AsRef<str>>(
+    documents: &[S],
+    options: &VectorizerOptions,
+    keep_tokens: bool,
+) -> ShardFit {
+    let stopwords = StopwordFilter::english_shared();
+    let mut builder = VocabularyBuilder::new();
+    let mut tokens = Vec::with_capacity(if keep_tokens { documents.len() } else { 0 });
+    for doc in documents {
+        let terms = analyze(doc.as_ref(), options, stopwords);
+        builder.add_document(&terms);
+        if keep_tokens {
+            tokens.push(terms);
+        }
+    }
+    ShardFit { builder, tokens }
+}
+
+/// The map-reduce fit shared by both vectorisers: chunk `documents` into at
+/// most `n_threads` contiguous shards, analyze + count each shard (on scoped
+/// threads when more than one), and merge the builders in shard order.
+///
+/// Returns the merged builder and the per-shard token streams (empty vectors
+/// unless `keep_tokens`). One shard — the sequential fit — runs inline on the
+/// calling thread; results are bit-identical either way because frequency
+/// merging is an integer sum and vocabulary freezing orders terms totally.
+fn fit_shards<S: AsRef<str> + Sync>(
+    documents: &[S],
+    options: &VectorizerOptions,
+    n_threads: usize,
+    keep_tokens: bool,
+) -> (VocabularyBuilder, Vec<Vec<Vec<String>>>) {
+    let n_shards = n_threads.clamp(1, documents.len().max(1));
+    let shards: Vec<ShardFit> = if n_shards <= 1 {
+        vec![analyze_shard(documents, options, keep_tokens)]
+    } else {
+        let chunk_size = documents.len().div_ceil(n_shards);
+        let chunks: Vec<&[S]> = documents.chunks(chunk_size).collect();
+        scoped_map(&chunks, |chunk| analyze_shard(chunk, options, keep_tokens))
+    };
+    let mut merged = VocabularyBuilder::new();
+    let mut token_shards = Vec::with_capacity(shards.len());
+    for shard in shards {
+        merged.merge(shard.builder);
+        token_shards.push(shard.tokens);
+    }
+    (merged, token_shards)
+}
+
+/// Count one shard's retained token streams into a CSR block. Entries are
+/// pushed in token order with weight `1.0`, exactly as
+/// [`CountVectorizer::transform_sparse`] does, so the block is bit-identical
+/// to the corresponding rows of a standalone transform.
+fn count_block(vocabulary: &Vocabulary, documents: &[Vec<String>]) -> CsrMatrix {
+    let mut builder = CsrBuilder::new(vocabulary.len());
+    let mut entries: Vec<(usize, f64)> = Vec::new();
+    for tokens in documents {
+        entries.clear();
+        for term in tokens {
+            if let Some(col) = vocabulary.id(term) {
+                entries.push((col, 1.0));
+            }
+        }
+        builder.push_row(&mut entries);
+    }
+    builder.finish()
+}
+
 /// Raw term-count vectoriser (`CountVectorizer` analogue).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CountVectorizer {
@@ -87,20 +185,64 @@ pub struct CountVectorizer {
 }
 
 impl CountVectorizer {
-    /// Fit a vectoriser on a document collection.
-    pub fn fit<S: AsRef<str>>(documents: &[S], options: VectorizerOptions) -> Self {
-        let mut builder = VocabularyBuilder::new();
-        let stopwords = StopwordFilter::english_shared();
-        for doc in documents {
-            let terms = analyze(doc.as_ref(), &options, stopwords);
-            builder.add_document(&terms);
-        }
+    /// Fit a vectoriser on a document collection (the single-shard case of
+    /// [`fit_parallel`](Self::fit_parallel) — there is one fit code path).
+    pub fn fit<S: AsRef<str> + Sync>(documents: &[S], options: VectorizerOptions) -> Self {
+        Self::fit_parallel(documents, options, 1)
+    }
+
+    /// Fit with vocabulary counting sharded across `n_threads` scoped threads.
+    /// The result is bit-identical to the sequential fit for every shard
+    /// count; `n_threads = 1` (or a single-document corpus) runs inline.
+    pub fn fit_parallel<S: AsRef<str> + Sync>(
+        documents: &[S],
+        options: VectorizerOptions,
+        n_threads: usize,
+    ) -> Self {
+        let (builder, _) = fit_shards(documents, &options, n_threads, false);
         let vocabulary =
             builder.build_with_min_df(options.min_document_frequency.max(1), options.max_features);
         Self {
             options,
             vocabulary,
         }
+    }
+
+    /// Fit and sparse-transform in one tokenisation pass: each shard retains
+    /// its token streams while counting, then re-emits them as a CSR block
+    /// once the merged vocabulary exists; blocks are stacked back in document
+    /// order. Equivalent to `(Self::fit_parallel(..), fitted.transform_sparse(..))`
+    /// bit for bit, at half the analyzer cost.
+    pub fn fit_transform_sparse_parallel<S: AsRef<str> + Sync>(
+        documents: &[S],
+        options: VectorizerOptions,
+        n_threads: usize,
+    ) -> (Self, CsrMatrix) {
+        let (builder, token_shards) = fit_shards(documents, &options, n_threads, true);
+        let vocabulary =
+            builder.build_with_min_df(options.min_document_frequency.max(1), options.max_features);
+        let mut blocks: Vec<CsrMatrix> = if token_shards.len() <= 1 {
+            token_shards
+                .iter()
+                .map(|tokens| count_block(&vocabulary, tokens))
+                .collect()
+        } else {
+            scoped_map(&token_shards, |tokens| count_block(&vocabulary, tokens))
+        };
+        // A lone block IS the matrix — vstack would copy the whole corpus's
+        // CSR arrays for nothing on the (default) sequential path.
+        let matrix = if blocks.len() == 1 {
+            blocks.pop().expect("one block")
+        } else {
+            CsrMatrix::vstack(&blocks)
+        };
+        (
+            Self {
+                options,
+                vocabulary,
+            },
+            matrix,
+        )
     }
 
     /// The fitted vocabulary.
@@ -161,9 +303,26 @@ pub struct TfidfVectorizer {
 }
 
 impl TfidfVectorizer {
-    /// Fit on a document collection.
-    pub fn fit<S: AsRef<str>>(documents: &[S], options: VectorizerOptions) -> Self {
-        let counts = CountVectorizer::fit(documents, options);
+    /// Fit on a document collection (the single-shard case of
+    /// [`fit_parallel`](Self::fit_parallel)).
+    pub fn fit<S: AsRef<str> + Sync>(documents: &[S], options: VectorizerOptions) -> Self {
+        Self::fit_parallel(documents, options, 1)
+    }
+
+    /// Fit with vocabulary counting sharded across `n_threads` threads; the
+    /// IDF vector is computed once from the merged document frequencies, so
+    /// it is bit-identical for every shard count.
+    pub fn fit_parallel<S: AsRef<str> + Sync>(
+        documents: &[S],
+        options: VectorizerOptions,
+        n_threads: usize,
+    ) -> Self {
+        Self::from_counts(CountVectorizer::fit_parallel(documents, options, n_threads))
+    }
+
+    /// Finish a TF-IDF vectoriser around fitted counts: one IDF computation,
+    /// after whatever merge produced the vocabulary.
+    fn from_counts(counts: CountVectorizer) -> Self {
         let idf = counts
             .vocabulary()
             .terms()
@@ -174,7 +333,7 @@ impl TfidfVectorizer {
     }
 
     /// Fit with the paper-default options.
-    pub fn fit_default<S: AsRef<str>>(documents: &[S]) -> Self {
+    pub fn fit_default<S: AsRef<str> + Sync>(documents: &[S]) -> Self {
         Self::fit(documents, VectorizerOptions::paper_default())
     }
 
@@ -233,6 +392,15 @@ impl TfidfVectorizer {
     /// `transform_sparse(d).to_dense()` equals `transform(d)` bitwise.
     pub fn transform_sparse<S: AsRef<str>>(&self, documents: &[S]) -> CsrMatrix {
         let mut m = self.counts.transform_sparse(documents);
+        self.apply_tfidf(&mut m);
+        m
+    }
+
+    /// Scale a CSR count matrix into TF-IDF in place: per-entry TF and IDF
+    /// factors, then the optional per-row L2 norm. Row-local, so it commutes
+    /// with any row partition — the sharded fit applies it once to the stacked
+    /// matrix with the same bits a per-shard application would produce.
+    fn apply_tfidf(&self, m: &mut CsrMatrix) {
         let options = &self.counts.options;
         for r in 0..m.rows() {
             let (cols, values) = m.row_mut(r);
@@ -253,11 +421,10 @@ impl TfidfVectorizer {
                 }
             }
         }
-        m
     }
 
     /// Fit and transform in one step.
-    pub fn fit_transform<S: AsRef<str>>(
+    pub fn fit_transform<S: AsRef<str> + Sync>(
         documents: &[S],
         options: VectorizerOptions,
     ) -> (Self, Matrix) {
@@ -266,14 +433,30 @@ impl TfidfVectorizer {
         (v, m)
     }
 
-    /// Fit and sparse-transform in one step.
-    pub fn fit_transform_sparse<S: AsRef<str>>(
+    /// Fit and sparse-transform in one step (single-shard case of
+    /// [`fit_transform_sparse_parallel`](Self::fit_transform_sparse_parallel)).
+    pub fn fit_transform_sparse<S: AsRef<str> + Sync>(
         documents: &[S],
         options: VectorizerOptions,
     ) -> (Self, CsrMatrix) {
-        let v = Self::fit(documents, options);
-        let m = v.transform_sparse(documents);
-        (v, m)
+        Self::fit_transform_sparse_parallel(documents, options, 1)
+    }
+
+    /// Sharded fit + sparse transform in one tokenisation pass: the count
+    /// layer retains per-shard token streams and stacks per-shard CSR blocks
+    /// in document order; TF-IDF scaling then runs once over the stacked
+    /// matrix. Output is bit-identical to `fit` followed by `transform_sparse`
+    /// for every shard count.
+    pub fn fit_transform_sparse_parallel<S: AsRef<str> + Sync>(
+        documents: &[S],
+        options: VectorizerOptions,
+        n_threads: usize,
+    ) -> (Self, CsrMatrix) {
+        let (counts, mut matrix) =
+            CountVectorizer::fit_transform_sparse_parallel(documents, options, n_threads);
+        let v = Self::from_counts(counts);
+        v.apply_tfidf(&mut matrix);
+        (v, matrix)
     }
 }
 
@@ -412,6 +595,79 @@ mod tests {
         assert_eq!(sparse.to_dense(), tfidf.transform(&docs()));
         // The whole point: a realistic row stores only its own terms.
         assert!(sparse.density() < 0.5, "density {}", sparse.density());
+    }
+
+    #[test]
+    fn parallel_fit_is_bit_identical_to_sequential() {
+        // More documents than shards, uneven splits included.
+        let docs: Vec<String> = (0..23)
+            .map(|i| {
+                format!(
+                    "doc {i} feel alone tired sleep anxiety word{} word{}",
+                    i % 7,
+                    i % 3
+                )
+            })
+            .collect();
+        let sequential = TfidfVectorizer::fit(&docs, VectorizerOptions::default());
+        let expected = sequential.transform_sparse(&docs);
+        for n_threads in [1, 2, 3, 4, 8, 64] {
+            let parallel =
+                TfidfVectorizer::fit_parallel(&docs, VectorizerOptions::default(), n_threads);
+            assert_eq!(
+                parallel.vocabulary().terms(),
+                sequential.vocabulary().terms(),
+                "{n_threads} shards changed the vocabulary"
+            );
+            assert_eq!(parallel.idf(), sequential.idf());
+            assert_eq!(parallel.transform_sparse(&docs), expected);
+        }
+    }
+
+    #[test]
+    fn fit_transform_parallel_matches_fit_then_transform() {
+        let docs: Vec<String> = (0..17)
+            .map(|i| format!("anxiety sleep work drain {} repeat repeat", i % 5))
+            .collect();
+        for variant in [
+            VectorizerOptions::default(),
+            VectorizerOptions {
+                sublinear_tf: true,
+                min_document_frequency: 2,
+                ..VectorizerOptions::default()
+            },
+        ] {
+            let fitted = TfidfVectorizer::fit(&docs, variant.clone());
+            let expected = fitted.transform_sparse(&docs);
+            for n_threads in [1, 3, 5] {
+                let (v, m) = TfidfVectorizer::fit_transform_sparse_parallel(
+                    &docs,
+                    variant.clone(),
+                    n_threads,
+                );
+                assert_eq!(v.vocabulary().terms(), fitted.vocabulary().terms());
+                assert_eq!(m, expected, "{n_threads} shards diverged");
+            }
+            let (cv, cm) =
+                CountVectorizer::fit_transform_sparse_parallel(&docs, variant.clone(), 4);
+            assert_eq!(cm, cv.transform_sparse(&docs));
+        }
+    }
+
+    #[test]
+    fn parallel_fit_handles_tiny_and_empty_corpora() {
+        let empty: Vec<&str> = Vec::new();
+        let v = TfidfVectorizer::fit_parallel(&empty, VectorizerOptions::default(), 4);
+        assert_eq!(v.n_features(), 0);
+        let (_, m) =
+            TfidfVectorizer::fit_transform_sparse_parallel(&empty, VectorizerOptions::default(), 4);
+        assert_eq!(m.rows(), 0);
+
+        let one = ["just one document here"];
+        let (v, m) =
+            TfidfVectorizer::fit_transform_sparse_parallel(&one, VectorizerOptions::default(), 8);
+        assert_eq!(m.rows(), 1);
+        assert_eq!(m, v.transform_sparse(&one));
     }
 
     #[test]

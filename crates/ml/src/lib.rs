@@ -9,7 +9,14 @@
 //! scratch:
 //!
 //! * [`features`] — TF-IDF and raw-count vectorisers with configurable analyzers
-//!   (stop-word removal, stemming, n-grams, vocabulary caps),
+//!   (stop-word removal, stemming, n-grams, vocabulary caps). Fitting is a
+//!   sharded map-reduce over document chunks
+//!   ([`TfidfVectorizer::fit_parallel`](features::TfidfVectorizer::fit_parallel)):
+//!   per-shard analyzers + vocabulary builders on scoped threads, an
+//!   integer-exact merge, one IDF computation — bit-identical to the
+//!   sequential fit for every shard count, with a one-tokenisation-pass
+//!   fit + CSR transform
+//!   ([`fit_transform_sparse_parallel`](features::TfidfVectorizer::fit_transform_sparse_parallel)),
 //! * [`classifier`] — the [`Classifier`](classifier::Classifier) trait shared by every
 //!   baseline (classical and transformer alike, via the core crate's adapters),
 //! * [`logistic`] — multinomial logistic regression trained with mini-batch SGD + L2,
@@ -19,7 +26,9 @@
 //!   weighted averages, accuracy,
 //! * [`cv`] — the stratified k-fold cross-validation driver that produces the
 //!   Table IV rows (per-class metrics averaged over folds), with optional parallel
-//!   fold execution.
+//!   fold execution and a [`ThreadBudget`](cv::ThreadBudget) shared between
+//!   concurrent folds and each fold's sharded vectoriser fit
+//!   (`folds × shards ≤ budget`).
 
 pub mod classifier;
 pub mod cv;
@@ -27,12 +36,17 @@ pub mod features;
 pub mod logistic;
 pub mod metrics;
 pub mod naive_bayes;
+pub mod parallel;
 pub mod svm;
 
 pub use classifier::Classifier;
-pub use cv::{cross_validate, CrossValidationReport, FoldOutcome, TextPipeline, TfidfPipeline};
+pub use cv::{
+    cross_validate, cross_validate_budgeted, CrossValidationReport, FoldOutcome, TextPipeline,
+    TfidfPipeline, ThreadBudget,
+};
 pub use features::{CountVectorizer, TfidfVectorizer, VectorizerOptions};
 pub use logistic::{LogisticRegression, LogisticRegressionConfig};
 pub use metrics::{ClassMetrics, ClassificationReport, ConfusionMatrix};
 pub use naive_bayes::{GaussianNaiveBayes, GaussianNbConfig};
+pub use parallel::scoped_map;
 pub use svm::{LinearSvm, LinearSvmConfig};

@@ -1,0 +1,59 @@
+//! The one scoped fan-out used everywhere a fit shards work across threads.
+//!
+//! Shard fits, per-shard transforms, cross-validation folds and the serve
+//! registry's per-kind fits all need the same thing: run `f` over each item on
+//! its own scoped thread and collect the results *in item order*. [`scoped_map`]
+//! is that pattern, written once — callers decide how many items (and therefore
+//! threads) to create, typically from a
+//! [`ThreadBudget`](crate::cv::ThreadBudget).
+
+/// Run `f` over each item on its own scoped thread, returning results in item
+/// order (spawn handles are joined in spawn order).
+///
+/// Spawns one thread per item unconditionally; callers with a cheap
+/// single-item case should branch before calling. Panics propagate: a
+/// panicking worker fails the whole map.
+pub fn scoped_map<I, T, F>(items: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .iter()
+            .map(|item| scope.spawn(move |_| f(item)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoped_map worker thread panicked"))
+            .collect()
+    })
+    .expect("scoped_map thread scope failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..17).collect();
+        let doubled = scoped_map(&items, |&i| i * 2);
+        assert_eq!(doubled, items.iter().map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_output() {
+        let none: Vec<u8> = Vec::new();
+        assert!(scoped_map(&none, |&b| b).is_empty());
+    }
+
+    #[test]
+    fn workers_may_borrow_from_the_caller() {
+        let corpus = ["a b", "c", "d e f"];
+        let counts = scoped_map(&corpus, |doc| doc.split_whitespace().count());
+        assert_eq!(counts, vec![2, 1, 3]);
+    }
+}

@@ -107,6 +107,100 @@ proptest! {
     }
 }
 
+mod parallel_fit_equivalence {
+    use holistix_ml::{CountVectorizer, TfidfVectorizer, VectorizerOptions};
+    use proptest::prelude::*;
+
+    /// Random corpora over a small alphabet so vocabularies overlap across docs.
+    fn corpus() -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec("[a-f ]{0,60}", 1..24)
+    }
+
+    fn option_grid(variant: usize) -> VectorizerOptions {
+        match variant % 4 {
+            0 => VectorizerOptions::paper_default(),
+            1 => VectorizerOptions {
+                sublinear_tf: true,
+                ..VectorizerOptions::paper_default()
+            },
+            2 => VectorizerOptions {
+                l2_normalize: false,
+                min_document_frequency: 2,
+                ..VectorizerOptions::paper_default()
+            },
+            _ => VectorizerOptions {
+                ngram_max: 2,
+                remove_stopwords: false,
+                max_features: Some(40),
+                ..VectorizerOptions::paper_default()
+            },
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The acceptance bar for the sharded map-reduce fit: for random
+        /// corpora and random shard splits (any thread count from 1 to 8,
+        /// which varies both shard count and split boundaries), the parallel
+        /// fit's vocabulary, IDF vector and sparse transform are
+        /// **bit-identical** to the sequential fit's.
+        #[test]
+        fn fit_parallel_matches_sequential_bitwise(
+            docs in corpus(),
+            n_threads in 1usize..9,
+            variant in 0usize..4,
+        ) {
+            let options = option_grid(variant);
+            let sequential = TfidfVectorizer::fit(&docs, options.clone());
+            let parallel = TfidfVectorizer::fit_parallel(&docs, options, n_threads);
+            prop_assert_eq!(parallel.vocabulary().terms(), sequential.vocabulary().terms());
+            for term in sequential.vocabulary().terms() {
+                prop_assert_eq!(
+                    parallel.vocabulary().document_frequency(term),
+                    sequential.vocabulary().document_frequency(term)
+                );
+                prop_assert_eq!(
+                    parallel.vocabulary().term_frequency(term),
+                    sequential.vocabulary().term_frequency(term)
+                );
+            }
+            // Bit-level equality: f64 == on IDF weights and on every stored
+            // CSR entry (PartialEq on CsrMatrix compares the raw arrays).
+            prop_assert_eq!(parallel.idf(), sequential.idf());
+            prop_assert_eq!(
+                parallel.transform_sparse(&docs),
+                sequential.transform_sparse(&docs)
+            );
+        }
+
+        /// The one-tokenisation-pass sharded fit+transform equals sequential
+        /// fit-then-transform bitwise, for both vectorisers.
+        #[test]
+        fn fit_transform_parallel_matches_two_pass_bitwise(
+            docs in corpus(),
+            n_threads in 1usize..9,
+            variant in 0usize..4,
+        ) {
+            let options = option_grid(variant);
+            let sequential = TfidfVectorizer::fit(&docs, options.clone());
+            let (parallel, matrix) =
+                TfidfVectorizer::fit_transform_sparse_parallel(&docs, options.clone(), n_threads);
+            prop_assert_eq!(parallel.idf(), sequential.idf());
+            prop_assert_eq!(matrix, sequential.transform_sparse(&docs));
+
+            let counts_sequential = CountVectorizer::fit(&docs, options.clone());
+            let (counts, count_matrix) =
+                CountVectorizer::fit_transform_sparse_parallel(&docs, options, n_threads);
+            prop_assert_eq!(
+                counts.vocabulary().terms(),
+                counts_sequential.vocabulary().terms()
+            );
+            prop_assert_eq!(count_matrix, counts_sequential.transform_sparse(&docs));
+        }
+    }
+}
+
 mod sparse_equivalence {
     use holistix_linalg::FeatureMatrix;
     use holistix_ml::{

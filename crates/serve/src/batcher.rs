@@ -14,7 +14,7 @@
 //! pin), so coalescing concurrent requests changes latency, never answers.
 
 use crate::metrics::ServeMetrics;
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, SharedRegistry};
 use holistix::{BaselineKind, FittedBaseline};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
@@ -86,10 +86,12 @@ impl BatcherHandle {
 }
 
 /// The batcher thread body: drain → group → score → fan out, until every
-/// producer handle is dropped.
+/// producer handle is dropped. The registry is resolved once per batch from
+/// the shared handle, so a `/reload` swap lands between batches: an assembled
+/// batch always finishes on the registry it started scoring with.
 pub(crate) fn run_batcher(
     receiver: Receiver<Job>,
-    registry: &ModelRegistry,
+    registry: &SharedRegistry,
     config: &BatchConfig,
     metrics: &ServeMetrics,
 ) {
@@ -107,7 +109,7 @@ pub(crate) fn run_batcher(
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        score_batch(&jobs, registry, metrics);
+        score_batch(&jobs, &registry.current(), metrics);
     }
 }
 
@@ -165,8 +167,11 @@ mod tests {
 
     #[test]
     fn batched_replies_match_direct_scoring() {
-        let registry = tiny_registry();
-        let model = registry.get(BaselineKind::LogisticRegression).unwrap();
+        let registry = SharedRegistry::new(tiny_registry());
+        let model = registry
+            .current()
+            .get(BaselineKind::LogisticRegression)
+            .unwrap();
         let (sender, receiver) = mpsc::channel();
         let handle = BatcherHandle::new(sender);
         let metrics = ServeMetrics::new();
@@ -202,7 +207,7 @@ mod tests {
 
     #[test]
     fn unregistered_kind_is_an_error_and_records_no_metrics() {
-        let registry = tiny_registry();
+        let registry = SharedRegistry::new(tiny_registry());
         let (sender, receiver) = mpsc::channel();
         let handle = BatcherHandle::new(sender);
         let metrics = ServeMetrics::new();

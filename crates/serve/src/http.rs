@@ -144,9 +144,11 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Request> {
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        409 => "Conflict",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         _ => "Unknown",

@@ -29,9 +29,16 @@
 //!                        └───────────────────────────────────────────────┘
 //! ```
 //!
-//! * **[`registry`]** — fits baselines once at startup (one scoped thread per
-//!   [`BaselineKind`](holistix::BaselineKind)) and keeps them warm behind
-//!   `Arc`s for the process lifetime.
+//! * **[`registry`]** — fits baselines at startup (one scoped thread per
+//!   [`BaselineKind`](holistix::BaselineKind), each classical fit sharded via
+//!   the map-reduce fit of `holistix-ml` across its slice of the machine's
+//!   thread budget) and keeps them warm behind `Arc`s. The registry itself is
+//!   immutable; [`SharedRegistry`](registry::SharedRegistry) makes it
+//!   *replaceable* — `POST /reload` fits a fresh registry from an uploaded
+//!   JSONL corpus **on a dedicated thread** (never an HTTP worker or the
+//!   batcher) and atomically swaps the `Arc`, so in-flight requests finish on
+//!   the old models and `/predict` keeps answering throughout (an integration
+//!   test pins this liveness).
 //! * **[`batcher`]** — request workers enqueue texts on an `mpsc` channel; a
 //!   single batcher thread drains up to [`BatchConfig::max_batch`] texts (or
 //!   whatever arrived within [`BatchConfig::max_wait`] of the first), scores
@@ -51,8 +58,9 @@
 //! |-----------------|-----------------------------------------------|--------|
 //! | `POST /predict` | `{"texts": […], "model"?: "LR"}`             | per-text 6-dimension probabilities + label |
 //! | `POST /explain` | `{"text": "…", "top_k"?, "n_samples"?}`      | LIME token attributions via the batched perturbation path |
-//! | `GET /healthz`  | —                                             | status + loaded models |
-//! | `GET /metrics`  | —                                             | counters, batch histogram, latency percentiles |
+//! | `POST /reload`  | JSONL corpus (the `corpus::io` schema)        | `202` + post count; fits off-thread, swaps atomically (`409` if already reloading) |
+//! | `GET /healthz`  | —                                             | status + loaded models + `reloading` flag |
+//! | `GET /metrics`  | —                                             | counters, batch histogram, latency percentiles, registry fit stats (`reloads_total`, `last_fit_us`, `fit_shards`, `corpus_size`) |
 //!
 //! JSON parsing and serialisation are shared with the corpus crate's
 //! [`holistix_corpus::json`] module (hoisted out of its JSONL reader), whose
@@ -79,5 +87,5 @@ pub mod server;
 pub use batcher::{BatchConfig, BatcherHandle};
 pub use http::{http_request, Request, Response};
 pub use metrics::{Endpoint, ServeMetrics};
-pub use registry::{parse_kind, ModelRegistry, RegistryConfig};
-pub use server::{serve, ServeConfig, ServerHandle, MAX_TEXTS_PER_REQUEST};
+pub use registry::{parse_kind, FitStats, ModelRegistry, RegistryConfig, SharedRegistry};
+pub use server::{serve, ServeConfig, ServerHandle, MAX_RELOAD_POSTS, MAX_TEXTS_PER_REQUEST};

@@ -5,6 +5,7 @@
 //! behind mutexes that are touched once per batch / request (never per text),
 //! so the metrics path stays off the scoring hot path.
 
+use crate::registry::FitStats;
 use holistix_corpus::json::JsonValue;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -19,6 +20,8 @@ pub enum Endpoint {
     Predict,
     /// `POST /explain`.
     Explain,
+    /// `POST /reload`.
+    Reload,
     /// `GET /healthz`.
     Health,
     /// `GET /metrics`.
@@ -33,11 +36,18 @@ pub enum Endpoint {
 pub struct ServeMetrics {
     predict_requests: AtomicU64,
     explain_requests: AtomicU64,
+    reload_requests: AtomicU64,
     health_requests: AtomicU64,
     metrics_requests: AtomicU64,
     other_requests: AtomicU64,
     error_responses: AtomicU64,
     texts_scored: AtomicU64,
+    /// Completed registry reloads (a `/reload` fit + swap; startup not counted).
+    /// The fit stats themselves are *not* mirrored here — the registry behind
+    /// [`SharedRegistry`](crate::registry::SharedRegistry) is the single source
+    /// of truth and [`snapshot_with_fit`](Self::snapshot_with_fit) reads them
+    /// at snapshot time.
+    reloads_total: AtomicU64,
     /// `histogram[s]` counts scored batches of exactly `s` texts (index 0 unused).
     batch_histogram: Mutex<Vec<u64>>,
     /// Ring buffer of the last [`LATENCY_WINDOW`] request latencies, in µs.
@@ -56,6 +66,7 @@ impl ServeMetrics {
         let counter = match endpoint {
             Endpoint::Predict => &self.predict_requests,
             Endpoint::Explain => &self.explain_requests,
+            Endpoint::Reload => &self.reload_requests,
             Endpoint::Health => &self.health_requests,
             Endpoint::Metrics => &self.metrics_requests,
             Endpoint::Other => &self.other_requests,
@@ -66,6 +77,16 @@ impl ServeMetrics {
     /// Count an error (4xx/5xx) response.
     pub fn record_error(&self) {
         self.error_responses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one completed `/reload` (fresh registry fitted and swapped in).
+    pub fn record_reload(&self) {
+        self.reloads_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed reloads so far.
+    pub fn reloads_total(&self) -> u64 {
+        self.reloads_total.load(Ordering::Relaxed)
     }
 
     /// Record one scored micro-batch of `size` texts.
@@ -103,13 +124,26 @@ impl ServeMetrics {
     pub fn total_requests(&self) -> u64 {
         self.predict_requests.load(Ordering::Relaxed)
             + self.explain_requests.load(Ordering::Relaxed)
+            + self.reload_requests.load(Ordering::Relaxed)
             + self.health_requests.load(Ordering::Relaxed)
             + self.metrics_requests.load(Ordering::Relaxed)
             + self.other_requests.load(Ordering::Relaxed)
     }
 
-    /// The full metrics document served by `GET /metrics`.
+    /// The metrics document without registry fit stats (counters only in the
+    /// `registry` section). The server uses [`snapshot_with_fit`](Self::snapshot_with_fit).
     pub fn snapshot(&self) -> JsonValue {
+        self.build_snapshot(None)
+    }
+
+    /// The full metrics document served by `GET /metrics`: counters plus the
+    /// given registry's fit stats, read from the live registry at snapshot
+    /// time so `/metrics` can never disagree with the models actually serving.
+    pub fn snapshot_with_fit(&self, fit: &FitStats) -> JsonValue {
+        self.build_snapshot(Some(fit))
+    }
+
+    fn build_snapshot(&self, fit: Option<&FitStats>) -> JsonValue {
         let histogram = self.batch_histogram.lock().unwrap().clone();
         let batch_count: u64 = histogram.iter().sum();
         let max_batch = histogram.iter().rposition(|&c| c > 0).unwrap_or(0);
@@ -131,6 +165,19 @@ impl ServeMetrics {
             JsonValue::Number(latencies[rank - 1] as f64)
         };
 
+        let mut registry_fields = vec![(
+            "reloads_total",
+            JsonValue::Number(self.reloads_total.load(Ordering::Relaxed) as f64),
+        )];
+        if let Some(fit) = fit {
+            registry_fields.push((
+                "last_fit_us",
+                JsonValue::Number(fit.duration.as_micros() as f64),
+            ));
+            registry_fields.push(("fit_shards", JsonValue::Number(fit.shards as f64)));
+            registry_fields.push(("corpus_size", JsonValue::Number(fit.corpus_size as f64)));
+        }
+
         JsonValue::object(vec![
             (
                 "requests",
@@ -143,6 +190,10 @@ impl ServeMetrics {
                     (
                         "explain",
                         JsonValue::Number(self.explain_requests.load(Ordering::Relaxed) as f64),
+                    ),
+                    (
+                        "reload",
+                        JsonValue::Number(self.reload_requests.load(Ordering::Relaxed) as f64),
                     ),
                     (
                         "healthz",
@@ -182,6 +233,7 @@ impl ServeMetrics {
                     ("p99", percentile(0.99)),
                 ]),
             ),
+            ("registry", JsonValue::object(registry_fields)),
         ])
     }
 }
@@ -251,11 +303,38 @@ mod tests {
         metrics.record_request(Endpoint::Predict);
         metrics.record_request(Endpoint::Predict);
         metrics.record_request(Endpoint::Health);
+        metrics.record_request(Endpoint::Reload);
         metrics.record_error();
-        assert_eq!(metrics.total_requests(), 3);
+        assert_eq!(metrics.total_requests(), 4);
         let snapshot = metrics.snapshot();
         let requests = snapshot.get("requests").unwrap();
         assert_eq!(requests.get("predict").unwrap().as_f64(), Some(2.0));
+        assert_eq!(requests.get("reload").unwrap().as_f64(), Some(1.0));
         assert_eq!(requests.get("errors").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn registry_fit_stats_round_trip_through_snapshot() {
+        let metrics = ServeMetrics::new();
+        // Without a registry, the section carries counters only.
+        let bare = metrics.snapshot();
+        let section = bare.get("registry").unwrap();
+        assert_eq!(section.get("reloads_total").unwrap().as_f64(), Some(0.0));
+        assert_eq!(section.get("last_fit_us"), None);
+
+        metrics.record_reload();
+        metrics.record_reload();
+        assert_eq!(metrics.reloads_total(), 2);
+        let fit = FitStats {
+            duration: std::time::Duration::from_micros(12_500),
+            shards: 4,
+            corpus_size: 2_000,
+        };
+        let snapshot = metrics.snapshot_with_fit(&fit);
+        let section = snapshot.get("registry").unwrap();
+        assert_eq!(section.get("reloads_total").unwrap().as_f64(), Some(2.0));
+        assert_eq!(section.get("last_fit_us").unwrap().as_f64(), Some(12_500.0));
+        assert_eq!(section.get("fit_shards").unwrap().as_f64(), Some(4.0));
+        assert_eq!(section.get("corpus_size").unwrap().as_f64(), Some(2_000.0));
     }
 }

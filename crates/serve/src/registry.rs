@@ -1,16 +1,25 @@
 //! The warm-model registry: fitted baselines held in memory for the lifetime
-//! of the server.
+//! of the server, behind an atomically swappable handle.
 //!
 //! Fitting a baseline (vectoriser + classifier, or a transformer fine-tune) is
 //! seconds-to-minutes of work; serving a request against a fitted model is
-//! microseconds-to-milliseconds. The registry pays the fitting cost once at
-//! startup — one crossbeam scoped thread per requested [`BaselineKind`] — and
-//! hands out `Arc<FittedBaseline>` clones to the batcher and the `/explain`
-//! handlers for the rest of the process lifetime.
+//! microseconds-to-milliseconds. The registry pays the fitting cost up front —
+//! one crossbeam scoped thread per requested [`BaselineKind`], each classical
+//! fit itself sharded across its slice of the machine's
+//! [`ThreadBudget`](holistix::ml::ThreadBudget) — and hands out
+//! `Arc<FittedBaseline>` clones to the batcher and the `/explain` handlers.
+//!
+//! A registry is immutable once built; *replacement* is what [`SharedRegistry`]
+//! adds. `POST /reload` fits a fresh [`ModelRegistry`] off-thread and
+//! [`swap`](SharedRegistry::swap)s it in: readers grab an `Arc` per request (or
+//! per batch), so in-flight work finishes on the registry it started with and
+//! new work sees the new models, with no lock held across a fit or a score.
 
+use holistix::ml::{scoped_map, ThreadBudget};
 use holistix::{BaselineKind, FittedBaseline, SpeedProfile};
 use holistix_corpus::HolistixCorpus;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
 
 /// How a registry is trained at startup.
 #[derive(Debug, Clone)]
@@ -36,17 +45,43 @@ impl Default for RegistryConfig {
     }
 }
 
+/// Statistics from the most recent registry fit, exposed by `GET /metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FitStats {
+    /// Wall-clock time of the whole fit (all kinds, fan-out included).
+    pub duration: Duration,
+    /// Vectoriser fit shards each classical kind used.
+    pub shards: usize,
+    /// Number of training documents.
+    pub corpus_size: usize,
+}
+
+impl FitStats {
+    fn none() -> Self {
+        Self {
+            duration: Duration::ZERO,
+            shards: 0,
+            corpus_size: 0,
+        }
+    }
+}
+
 /// Warm fitted baselines, keyed by [`BaselineKind`]. Immutable once built;
 /// every model is behind an `Arc` so request handlers and the batcher share
-/// them without copies.
+/// them without copies. Replacement happens one level up, in
+/// [`SharedRegistry`].
 pub struct ModelRegistry {
     entries: Vec<(BaselineKind, Arc<FittedBaseline>)>,
+    profile: SpeedProfile,
+    seed: u64,
+    stats: FitStats,
 }
 
 impl ModelRegistry {
     /// Fit every configured baseline on a synthetic Holistix corpus. This is
     /// the offline-friendly startup path; a deployment with the real corpus
-    /// would read JSONL via `holistix_corpus::io` and call [`Self::fit`].
+    /// would read JSONL via `corpus::io` and call [`Self::fit`] — or upload it
+    /// to a running server via `POST /reload`.
     pub fn fit_synthetic(config: &RegistryConfig) -> Self {
         let corpus = HolistixCorpus::generate_small(config.training_posts, config.seed);
         let texts = corpus.texts();
@@ -54,10 +89,8 @@ impl ModelRegistry {
         Self::fit(&config.kinds, config.profile, &texts, &labels, config.seed)
     }
 
-    /// Fit the given baselines on explicit training data, one scoped thread per
-    /// kind (the same fan-out pattern the cross-validation driver uses for
-    /// folds). Panics if `kinds` is empty — a server with no models cannot
-    /// answer anything.
+    /// Fit the given baselines on explicit training data with the machine's
+    /// thread budget. See [`Self::fit_budgeted`].
     pub fn fit(
         kinds: &[BaselineKind],
         profile: SpeedProfile,
@@ -65,33 +98,88 @@ impl ModelRegistry {
         labels: &[usize],
         seed: u64,
     ) -> Self {
+        Self::fit_budgeted(kinds, profile, texts, labels, seed, ThreadBudget::machine())
+    }
+
+    /// Fit the given baselines on explicit training data, one scoped thread
+    /// per kind (the same fan-out pattern the cross-validation driver uses for
+    /// folds), with each classical kind's vectoriser fit sharded across its
+    /// slice of `budget` (`kinds × shards ≤ budget.threads`). Panics if
+    /// `kinds` is empty — a server with no models cannot answer anything.
+    pub fn fit_budgeted(
+        kinds: &[BaselineKind],
+        profile: SpeedProfile,
+        texts: &[&str],
+        labels: &[usize],
+        seed: u64,
+        budget: ThreadBudget,
+    ) -> Self {
         assert!(!kinds.is_empty(), "registry needs at least one baseline");
-        let entries = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = kinds
-                .iter()
-                .map(|&kind| {
-                    scope.spawn(move |_| {
-                        (
-                            kind,
-                            Arc::new(FittedBaseline::fit(kind, profile, texts, labels, seed)),
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("model fitting thread panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("model fitting scope failed");
-        Self { entries }
+        let shards = budget.shards_per_fold(kinds.len());
+        let started = Instant::now();
+        let entries = scoped_map(kinds, |&kind| {
+            (
+                kind,
+                Arc::new(FittedBaseline::fit_with_threads(
+                    kind, profile, texts, labels, seed, shards,
+                )),
+            )
+        });
+        Self {
+            entries,
+            profile,
+            seed,
+            stats: FitStats {
+                duration: started.elapsed(),
+                shards,
+                corpus_size: texts.len(),
+            },
+        }
+    }
+
+    /// Fit a fresh registry with this registry's kinds, profile and seed on a
+    /// new training corpus, using the machine's full thread budget. The
+    /// receiver is untouched; the caller swaps the result into a
+    /// [`SharedRegistry`] when ready.
+    pub fn refit(&self, texts: &[&str], labels: &[usize]) -> Self {
+        self.refit_budgeted(texts, labels, ThreadBudget::machine())
+    }
+
+    /// [`refit`](Self::refit) with an explicit thread budget — the `/reload`
+    /// path passes a reduced budget so a background refit does not starve the
+    /// threads serving live traffic.
+    pub fn refit_budgeted(&self, texts: &[&str], labels: &[usize], budget: ThreadBudget) -> Self {
+        Self::fit_budgeted(
+            &self.kinds(),
+            self.profile,
+            texts,
+            labels,
+            self.seed,
+            budget,
+        )
     }
 
     /// A registry around already-fitted models (used by tests that need to
     /// compare server responses against direct model calls).
     pub fn from_fitted(entries: Vec<(BaselineKind, Arc<FittedBaseline>)>) -> Self {
         assert!(!entries.is_empty(), "registry needs at least one baseline");
-        Self { entries }
+        Self {
+            entries,
+            profile: SpeedProfile::Fast,
+            seed: 0,
+            stats: FitStats::none(),
+        }
+    }
+
+    /// Statistics of the fit that produced this registry (zeroed for
+    /// [`Self::from_fitted`]).
+    pub fn fit_stats(&self) -> FitStats {
+        self.stats
+    }
+
+    /// The training cost profile the registry was fitted under.
+    pub fn profile(&self) -> SpeedProfile {
+        self.profile
     }
 
     /// The warm model for a kind, if registered.
@@ -144,6 +232,41 @@ impl ModelRegistry {
             .map(|(k, _)| format!("{:?}", k.name()))
             .collect::<Vec<_>>()
             .join(", ")
+    }
+}
+
+/// A cheaply cloneable, atomically swappable handle to the current
+/// [`ModelRegistry`].
+///
+/// Readers call [`current`](Self::current) and get an `Arc` pinning whatever
+/// registry was live at that instant; [`swap`](Self::swap) replaces the inner
+/// `Arc` under a write lock held only for the pointer assignment. A `/reload`
+/// therefore never blocks scoring: the fit happens entirely outside the lock,
+/// in-flight requests finish on the old registry's models, and the old
+/// registry is freed when its last reader drops.
+#[derive(Clone)]
+pub struct SharedRegistry {
+    inner: Arc<RwLock<Arc<ModelRegistry>>>,
+}
+
+impl SharedRegistry {
+    /// Wrap a fitted registry.
+    pub fn new(registry: ModelRegistry) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(Arc::new(registry))),
+        }
+    }
+
+    /// The registry live right now. The returned `Arc` keeps that registry
+    /// (and its models) alive through any number of subsequent swaps.
+    pub fn current(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.inner.read().expect("registry lock poisoned"))
+    }
+
+    /// Atomically replace the current registry. In-flight readers are
+    /// unaffected; the next [`current`](Self::current) sees `registry`.
+    pub fn swap(&self, registry: ModelRegistry) {
+        *self.inner.write().expect("registry lock poisoned") = Arc::new(registry);
     }
 }
 
@@ -209,6 +332,66 @@ mod tests {
         assert!(unknown.contains("unknown model"), "{unknown}");
         let unloaded = registry.resolve(Some("Linear SVM")).err().unwrap();
         assert!(unloaded.contains("not loaded"), "{unloaded}");
+    }
+
+    #[test]
+    fn fit_records_stats() {
+        let registry = tiny_registry();
+        let stats = registry.fit_stats();
+        // generate_small may round the corpus up to balance classes.
+        assert!(stats.corpus_size >= 90);
+        assert!(stats.shards >= 1);
+        assert!(stats.duration > Duration::ZERO);
+        assert_eq!(registry.profile(), SpeedProfile::Tiny);
+    }
+
+    #[test]
+    fn refit_keeps_kinds_profile_and_seed() {
+        let registry = tiny_registry();
+        let corpus = HolistixCorpus::generate_small(60, 21);
+        let texts = corpus.texts();
+        let labels = corpus.label_indices();
+        let refitted = registry.refit(&texts, &labels);
+        assert_eq!(refitted.kinds(), registry.kinds());
+        assert_eq!(refitted.profile(), registry.profile());
+        assert_eq!(refitted.fit_stats().corpus_size, texts.len());
+        // Refitting with the registry's own original corpus reproduces the
+        // models bit for bit (same kinds, profile, seed, data).
+        let original = HolistixCorpus::generate_small(90, 7);
+        let same = registry.refit(&original.texts(), &original.label_indices());
+        let text = "i feel alone and exhausted";
+        assert_eq!(
+            same.get(BaselineKind::LogisticRegression)
+                .unwrap()
+                .probabilities_one(text),
+            registry
+                .get(BaselineKind::LogisticRegression)
+                .unwrap()
+                .probabilities_one(text),
+        );
+    }
+
+    #[test]
+    fn shared_registry_swaps_while_readers_hold_the_old_arc() {
+        let shared = SharedRegistry::new(tiny_registry());
+        let before = shared.current();
+        assert_eq!(before.kinds().len(), 2);
+
+        let corpus = HolistixCorpus::generate_small(60, 33);
+        let texts = corpus.texts();
+        let old_size = before.fit_stats().corpus_size;
+        assert_ne!(old_size, texts.len());
+        let replacement = before.refit(&texts, &corpus.label_indices());
+        shared.swap(replacement);
+
+        let after = shared.current();
+        // The pinned Arc still answers from the old registry...
+        assert_eq!(before.fit_stats().corpus_size, old_size);
+        // ...while new readers see the swapped-in one.
+        assert_eq!(after.fit_stats().corpus_size, texts.len());
+        assert!(!Arc::ptr_eq(&before, &after));
+        // Clones of the handle observe the same current registry.
+        assert!(Arc::ptr_eq(&shared.clone().current(), &after));
     }
 
     #[test]

@@ -21,9 +21,10 @@
 use crate::batcher::{run_batcher, BatchConfig, BatcherHandle, Job};
 use crate::http::{read_request, write_response, Request, Response};
 use crate::metrics::{Endpoint, ServeMetrics};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, SharedRegistry};
 use holistix::corpus::WellnessDimension;
 use holistix::linalg::argmax;
+use holistix::ml::ThreadBudget;
 use holistix_corpus::json::JsonValue;
 use holistix_explain::{LimeConfig, LimeExplainer};
 use std::io::BufReader;
@@ -33,6 +34,13 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Most posts one `/reload` corpus may carry. Defense in depth: the 1 MiB
+/// request-body cap in `http.rs` already rejects any corpus this large (a
+/// parseable post line is far more than 10 bytes), so this guard only binds
+/// if that cap is ever raised — it keeps the fit-memory bound explicit rather
+/// than implied by a transport limit.
+pub const MAX_RELOAD_POSTS: usize = 100_000;
 
 /// Most texts one `/predict` request may carry (independent of micro-batching;
 /// this bounds per-request memory, not throughput).
@@ -47,6 +55,13 @@ pub const MAX_EXPLAIN_FEATURES: usize = 512;
 /// Per-connection socket read/write timeout. An idle or trickling client can
 /// pin a worker for at most this long (and shutdown joins within it).
 const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Thread budget for a `/reload` refit: half the machine (at least one), so
+/// the background fit leaves cores for the worker pool and the batcher that
+/// are serving live traffic off the old registry.
+fn reload_fit_threads() -> usize {
+    (ThreadBudget::machine().threads / 2).max(1)
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -125,6 +140,7 @@ pub fn serve(
     let local_addr = listener.local_addr()?;
     let running = Arc::new(AtomicBool::new(true));
     let metrics = Arc::new(ServeMetrics::new());
+    let registry = SharedRegistry::new(registry);
     let thread = {
         let running = Arc::clone(&running);
         let metrics = Arc::clone(&metrics);
@@ -140,15 +156,16 @@ pub fn serve(
 
 /// Everything a worker needs to answer requests.
 struct RequestContext<'a> {
-    registry: &'a ModelRegistry,
+    registry: &'a SharedRegistry,
     batcher: BatcherHandle,
     lime: &'a LimeConfig,
-    metrics: &'a ServeMetrics,
+    metrics: &'a Arc<ServeMetrics>,
+    reloading: &'a Arc<AtomicBool>,
 }
 
 fn serve_loop(
     listener: TcpListener,
-    registry: ModelRegistry,
+    registry: SharedRegistry,
     config: ServeConfig,
     running: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
@@ -160,15 +177,17 @@ fn serve_loop(
     // which pushes backpressure into the kernel's listen backlog.
     let (conn_sender, conn_receiver) = mpsc::sync_channel::<TcpStream>(config.workers.max(1) * 32);
     let conn_receiver = Mutex::new(conn_receiver);
+    let reloading = Arc::new(AtomicBool::new(false));
 
     let registry = &registry;
     let batch_config = &config.batch;
     let lime_config = &config.lime;
-    let metrics = &*metrics;
+    let metrics = &metrics;
     let conn_receiver = &conn_receiver;
+    let reloading = &reloading;
 
     crossbeam::thread::scope(|scope| {
-        scope.spawn(move |_| run_batcher(job_receiver, registry, batch_config, metrics));
+        scope.spawn(move |_| run_batcher(job_receiver, registry, batch_config, metrics.as_ref()));
 
         for _ in 0..config.workers.max(1) {
             let batcher = BatcherHandle::new(job_sender.clone());
@@ -178,6 +197,7 @@ fn serve_loop(
                     batcher,
                     lime: lime_config,
                     metrics,
+                    reloading,
                 };
                 loop {
                     // Take the lock only to pop; handling runs unlocked so the
@@ -244,7 +264,10 @@ fn route(request: &Request, context: &RequestContext<'_>) -> Response {
         }
         ("GET", "/metrics") => {
             context.metrics.record_request(Endpoint::Metrics);
-            Response::ok(context.metrics.snapshot().to_string())
+            // Fit stats come straight off the live registry, so this can never
+            // disagree with the models actually serving.
+            let fit = context.registry.current().fit_stats();
+            Response::ok(context.metrics.snapshot_with_fit(&fit).to_string())
         }
         ("POST", "/predict") => {
             context.metrics.record_request(Endpoint::Predict);
@@ -254,7 +277,11 @@ fn route(request: &Request, context: &RequestContext<'_>) -> Response {
             context.metrics.record_request(Endpoint::Explain);
             handle_explain(&request.body, context)
         }
-        (_, "/healthz" | "/metrics" | "/predict" | "/explain") => {
+        ("POST", "/reload") => {
+            context.metrics.record_request(Endpoint::Reload);
+            handle_reload(&request.body, context)
+        }
+        (_, "/healthz" | "/metrics" | "/predict" | "/explain" | "/reload") => {
             context.metrics.record_request(Endpoint::Other);
             Response::error(405, "method not allowed")
         }
@@ -266,8 +293,8 @@ fn route(request: &Request, context: &RequestContext<'_>) -> Response {
 }
 
 fn handle_healthz(context: &RequestContext<'_>) -> Response {
-    let models = context
-        .registry
+    let registry = context.registry.current();
+    let models = registry
         .kinds()
         .iter()
         .map(|k| JsonValue::string(k.name()))
@@ -278,7 +305,11 @@ fn handle_healthz(context: &RequestContext<'_>) -> Response {
             ("models", JsonValue::Array(models)),
             (
                 "default_model",
-                JsonValue::string(context.registry.default_kind().name()),
+                JsonValue::string(registry.default_kind().name()),
+            ),
+            (
+                "reloading",
+                JsonValue::Bool(context.reloading.load(Ordering::SeqCst)),
             ),
         ])
         .to_string(),
@@ -318,7 +349,7 @@ fn handle_predict(body: &str, context: &RequestContext<'_>) -> Response {
     }
 
     let model_name = document.get("model").and_then(|v| v.as_str());
-    let (kind, _model) = match context.registry.resolve(model_name) {
+    let (kind, _model) = match context.registry.current().resolve(model_name) {
         Ok(resolved) => resolved,
         Err(e) => return Response::error(400, &e),
     };
@@ -379,8 +410,11 @@ fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
             ),
         );
     }
+    // Pin the model Arc now: if a reload swaps the registry mid-explanation,
+    // this request still finishes on the model it started with.
     let (kind, model) = match context
         .registry
+        .current()
         .resolve(document.get("model").and_then(|v| v.as_str()))
     {
         Ok(resolved) => resolved,
@@ -424,6 +458,68 @@ fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
                 JsonValue::Number(explanation.target_probability),
             ),
             ("tokens", JsonValue::Array(tokens)),
+        ])
+        .to_string(),
+    )
+}
+
+/// `POST /reload`: the body is a JSONL corpus in the `corpus::io` schema. The
+/// worker thread only parses and validates; the fit of the fresh registry runs
+/// on its own dedicated thread — never on an HTTP worker or the batcher — and
+/// the new registry is atomically swapped in when ready, so `/predict` keeps
+/// answering (from the old models) for the whole duration. Responds `202` with
+/// the accepted post count, `400` on a malformed or empty corpus, `409` if a
+/// reload is already in flight. Completion is observable in `GET /metrics`
+/// (`registry.reloads_total`, `registry.corpus_size`) and `GET /healthz`
+/// (`reloading`).
+fn handle_reload(body: &str, context: &RequestContext<'_>) -> Response {
+    let posts = match holistix_corpus::io::from_jsonl(body) {
+        Ok(posts) => posts,
+        Err(e) => return Response::error(400, &format!("invalid JSONL corpus: {e}")),
+    };
+    if posts.is_empty() {
+        return Response::error(400, "reload corpus has no posts");
+    }
+    if posts.len() > MAX_RELOAD_POSTS {
+        return Response::error(413, &format!("at most {MAX_RELOAD_POSTS} posts per reload"));
+    }
+    // One reload at a time: claim the flag before spawning; losing claimants
+    // are told to retry rather than queueing fits.
+    if context.reloading.swap(true, Ordering::SeqCst) {
+        return Response::error(409, "a reload is already in progress");
+    }
+    let n_posts = posts.len();
+    let shared = context.registry.clone();
+    let metrics = Arc::clone(context.metrics);
+    let reloading = Arc::clone(context.reloading);
+    std::thread::spawn(move || {
+        // The flag must clear even if the fit panics on a pathological corpus;
+        // a detached thread swallows panics, so without this guard a failed
+        // reload would wedge /reload behind 409s until process restart.
+        struct ClearOnExit(Arc<AtomicBool>);
+        impl Drop for ClearOnExit {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::SeqCst);
+            }
+        }
+        let _clear = ClearOnExit(reloading);
+        let texts: Vec<&str> = posts.iter().map(|p| p.post.text.as_str()).collect();
+        let labels: Vec<usize> = posts.iter().map(|p| p.label.index()).collect();
+        // Half the machine: the fit must not starve the worker pool and the
+        // batcher, which are serving live traffic off the old registry.
+        let fresh = shared.current().refit_budgeted(
+            &texts,
+            &labels,
+            ThreadBudget::new(reload_fit_threads()),
+        );
+        shared.swap(fresh);
+        metrics.record_reload();
+    });
+    Response::json(
+        202,
+        JsonValue::object(vec![
+            ("status", JsonValue::string("reloading")),
+            ("posts", JsonValue::Number(n_posts as f64)),
         ])
         .to_string(),
     )
@@ -552,6 +648,50 @@ mod tests {
         assert!(errors >= 6.0);
         // Unroutable requests count into the total, so error rates stay ≤ 1.
         assert!(total >= errors, "total {total} < errors {errors}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn reload_validates_body_and_swaps_models() {
+        use holistix_corpus::HolistixCorpus;
+        let server = tiny_server();
+        let addr = server.addr();
+
+        // Malformed and empty corpora are rejected on the worker thread.
+        let (status, body) = http_request(addr, "POST", "/reload", Some("not jsonl")).unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("invalid JSONL"));
+        let (status, body) = http_request(addr, "POST", "/reload", Some("\n\n")).unwrap();
+        assert_eq!(status, 400, "{body}");
+        let (status, _) = http_request(addr, "GET", "/reload", None).unwrap();
+        assert_eq!(status, 405);
+
+        // A valid corpus is accepted and eventually swapped in.
+        let corpus = HolistixCorpus::generate_small(60, 17);
+        let n_posts = corpus.posts.len() as f64;
+        let jsonl = holistix_corpus::io::to_jsonl(&corpus.posts);
+        let (status, body) = http_request(addr, "POST", "/reload", Some(&jsonl)).unwrap();
+        assert_eq!(status, 202, "{body}");
+        let accepted = JsonValue::parse(&body).unwrap();
+        assert_eq!(accepted.get("posts").unwrap().as_f64(), Some(n_posts));
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.metrics().reloads_total() < 1 {
+            assert!(Instant::now() < deadline, "reload did not complete");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let (status, body) = http_request(addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        let metrics = JsonValue::parse(&body).unwrap();
+        let registry = metrics.get("registry").unwrap();
+        assert_eq!(registry.get("reloads_total").unwrap().as_f64(), Some(1.0));
+        assert_eq!(registry.get("corpus_size").unwrap().as_f64(), Some(n_posts));
+        assert!(registry.get("last_fit_us").unwrap().as_f64().unwrap() > 0.0);
+
+        // The swapped registry still answers.
+        let (status, body) =
+            http_request(addr, "POST", "/predict", Some(r#"{"text":"i feel alone"}"#)).unwrap();
+        assert_eq!(status, 200, "{body}");
         server.shutdown();
     }
 

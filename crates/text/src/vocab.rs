@@ -47,6 +47,26 @@ impl VocabularyBuilder {
         }
     }
 
+    /// Merge another builder into this one, summing term frequencies, document
+    /// frequencies and document counts.
+    ///
+    /// This is the reduce step of the sharded fit pipeline: independent shards
+    /// count disjoint document chunks in parallel, then merge. Because every
+    /// count is an exact integer sum and [`build`](Self::build) orders terms by
+    /// a total order (frequency descending, then lexicographic), the merged
+    /// builder freezes into a [`Vocabulary`] bit-identical to one built by a
+    /// single sequential scan — regardless of how the corpus was split or in
+    /// which order shards merge.
+    pub fn merge(&mut self, other: VocabularyBuilder) {
+        self.n_docs += other.n_docs;
+        for (term, count) in other.term_counts {
+            *self.term_counts.entry(term).or_insert(0) += count;
+        }
+        for (term, count) in other.doc_counts {
+            *self.doc_counts.entry(term).or_insert(0) += count;
+        }
+    }
+
     /// Number of documents added so far.
     pub fn n_documents(&self) -> u64 {
         self.n_docs
@@ -341,6 +361,47 @@ mod tests {
         let top = v.top_k(2);
         assert_eq!(top[0].0, "feel");
         assert!(top.iter().all(|(t, _)| !t.starts_with('<')));
+    }
+
+    #[test]
+    fn merge_equals_sequential_counting() {
+        // Shard the sample corpus two ways; both merges must equal the
+        // sequential build exactly.
+        let sequential = sample_builder();
+
+        let mut left = VocabularyBuilder::new();
+        left.add_document(&["i", "feel", "alone", "feel"]);
+        let mut right = VocabularyBuilder::new();
+        right.add_document(&["work", "drains", "me"]);
+        right.add_document(&["i", "feel", "exhausted"]);
+        left.merge(right);
+
+        assert_eq!(left.n_documents(), sequential.n_documents());
+        assert_eq!(left.n_terms(), sequential.n_terms());
+        let merged = left.build(1, None);
+        let expected = sequential.build(1, None);
+        assert_eq!(merged.terms(), expected.terms());
+        for term in expected.terms() {
+            assert_eq!(merged.term_frequency(term), expected.term_frequency(term));
+            assert_eq!(
+                merged.document_frequency(term),
+                expected.document_frequency(term)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_builder_is_identity() {
+        let mut b = sample_builder();
+        b.merge(VocabularyBuilder::new());
+        let v = b.build(1, None);
+        let expected = sample_builder().build(1, None);
+        assert_eq!(v.terms(), expected.terms());
+        assert_eq!(v.n_documents(), expected.n_documents());
+
+        let mut empty = VocabularyBuilder::new();
+        empty.merge(sample_builder());
+        assert_eq!(empty.build(1, None).terms(), expected.terms());
     }
 
     #[test]

@@ -113,6 +113,38 @@ proptest! {
         }
     }
 
+    /// Sharded counting then merging equals one sequential scan for any corpus
+    /// and any split point: same terms in the same order, same term/document
+    /// frequencies, same document count.
+    #[test]
+    fn vocabulary_merge_matches_sequential_scan(
+        docs in proptest::collection::vec(proptest::collection::vec("[a-e]{1,4}", 0..8), 0..12),
+        split_choice in 0usize..64,
+    ) {
+        let mut sequential = VocabularyBuilder::new();
+        for doc in &docs {
+            sequential.add_document(doc);
+        }
+        let split = split_choice % (docs.len() + 1);
+        let mut left = VocabularyBuilder::new();
+        for doc in &docs[..split] {
+            left.add_document(doc);
+        }
+        let mut right = VocabularyBuilder::new();
+        for doc in &docs[split..] {
+            right.add_document(doc);
+        }
+        left.merge(right);
+        prop_assert_eq!(left.n_documents(), sequential.n_documents());
+        let merged = left.build(1, None);
+        let expected = sequential.build(1, None);
+        prop_assert_eq!(merged.terms(), expected.terms());
+        for term in expected.terms() {
+            prop_assert_eq!(merged.term_frequency(term), expected.term_frequency(term));
+            prop_assert_eq!(merged.document_frequency(term), expected.document_frequency(term));
+        }
+    }
+
     /// Subword encoding of any lower-case word uses valid piece ids, and the decoded
     /// string reassembles the word when no <unk> was produced.
     #[test]

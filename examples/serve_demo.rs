@@ -74,6 +74,43 @@ fn main() {
         if !predict.contains("probabilities") {
             fail("predict response carries no probabilities");
         }
+
+        // /reload round-trip: upload a fresh JSONL corpus, confirm 202, keep
+        // predicting while the off-thread fit runs, wait for the atomic swap.
+        let reload_corpus = HolistixCorpus::generate_small(150, 99);
+        let jsonl = holistix::corpus::io::to_jsonl(&reload_corpus.posts);
+        let n_posts = reload_corpus.posts.len();
+        match http_request(addr, "POST", "/reload", Some(&jsonl)) {
+            Ok((202, body)) => println!("reload accepted: {body}"),
+            Ok((status, body)) => fail(&format!("POST /reload -> {status}: {body}")),
+            Err(e) => fail(&format!("POST /reload failed: {e}")),
+        }
+        let during = request_ok(addr, "POST", "/predict", Some(body));
+        if !during.contains("probabilities") {
+            fail("predict during reload carries no probabilities");
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        loop {
+            if server.metrics().reloads_total() >= 1 {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                fail("reload did not complete within 60s");
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let metrics = request_ok(addr, "GET", "/metrics", None);
+        if !metrics.contains(&format!("\"corpus_size\":{n_posts}")) {
+            fail(&format!(
+                "metrics do not show the reloaded corpus size {n_posts}: {metrics}"
+            ));
+        }
+        let after = request_ok(addr, "POST", "/predict", Some(body));
+        if !after.contains("probabilities") {
+            fail("predict after reload carries no probabilities");
+        }
+        println!("reload round-trip ok ({n_posts} posts)");
+
         server.shutdown();
         println!("smoke ok");
         return;

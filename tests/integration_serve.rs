@@ -177,6 +177,69 @@ fn multi_text_request_forms_its_own_batch() {
     server.shutdown();
 }
 
+/// The `/reload` liveness bar: while a slow reload fit runs on its dedicated
+/// thread, `/predict` must keep answering — the fit never runs on an HTTP
+/// worker or the batcher, and the registry swap is atomic, so no request ever
+/// waits on training or observes a half-fitted model.
+#[test]
+fn predict_keeps_answering_during_a_slow_reload() {
+    let (server, _model) = start_server();
+    let addr = server.addr();
+
+    // A reload corpus big enough that the refit takes real wall-clock time on
+    // any machine (the startup corpus is 120 posts; this is ~20×).
+    let corpus = HolistixCorpus::generate_small(2400, 77);
+    let jsonl = holistix_corpus::io::to_jsonl(&corpus.posts);
+    assert!(jsonl.len() < 1 << 20, "reload body must fit the 1 MiB cap");
+    let n_posts = corpus.posts.len();
+
+    let (status, body) = http_request(addr, "POST", "/reload", Some(&jsonl)).expect("reload");
+    assert_eq!(status, 202, "{body}");
+
+    // Immediately hammer /predict while the fit runs. Every request must get a
+    // well-formed answer (old or new model — liveness, not pinning, is the
+    // contract), and none may error.
+    let during_reload = Arc::new(AtomicUsize::new(0));
+    for round in 0..6 {
+        let text = format!("i feel alone and exhausted round {round}");
+        let probabilities = predict_one(addr, &text);
+        assert_eq!(probabilities.len(), 6);
+        let total: f64 = probabilities.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "round {round} sum {total}");
+        if server.metrics().reloads_total() == 0 {
+            during_reload.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    // Wait for the swap, then confirm the new registry is live and serving.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while server.metrics().reloads_total() < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reload never completed"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (status, body) = http_request(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let metrics = JsonValue::parse(&body).unwrap();
+    let registry = metrics.get("registry").unwrap();
+    assert_eq!(registry.get("reloads_total").unwrap().as_f64(), Some(1.0));
+    assert_eq!(
+        registry.get("corpus_size").unwrap().as_f64(),
+        Some(n_posts as f64)
+    );
+    let probabilities = predict_one(addr, "i feel alone after the reload");
+    assert_eq!(probabilities.len(), 6);
+    // Informational: on most machines some predicts land mid-fit. Liveness is
+    // asserted above either way.
+    println!(
+        "predicts answered during reload: {}/6",
+        during_reload.load(Ordering::SeqCst)
+    );
+    server.shutdown();
+}
+
 /// `/explain` over HTTP agrees with running the LIME explainer directly
 /// against the warm model (same config, same seed).
 #[test]
