@@ -1,0 +1,145 @@
+//! Serving-layer throughput: requests/s vs [`BatchConfig::max_wait`] over
+//! keep-alive connections.
+//!
+//! This is the ROADMAP's "once keep-alive lands" bench: with one request per
+//! connection, TCP setup/teardown dominated and the batching knobs were
+//! untunable from data. Now each client holds one persistent [`HttpClient`]
+//! connection for its whole request stream, so the measured quantity is the
+//! serving stack itself — HTTP parse, per-kind batch queue, one batched
+//! `Scorer::probabilities` call, fan-out, response write.
+//!
+//! The corpus is the paper-scale one the other serving benches use: the
+//! Table I lexicon augmented with a 12k-term synthetic vocabulary
+//! (`HolistixCorpus::augment_vocabulary`), so per-text scoring cost is
+//! realistic. The sweep varies the LR queue's coalescing window
+//! (`max_wait` 0/1/2/5/10 ms) under concurrent keep-alive clients; wider
+//! windows assemble bigger batches (fewer, better-amortised scoring calls)
+//! at the price of per-request latency. The headline table prints requests/s
+//! and the mean scored-batch size per setting so the trade-off is visible in
+//! one run; criterion per-iteration timings follow.
+//!
+//! Correctness is pinned elsewhere (the loopback integration tests assert
+//! bit-identical answers over keep-alive connections and batches); this bench
+//! compares only speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::prelude::*;
+use holistix_serve::{serve, BatchConfig, HttpClient, ModelRegistry, ServeConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// Synthetic lexicon size: paper-scale vocabulary.
+const AUGMENT_TERMS: usize = 12_000;
+/// Filler terms appended per post.
+const AUGMENT_WORDS_PER_POST: usize = 60;
+/// Training corpus size (augmented).
+const TRAIN_POSTS: usize = 400;
+/// Concurrent keep-alive clients.
+const CLIENTS: usize = 4;
+/// Requests each client issues per measured run.
+const REQUESTS_PER_CLIENT: usize = 50;
+
+/// Start a server with the given LR-queue window, fitted once on the
+/// augmented corpus (the registry is fitted per call because the server owns
+/// it; fit cost is outside the measured request loops).
+fn start_server(corpus: &HolistixCorpus, max_wait: Duration) -> ServerHandle {
+    let texts = corpus.texts();
+    let labels = corpus.label_indices();
+    let registry = ModelRegistry::fit(
+        &[BaselineKind::LogisticRegression],
+        SpeedProfile::Tiny,
+        &texts,
+        &labels,
+        42,
+    );
+    let config = ServeConfig {
+        workers: CLIENTS + 2,
+        batch: BatchConfig {
+            max_batch: 64,
+            max_wait,
+        },
+        ..ServeConfig::default()
+    };
+    serve("127.0.0.1:0", registry, config).expect("bind loopback")
+}
+
+/// Drive `CLIENTS` persistent connections × `REQUESTS_PER_CLIENT` single-text
+/// predicts; returns total wall-clock. Panics on any non-200 so a broken
+/// server cannot masquerade as a fast one.
+fn drive(addr: SocketAddr, pool: &[String]) -> Duration {
+    let started = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for client_id in 0..CLIENTS {
+            scope.spawn(move |_| {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let text = &pool[(client_id * REQUESTS_PER_CLIENT + i) % pool.len()];
+                    let body =
+                        format!("{{\"text\":{}}}", holistix::corpus::json::json_escape(text));
+                    let (status, response) = client
+                        .request("POST", "/predict", Some(&body))
+                        .expect("keep-alive predict");
+                    assert_eq!(status, 200, "{response}");
+                }
+            });
+        }
+    })
+    .expect("client scope failed");
+    started.elapsed()
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut corpus = HolistixCorpus::generate_small(TRAIN_POSTS, 42);
+    corpus.augment_vocabulary(AUGMENT_TERMS, AUGMENT_WORDS_PER_POST, 42);
+    let pool: Vec<String> = corpus.texts().iter().map(|t| t.to_string()).collect();
+
+    let waits = [0u64, 1, 2, 5, 10];
+    let total_requests = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+
+    // Headline requests/s table (criterion per-iteration timings below).
+    println!(
+        "serve_throughput: {CLIENTS} keep-alive clients x {REQUESTS_PER_CLIENT} requests, \
+         12k-term vocabulary"
+    );
+    for &wait_ms in &waits {
+        let server = start_server(&corpus, Duration::from_millis(wait_ms));
+        let elapsed = drive(server.addr(), &pool);
+        let metrics = server.metrics();
+        let reuses = metrics.keepalive_reuses_total();
+        let snapshot = metrics.snapshot();
+        let batches = snapshot.get("batches").unwrap();
+        let batch_count = batches.get("count").unwrap().as_f64().unwrap();
+        let scored = snapshot.get("texts_scored").unwrap().as_f64().unwrap();
+        let mean_batch = if batch_count > 0.0 {
+            scored / batch_count
+        } else {
+            0.0
+        };
+        assert!(
+            reuses as f64 >= total_requests - CLIENTS as f64,
+            "clients reconnected: only {reuses} reuses"
+        );
+        println!(
+            "max_wait {wait_ms:>2} ms: {:>7.0} req/s  (mean batch {:.2}, {} reuses)",
+            total_requests / elapsed.as_secs_f64(),
+            mean_batch,
+            reuses
+        );
+        server.shutdown();
+    }
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for &wait_ms in &waits {
+        let server = start_server(&corpus, Duration::from_millis(wait_ms));
+        let addr = server.addr();
+        group.bench_function(format!("keepalive_predict_wait_{wait_ms}ms"), |b| {
+            b.iter(|| drive(addr, &pool))
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -14,6 +14,10 @@
 //!   three classical models and six transformer analogues, a single
 //!   [`BaselinePipeline`] type that plugs into the cross-validation driver, and the
 //!   fitted-model type used for prediction and LIME explanation;
+//! * [`scorer`] — the object-safe [`Scorer`] trait every servable model implements
+//!   (batched probabilities + kind + cost hint), the seam the `holistix-serve`
+//!   registry and per-kind batch queues are built on, with implementations for
+//!   [`FittedBaseline`] and the trainer-wrapping [`TransformerScorer`];
 //! * [`experiments`] — one runner per table/figure of the paper: dataset statistics
 //!   (Table II), frequent span words (Table III), the baseline comparison (Table IV),
 //!   LIME explanation quality (Table V), the inter-annotator agreement study (§II-E /
@@ -82,6 +86,7 @@
 
 pub mod experiments;
 pub mod pipeline;
+pub mod scorer;
 
 /// Re-export of the dataset substrate.
 pub use holistix_corpus as corpus;
@@ -103,6 +108,7 @@ pub use experiments::{
     EvaluationConfig, Fig1Walkthrough, Table4Result, Table4Row, Table5Config, Table5Result,
 };
 pub use pipeline::{BaselineKind, BaselinePipeline, FittedBaseline, SpeedProfile};
+pub use scorer::{fit_scorer, Scorer, TransformerScorer};
 
 /// The things most applications need.
 pub mod prelude {
@@ -111,6 +117,7 @@ pub mod prelude {
         EvaluationConfig, Table4Result, Table5Config,
     };
     pub use crate::pipeline::{BaselineKind, BaselinePipeline, FittedBaseline, SpeedProfile};
+    pub use crate::scorer::{fit_scorer, Scorer, TransformerScorer};
     pub use holistix_corpus::{
         AnnotatedPost, CorpusStatistics, HolistixCorpus, Post, Span, WellnessDimension,
         ALL_DIMENSIONS,

@@ -204,8 +204,14 @@ impl FittedBaseline {
         }
     }
 
-    /// The transformer recipe for a kind under a profile.
-    fn transformer_recipe(kind: ModelKind, profile: SpeedProfile, seed: u64) -> FineTuneRecipe {
+    /// The transformer recipe for a kind under a profile. `pub(crate)` so the
+    /// [`crate::scorer::TransformerScorer`] fit path trains the same analogue
+    /// the [`FittedBaseline::Transformer`] arm would.
+    pub(crate) fn transformer_recipe(
+        kind: ModelKind,
+        profile: SpeedProfile,
+        seed: u64,
+    ) -> FineTuneRecipe {
         match profile {
             SpeedProfile::Paper => FineTuneRecipe::paper(kind, 6, seed),
             SpeedProfile::Fast => FineTuneRecipe::fast(kind, 6, seed),

@@ -155,8 +155,10 @@ impl LimeExplainer {
     }
 
     /// Explain the model's prediction on `text`. If `target_class` is `None`, the
-    /// model's argmax class on the original text is explained.
-    pub fn explain<M: ProbabilityModel>(
+    /// model's argmax class on the original text is explained. `?Sized` so a
+    /// trait object (e.g. the serving layer's `&dyn Scorer`) can be explained
+    /// without a concrete wrapper.
+    pub fn explain<M: ProbabilityModel + ?Sized>(
         &self,
         model: &M,
         text: &str,

@@ -12,8 +12,10 @@
 //! Fitting is a map-reduce over document shards, and there is exactly one fit
 //! code path: [`CountVectorizer::fit_parallel`] chunks the corpus into
 //! `n_threads` contiguous shards, runs the analyzer and an independent
-//! [`VocabularyBuilder`] per shard on scoped threads (the map), merges the
-//! builders in shard order (the reduce, integer-exact), and freezes the
+//! [`VocabularyBuilder`] per shard on scoped threads (the map), tree-reduces
+//! the builders in shard order (pairwise merge rounds via
+//! [`tree_reduce`](crate::parallel::tree_reduce), integer-exact, `O(log)`
+//! sequential rounds), and freezes the
 //! vocabulary once. The sequential [`fit`](CountVectorizer::fit) is simply
 //! `n_threads = 1`. [`TfidfVectorizer::fit_parallel`] layers a single IDF
 //! computation on top, and
@@ -28,7 +30,7 @@
 //! are integer sums, term ordering is a total order, and every transformed row
 //! depends only on its own document.
 
-use crate::parallel::scoped_map;
+use crate::parallel::{scoped_map, tree_reduce};
 use holistix_linalg::{CsrBuilder, CsrMatrix, Matrix};
 use holistix_text::{ngrams, stem, StopwordFilter, Vocabulary, VocabularyBuilder};
 use serde::{Deserialize, Serialize};
@@ -129,12 +131,16 @@ fn analyze_shard<S: AsRef<str>>(
 
 /// The map-reduce fit shared by both vectorisers: chunk `documents` into at
 /// most `n_threads` contiguous shards, analyze + count each shard (on scoped
-/// threads when more than one), and merge the builders in shard order.
+/// threads when more than one), and tree-reduce the builders in shard order
+/// ([`tree_reduce`]: pairwise merge rounds, each round's merges in parallel,
+/// so the reduce is `O(log shards)` sequential rounds instead of a
+/// single-threaded fold — the step that dominated at ≥16 shards).
 ///
 /// Returns the merged builder and the per-shard token streams (empty vectors
 /// unless `keep_tokens`). One shard — the sequential fit — runs inline on the
-/// calling thread; results are bit-identical either way because frequency
-/// merging is an integer sum and vocabulary freezing orders terms totally.
+/// calling thread; results are bit-identical for every shard count because
+/// frequency merging is an associative integer sum (so fold and tree agree
+/// exactly) and vocabulary freezing orders terms totally.
 fn fit_shards<S: AsRef<str> + Sync>(
     documents: &[S],
     options: &VectorizerOptions,
@@ -149,12 +155,17 @@ fn fit_shards<S: AsRef<str> + Sync>(
         let chunks: Vec<&[S]> = documents.chunks(chunk_size).collect();
         scoped_map(&chunks, |chunk| analyze_shard(chunk, options, keep_tokens))
     };
-    let mut merged = VocabularyBuilder::new();
+    let mut builders = Vec::with_capacity(shards.len());
     let mut token_shards = Vec::with_capacity(shards.len());
     for shard in shards {
-        merged.merge(shard.builder);
+        builders.push(shard.builder);
         token_shards.push(shard.tokens);
     }
+    let merged = tree_reduce(builders, |mut left, right| {
+        left.merge(right);
+        left
+    })
+    .unwrap_or_default();
     (merged, token_shards)
 }
 

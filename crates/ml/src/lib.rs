@@ -48,5 +48,5 @@ pub use features::{CountVectorizer, TfidfVectorizer, VectorizerOptions};
 pub use logistic::{LogisticRegression, LogisticRegressionConfig};
 pub use metrics::{ClassMetrics, ClassificationReport, ConfusionMatrix};
 pub use naive_bayes::{GaussianNaiveBayes, GaussianNbConfig};
-pub use parallel::scoped_map;
+pub use parallel::{scoped_map, tree_reduce};
 pub use svm::{LinearSvm, LinearSvmConfig};

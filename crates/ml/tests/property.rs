@@ -141,14 +141,14 @@ mod parallel_fit_equivalence {
         #![proptest_config(ProptestConfig::with_cases(32))]
 
         /// The acceptance bar for the sharded map-reduce fit: for random
-        /// corpora and random shard splits (any thread count from 1 to 8,
-        /// which varies both shard count and split boundaries), the parallel
-        /// fit's vocabulary, IDF vector and sparse transform are
-        /// **bit-identical** to the sequential fit's.
+        /// corpora and random shard splits (any thread count from 1 to 16,
+        /// which varies shard count, split boundaries and the shape of the
+        /// pairwise merge tree), the parallel fit's vocabulary, IDF vector and
+        /// sparse transform are **bit-identical** to the sequential fit's.
         #[test]
         fn fit_parallel_matches_sequential_bitwise(
             docs in corpus(),
-            n_threads in 1usize..9,
+            n_threads in 1usize..17,
             variant in 0usize..4,
         ) {
             let options = option_grid(variant);
@@ -179,7 +179,7 @@ mod parallel_fit_equivalence {
         #[test]
         fn fit_transform_parallel_matches_two_pass_bitwise(
             docs in corpus(),
-            n_threads in 1usize..9,
+            n_threads in 1usize..17,
             variant in 0usize..4,
         ) {
             let options = option_grid(variant);
@@ -197,6 +197,78 @@ mod parallel_fit_equivalence {
                 counts_sequential.vocabulary().terms()
             );
             prop_assert_eq!(count_matrix, counts_sequential.transform_sparse(&docs));
+        }
+    }
+}
+
+mod tree_reduce_equivalence {
+    use holistix_ml::tree_reduce;
+    use holistix_text::VocabularyBuilder;
+    use proptest::prelude::*;
+
+    fn corpus() -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec("[a-f ]{0,60}", 1..40)
+    }
+
+    /// Split `docs` into `n_shards` contiguous chunks and count each into its
+    /// own builder — the map half of the sharded fit, minus the threads.
+    fn shard_builders(docs: &[String], n_shards: usize) -> Vec<VocabularyBuilder> {
+        let chunk = docs.len().div_ceil(n_shards.clamp(1, docs.len()));
+        docs.chunks(chunk)
+            .map(|chunk| {
+                let mut builder = VocabularyBuilder::new();
+                for doc in chunk {
+                    let tokens: Vec<&str> = doc.split_whitespace().collect();
+                    builder.add_document(&tokens);
+                }
+                builder
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The tree-reduce satellite's acceptance bar: pairwise merge rounds
+        /// over per-shard [`VocabularyBuilder`]s freeze into a vocabulary
+        /// bit-identical to the single-threaded sequential reduce, at every
+        /// shard count up to 16.
+        #[test]
+        fn vocabulary_tree_reduce_matches_sequential_reduce(
+            docs in corpus(),
+            n_shards in 1usize..17,
+        ) {
+            let mut sequential = VocabularyBuilder::new();
+            for builder in shard_builders(&docs, n_shards) {
+                sequential.merge(builder);
+            }
+            let tree = tree_reduce(shard_builders(&docs, n_shards), |mut left, right| {
+                left.merge(right);
+                left
+            })
+            .expect("at least one shard");
+
+            prop_assert_eq!(tree.n_documents(), sequential.n_documents());
+            prop_assert_eq!(tree.n_terms(), sequential.n_terms());
+            let tree_vocab = tree.build(1, None);
+            let sequential_vocab = sequential.build(1, None);
+            prop_assert_eq!(tree_vocab.terms(), sequential_vocab.terms());
+            for term in sequential_vocab.terms() {
+                prop_assert_eq!(
+                    tree_vocab.term_frequency(term),
+                    sequential_vocab.term_frequency(term)
+                );
+                prop_assert_eq!(
+                    tree_vocab.document_frequency(term),
+                    sequential_vocab.document_frequency(term)
+                );
+                // IDF is computed from (n_docs, df) only; bit-equality follows
+                // from the integer equalities above, asserted to close the loop.
+                prop_assert_eq!(
+                    tree_vocab.idf(term).to_bits(),
+                    sequential_vocab.idf(term).to_bits()
+                );
+            }
         }
     }
 }

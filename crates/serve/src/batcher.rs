@@ -1,25 +1,36 @@
-//! Cross-request micro-batching.
+//! Per-kind batch queues: cross-request micro-batching without head-of-line
+//! blocking between models.
 //!
-//! Request worker threads never score texts themselves: they enqueue
-//! [`Job`]s on an `mpsc` channel and block on a per-job reply channel. A
-//! single batcher thread drains the queue into micro-batches — up to
-//! [`BatchConfig::max_batch`] texts, or whatever has accumulated when
-//! [`BatchConfig::max_wait`] elapses after the first text — scores each batch
-//! with one [`FittedBaseline::probabilities`] call (the sparse, internally
-//! parallel path), and fans the per-row results back out to the waiting
-//! workers.
+//! Request worker threads never score texts themselves: they enqueue [`Job`]s
+//! and block on a per-job reply channel. The original design ran **one**
+//! batcher thread over one queue for every model, which meant a 50 ms
+//! transformer batch stalled the 200 µs logistic-regression batch queued
+//! behind it. Since the `Scorer` redesign each registered kind owns a
+//! [`BatchQueue`]: its own `mpsc` channel, its own drain loop on its own
+//! thread, and its own [`BatchConfig`] sized from the scorer's
+//! [`cost_hint`](holistix::Scorer::cost_hint) — expensive scorers coalesce
+//! over wider windows (waiting is cheap relative to their batch service
+//! time), cheap scorers keep the low-latency window. Queues share nothing but
+//! the registry handle and the metrics sink, so saturating one cannot delay
+//! another.
 //!
-//! Batching is invisible in the results: `probabilities` is bit-for-bit
-//! identical to text-at-a-time scoring (a property the core pipeline tests
-//! pin), so coalescing concurrent requests changes latency, never answers.
+//! Each drain loop collects up to [`BatchConfig::max_batch`] texts (or
+//! whatever has accumulated when [`BatchConfig::max_wait`] elapses after the
+//! first), scores them with one [`Scorer::probabilities`] call, and fans the
+//! per-row results back out to the waiting workers.
+//!
+//! Batching is invisible in the results: `probabilities` rows depend only on
+//! their own text (a property the core pipeline tests pin), so coalescing
+//! concurrent requests changes latency, never answers.
 
-use crate::metrics::ServeMetrics;
-use crate::registry::{ModelRegistry, SharedRegistry};
-use holistix::{BaselineKind, FittedBaseline};
+use crate::metrics::{QueueMetrics, ServeMetrics};
+use crate::registry::SharedRegistry;
+use holistix::{BaselineKind, Scorer};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Micro-batching knobs.
+/// Micro-batching knobs for one queue.
 #[derive(Debug, Clone)]
 pub struct BatchConfig {
     /// Largest batch the scheduler assembles before scoring.
@@ -37,41 +48,85 @@ impl Default for BatchConfig {
     }
 }
 
+/// Widest coalescing window a cost hint may stretch a queue to: even a very
+/// slow scorer should not hold a lone request for more than this.
+const MAX_COST_SIZED_WAIT: Duration = Duration::from_millis(100);
+
+impl BatchConfig {
+    /// Derive a queue's config from this base config and a scorer's expected
+    /// per-text cost: the coalescing window is at least one text's scoring
+    /// time (while one text scores, the next batch assembles for free — a
+    /// wider window trades no throughput for bigger, better-amortised
+    /// batches), never narrower than the base window, and capped at
+    /// [`MAX_COST_SIZED_WAIT`]. A ~200 µs classical scorer keeps the base
+    /// 5 ms window; a ~50 ms transformer queue widens to 50 ms.
+    pub fn sized_for(&self, cost_hint: Duration) -> BatchConfig {
+        BatchConfig {
+            max_batch: self.max_batch,
+            max_wait: self.max_wait.max(cost_hint.min(MAX_COST_SIZED_WAIT)),
+        }
+    }
+}
+
 /// One text awaiting scoring, with the channel its probabilities go back on.
 pub(crate) struct Job {
-    pub kind: BaselineKind,
     pub text: String,
     pub reply: Sender<Vec<f64>>,
+    /// When the job entered its queue, for per-queue latency percentiles.
+    pub enqueued: Instant,
+}
+
+/// The sending half of one kind's queue.
+struct QueueSender {
+    kind: BaselineKind,
+    sender: Sender<Job>,
+    metrics: Arc<QueueMetrics>,
 }
 
 /// Cloneable producer handle the request workers use to hand texts to the
-/// batcher and wait for probabilities.
+/// per-kind queues and wait for probabilities.
 #[derive(Clone)]
 pub struct BatcherHandle {
-    sender: Sender<Job>,
+    queues: Arc<Vec<QueueSender>>,
 }
 
 impl BatcherHandle {
-    pub(crate) fn new(sender: Sender<Job>) -> Self {
-        Self { sender }
+    fn queue(&self, kind: BaselineKind) -> Option<&QueueSender> {
+        self.queues.iter().find(|q| q.kind == kind)
     }
 
-    /// Score `texts` with the warm model for `kind`. All jobs are enqueued
-    /// before the first reply is awaited, so a multi-text request forms (or
-    /// joins) a batch as a whole. Errors when the server is shutting down,
-    /// the batcher died mid-request, or `kind` has no warm model (the batcher
-    /// answers such jobs with the empty-row sentinel).
+    /// Score `texts` with the warm model for `kind` via its batch queue. All
+    /// jobs are enqueued before the first reply is awaited, so a multi-text
+    /// request forms (or joins) a batch as a whole. Errors when `kind` has no
+    /// queue (no scorer was registered for it at startup), when the server is
+    /// shutting down, or when the queue's drain loop died mid-request.
     pub fn predict_many(
         &self,
         kind: BaselineKind,
         texts: Vec<String>,
     ) -> Result<Vec<Vec<f64>>, String> {
+        let queue = self
+            .queue(kind)
+            .ok_or_else(|| format!("model {:?} is not loaded", kind.name()))?;
         let mut receivers = Vec::with_capacity(texts.len());
         for text in texts {
             let (reply, receiver) = std::sync::mpsc::channel();
-            self.sender
-                .send(Job { kind, text, reply })
-                .map_err(|_| "server is shutting down".to_string())?;
+            // Depth counts up strictly before the drain loop can see the job:
+            // incrementing after send() would let a fast drain score the job
+            // and decrement first, wrapping the unsigned depth gauge.
+            queue.metrics.record_enqueued();
+            if queue
+                .sender
+                .send(Job {
+                    text,
+                    reply,
+                    enqueued: Instant::now(),
+                })
+                .is_err()
+            {
+                queue.metrics.record_dropped(1);
+                return Err("server is shutting down".to_string());
+            }
             receivers.push(receiver);
         }
         receivers
@@ -85,76 +140,115 @@ impl BatcherHandle {
     }
 }
 
-/// The batcher thread body: drain → group → score → fan out, until every
-/// producer handle is dropped. The registry is resolved once per batch from
-/// the shared handle, so a `/reload` swap lands between batches: an assembled
-/// batch always finishes on the registry it started scoring with.
-pub(crate) fn run_batcher(
+/// One kind's queue: the receiving half plus everything its drain loop needs.
+/// Built by [`build_queues`]; the server spawns [`BatchQueue::run`] on its own
+/// scoped thread.
+pub(crate) struct BatchQueue {
+    kind: BaselineKind,
     receiver: Receiver<Job>,
-    registry: &SharedRegistry,
-    config: &BatchConfig,
-    metrics: &ServeMetrics,
-) {
-    let max_batch = config.max_batch.max(1);
-    while let Ok(first) = receiver.recv() {
-        let deadline = Instant::now() + config.max_wait;
-        let mut jobs = vec![first];
-        while jobs.len() < max_batch {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                break;
-            }
-            match receiver.recv_timeout(remaining) {
-                Ok(job) => jobs.push(job),
-                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
-            }
-        }
-        score_batch(&jobs, &registry.current(), metrics);
-    }
+    config: BatchConfig,
+    metrics: Arc<QueueMetrics>,
 }
 
-/// Score one assembled batch. Jobs are grouped per model kind (a mixed batch
-/// costs one `probabilities` call per distinct model) and every group is
-/// scored in a single batched call.
-fn score_batch(jobs: &[Job], registry: &ModelRegistry, metrics: &ServeMetrics) {
-    let mut kinds: Vec<BaselineKind> = Vec::new();
-    for job in jobs {
-        if !kinds.contains(&job.kind) {
-            kinds.push(job.kind);
+impl BatchQueue {
+    /// The drain loop: recv → coalesce → score → fan out, until every producer
+    /// handle is dropped. The scorer is resolved once per batch from the
+    /// shared registry, so a `/reload` swap lands between batches: an
+    /// assembled batch always finishes on the scorer it started with.
+    pub(crate) fn run(self, registry: &SharedRegistry, serve_metrics: &ServeMetrics) {
+        let max_batch = self.config.max_batch.max(1);
+        while let Ok(first) = self.receiver.recv() {
+            let deadline = Instant::now() + self.config.max_wait;
+            let mut jobs = vec![first];
+            while jobs.len() < max_batch {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                match self.receiver.recv_timeout(remaining) {
+                    Ok(job) => jobs.push(job),
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            self.score_batch(&jobs, registry, serve_metrics);
         }
     }
-    for kind in kinds {
-        let group: Vec<&Job> = jobs.iter().filter(|j| j.kind == kind).collect();
-        let rows = match registry.get(kind) {
-            Some(model) => {
-                let rows = score_group(&model, &group);
-                metrics.record_batch(group.len());
+
+    /// Score one assembled batch with this queue's scorer (one batched
+    /// `probabilities` call) and reply to every job.
+    fn score_batch(&self, jobs: &[Job], registry: &SharedRegistry, serve_metrics: &ServeMetrics) {
+        let rows = match registry.current().get(self.kind) {
+            Some(scorer) => {
+                let rows = score_jobs(scorer.as_ref(), jobs);
+                let latencies: Vec<u64> = jobs
+                    .iter()
+                    .map(|j| j.enqueued.elapsed().as_micros() as u64)
+                    .collect();
+                self.metrics.record_batch(jobs.len(), &latencies);
+                serve_metrics.record_batch(jobs.len());
                 rows
             }
-            // resolve() runs before enqueue, so this only happens if a caller
-            // bypasses it; answer with the empty-row sentinel (which
+            // The queue exists because the startup registry had this kind, and
+            // refits keep kinds — so this only happens if a swapped-in registry
+            // dropped the model. Answer with the empty-row sentinel (which
             // predict_many surfaces as an error) rather than hanging workers,
-            // and record nothing — no model scored these texts.
-            None => vec![Vec::new(); group.len()],
+            // and record no batch — no model scored these texts.
+            None => {
+                self.metrics.record_dropped(jobs.len());
+                vec![Vec::new(); jobs.len()]
+            }
         };
-        for (job, row) in group.iter().zip(rows) {
+        for (job, row) in jobs.iter().zip(rows) {
             // A dropped receiver just means the client went away mid-request.
             let _ = job.reply.send(row);
         }
     }
 }
 
-fn score_group(model: &FittedBaseline, group: &[&Job]) -> Vec<Vec<f64>> {
-    let texts: Vec<&str> = group.iter().map(|j| j.text.as_str()).collect();
-    model.probabilities(&texts)
+fn score_jobs(scorer: &dyn Scorer, jobs: &[Job]) -> Vec<Vec<f64>> {
+    let texts: Vec<&str> = jobs.iter().map(|j| j.text.as_str()).collect();
+    scorer.probabilities(&texts)
+}
+
+/// Build one queue per registered scorer: the shared [`BatcherHandle`] for the
+/// worker pool and the [`BatchQueue`]s for the server to spawn, each queue's
+/// window sized from its scorer's cost hint via [`BatchConfig::sized_for`].
+pub(crate) fn build_queues(
+    registry: &SharedRegistry,
+    base: &BatchConfig,
+    metrics: &ServeMetrics,
+) -> (BatcherHandle, Vec<BatchQueue>) {
+    let current = registry.current();
+    let mut senders = Vec::new();
+    let mut queues = Vec::new();
+    for (kind, scorer) in current.scorers() {
+        let (sender, receiver) = std::sync::mpsc::channel();
+        let queue_metrics = metrics.queue(&kind.name());
+        senders.push(QueueSender {
+            kind,
+            sender,
+            metrics: Arc::clone(&queue_metrics),
+        });
+        queues.push(BatchQueue {
+            kind,
+            receiver,
+            config: base.sized_for(scorer.cost_hint()),
+            metrics: queue_metrics,
+        });
+    }
+    (
+        BatcherHandle {
+            queues: Arc::new(senders),
+        },
+        queues,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::RegistryConfig;
+    use crate::registry::{ModelRegistry, RegistryConfig};
     use holistix::SpeedProfile;
-    use std::sync::mpsc;
 
     fn tiny_registry() -> ModelRegistry {
         ModelRegistry::fit_synthetic(&RegistryConfig {
@@ -165,6 +259,25 @@ mod tests {
         })
     }
 
+    /// Spawn every queue's drain loop in a crossbeam scope, run `body` with
+    /// the handle, and join cleanly when the handle drops.
+    fn with_queues<F: FnOnce(&BatcherHandle) + Send>(
+        registry: &SharedRegistry,
+        base: &BatchConfig,
+        metrics: &ServeMetrics,
+        body: F,
+    ) {
+        let (handle, queues) = build_queues(registry, base, metrics);
+        crossbeam::thread::scope(|scope| {
+            for queue in queues {
+                scope.spawn(move |_| queue.run(registry, metrics));
+            }
+            body(&handle);
+            drop(handle); // lets every drain loop exit
+        })
+        .unwrap();
+    }
+
     #[test]
     fn batched_replies_match_direct_scoring() {
         let registry = SharedRegistry::new(tiny_registry());
@@ -172,8 +285,6 @@ mod tests {
             .current()
             .get(BaselineKind::LogisticRegression)
             .unwrap();
-        let (sender, receiver) = mpsc::channel();
-        let handle = BatcherHandle::new(sender);
         let metrics = ServeMetrics::new();
         let config = BatchConfig {
             max_batch: 8,
@@ -187,41 +298,32 @@ mod tests {
         ];
         let expected: Vec<Vec<f64>> = texts.iter().map(|t| model.probabilities_one(t)).collect();
 
-        crossbeam::thread::scope(|scope| {
-            let registry = &registry;
-            let metrics = &metrics;
-            let config = &config;
-            scope.spawn(move |_| run_batcher(receiver, registry, config, metrics));
+        with_queues(&registry, &config, &metrics, |handle| {
             let got = handle
                 .predict_many(BaselineKind::LogisticRegression, texts.clone())
                 .unwrap();
             assert_eq!(got, expected);
-            drop(handle); // lets the batcher thread exit
-        })
-        .unwrap();
+        });
 
         // All three jobs were enqueued before any reply was awaited, so they
-        // were scored as one batch.
+        // were scored as one batch — visible globally and in the LR queue.
         assert_eq!(metrics.max_batch_size(), 3);
+        let lr_queue = metrics.queue("LR");
+        assert_eq!(lr_queue.max_batch_size(), 3);
+        assert_eq!(lr_queue.depth(), 0);
     }
 
     #[test]
     fn unregistered_kind_is_an_error_and_records_no_metrics() {
         let registry = SharedRegistry::new(tiny_registry());
-        let (sender, receiver) = mpsc::channel();
-        let handle = BatcherHandle::new(sender);
         let metrics = ServeMetrics::new();
         let config = BatchConfig::default();
-        crossbeam::thread::scope(|scope| {
-            let registry = &registry;
-            let metrics = &metrics;
-            let config = &config;
-            scope.spawn(move |_| run_batcher(receiver, registry, config, metrics));
+        with_queues(&registry, &config, &metrics, |handle| {
+            // No Linear SVM scorer was registered, so no queue exists for it:
+            // the error comes straight from the handle, nothing is enqueued.
             let got = handle.predict_many(BaselineKind::LinearSvm, vec!["text".to_string()]);
             assert!(got.err().unwrap().contains("not loaded"));
-            drop(handle);
-        })
-        .unwrap();
+        });
         // Nothing was scored, so nothing shows up as a batch.
         assert_eq!(metrics.max_batch_size(), 0);
         let snapshot = metrics.snapshot();
@@ -230,11 +332,25 @@ mod tests {
 
     #[test]
     fn predict_many_fails_cleanly_after_shutdown() {
-        let (sender, receiver) = mpsc::channel();
-        drop(receiver);
-        let handle = BatcherHandle::new(sender);
+        let registry = SharedRegistry::new(tiny_registry());
+        let metrics = ServeMetrics::new();
+        let (handle, queues) = build_queues(&registry, &BatchConfig::default(), &metrics);
+        drop(queues); // receivers gone: every send errors
         assert!(handle
             .predict_many(BaselineKind::LogisticRegression, vec!["x".to_string()])
             .is_err());
+    }
+
+    #[test]
+    fn cost_sized_windows_widen_for_expensive_scorers() {
+        let base = BatchConfig::default();
+        let classical = base.sized_for(Duration::from_micros(200));
+        assert_eq!(classical.max_wait, base.max_wait);
+        let transformer = base.sized_for(Duration::from_millis(50));
+        assert_eq!(transformer.max_wait, Duration::from_millis(50));
+        // Pathologically slow scorers are capped.
+        let glacial = base.sized_for(Duration::from_secs(10));
+        assert_eq!(glacial.max_wait, MAX_COST_SIZED_WAIT);
+        assert_eq!(glacial.max_batch, base.max_batch);
     }
 }

@@ -1,15 +1,21 @@
-//! Minimal HTTP/1.1, hand-rolled over `std::io`.
+//! Minimal HTTP/1.1, hand-rolled over `std::io`, with persistent connections.
 //!
 //! The build is offline (no tokio/hyper), and the serving layer needs only the
 //! subset of HTTP/1.1 that JSON APIs use: a request line, `Content-Length`
-//! framed bodies, and `Connection: close` responses. One request per
-//! connection keeps the state machine trivial; the worker pool in
-//! [`crate::server`] provides the concurrency.
+//! framed bodies, and connection reuse. Responses always carry a
+//! `Content-Length`, which is what makes keep-alive sound: the peer knows
+//! exactly where one message ends and the next begins, no chunked encoding
+//! needed. A connection stays open until the client sends
+//! `Connection: close`, the server's per-connection request cap or idle
+//! timeout fires, or either side hangs up — HTTP/1.1 semantics, where
+//! persistence is the default.
 //!
 //! [`read_request`] and [`write_response`] are generic over `BufRead`/`Write`
-//! so they unit-test against in-memory buffers, and [`http_request`] is the
-//! matching one-shot blocking client used by the loopback integration test and
-//! the `serve_demo` load generator.
+//! so they unit-test against in-memory buffers. Two clients match the server:
+//! [`http_request`], the one-shot `Connection: close` helper, and
+//! [`HttpClient`], a blocking keep-alive client that pipelines any number of
+//! request/response round-trips over one TCP connection (what the
+//! `serve_throughput` bench and the CI smoke drive).
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -22,7 +28,7 @@ pub const MAX_BODY_BYTES: usize = 1 << 20;
 /// client streaming an endless header cannot grow server memory unboundedly.
 pub const MAX_HEAD_BYTES: u64 = 16 << 10;
 
-/// A parsed HTTP request: the line, the body, nothing else retained.
+/// A parsed HTTP request: the line, the body, and the connection directive.
 #[derive(Debug, Clone)]
 pub struct Request {
     /// Request method (`GET`, `POST`, …), upper-case as received.
@@ -31,6 +37,9 @@ pub struct Request {
     pub path: String,
     /// Decoded UTF-8 body (empty when no `Content-Length`).
     pub body: String,
+    /// Whether the client asked to close the connection after this response
+    /// (`Connection: close`). HTTP/1.1 default is to keep it open.
+    pub close: bool,
 }
 
 /// An HTTP response about to be written; the body is always JSON.
@@ -87,16 +96,17 @@ fn read_line_limited<R: BufRead>(reader: &mut R, budget: &mut u64) -> io::Result
     Ok(line)
 }
 
-/// Read one request: request line, headers (only `Content-Length` is
-/// interpreted), then exactly `Content-Length` body bytes.
-pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Request> {
+/// Read one request: request line, headers (`Content-Length` and `Connection`
+/// are interpreted), then exactly `Content-Length` body bytes.
+///
+/// Returns `Ok(None)` when the connection is cleanly closed (EOF) before a
+/// request line arrives — the normal end of a keep-alive session, not an
+/// error. EOF *inside* a request (mid-headers, short body) is an error.
+pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     let mut head_budget = MAX_HEAD_BYTES;
     let line = read_line_limited(reader, &mut head_budget)?;
     if line.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "connection closed before request line",
-        ));
+        return Ok(None);
     }
     let mut parts = line.split_whitespace();
     let method = parts
@@ -109,6 +119,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Request> {
         .to_string();
 
     let mut content_length = 0usize;
+    let mut close = false;
     loop {
         let header = read_line_limited(reader, &mut head_budget)?;
         if header.is_empty() {
@@ -122,11 +133,14 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Request> {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| invalid(format!("bad Content-Length {value:?}")))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.trim().eq_ignore_ascii_case("close");
             }
         }
     }
@@ -138,7 +152,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Request> {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
     let body = String::from_utf8(body).map_err(|_| invalid("body is not valid UTF-8"))?;
-    Ok(Request { method, path, body })
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        close,
+    }))
 }
 
 fn reason(status: u16) -> &'static str {
@@ -155,40 +174,50 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete `Connection: close` response.
-pub fn write_response<W: Write>(writer: &mut W, response: &Response) -> io::Result<()> {
+/// Write a complete response. `Content-Length` frames the body either way;
+/// the `Connection` header tells the client whether the server will keep the
+/// connection open for the next request.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
         response.status,
         reason(response.status),
         response.body.len(),
+        connection,
         response.body
     )?;
     writer.flush()
 }
 
-/// One-shot blocking HTTP client: connect, send, read the full response.
-/// Returns `(status, body)`. Used by the integration tests, the CI smoke step
-/// and the `serve_demo` load generator.
-pub fn http_request(
+/// Write one request to `writer`. The client half of [`write_response`].
+fn write_request<W: Write>(
+    writer: &mut W,
     addr: SocketAddr,
     method: &str,
     path: &str,
-    body: Option<&str>,
-) -> io::Result<(u16, String)> {
-    let stream = TcpStream::connect(addr)?;
-    let body = body.unwrap_or("");
-    {
-        let mut writer = &stream;
-        write!(
-            writer,
-            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-            body.len()
-        )?;
-        writer.flush()?;
-    }
-    let mut reader = BufReader::new(&stream);
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()
+}
+
+/// Read one response from `reader`: status line, headers, `Content-Length`
+/// body. Returns `(status, body, server_closes)` — the last is true when the
+/// server announced `Connection: close` (or sent no length, framing the body
+/// by EOF).
+fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String, bool)> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -197,6 +226,7 @@ pub fn http_request(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| invalid(format!("bad status line {status_line:?}")))?;
     let mut content_length: Option<usize> = None;
+    let mut server_closes = false;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -207,8 +237,11 @@ pub fn http_request(
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("connection") {
+                server_closes = value.trim().eq_ignore_ascii_case("close");
             }
         }
     }
@@ -218,14 +251,90 @@ pub fn http_request(
             reader.read_exact(&mut buf)?;
             String::from_utf8(buf).map_err(|_| invalid("response body is not valid UTF-8"))?
         }
-        // The server always closes after one response, so EOF frames the body.
+        // No length: the server frames the body by closing, so read to EOF.
         None => {
+            server_closes = true;
             let mut buf = String::new();
             reader.read_to_string(&mut buf)?;
             buf
         }
     };
+    Ok((status, body, server_closes))
+}
+
+/// One-shot blocking HTTP client: connect, send one `Connection: close`
+/// request, read the full response. Returns `(status, body)`. Used by the
+/// integration tests and the `serve_demo` load generator; sessions that issue
+/// several requests should hold an [`HttpClient`] instead and reuse the
+/// connection.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, String)> {
+    let stream = TcpStream::connect(addr)?;
+    write_request(&mut (&stream), addr, method, path, body.unwrap_or(""), true)?;
+    let mut reader = BufReader::new(&stream);
+    let (status, body, _) = read_response(&mut reader)?;
     Ok((status, body))
+}
+
+/// A blocking keep-alive HTTP client: one TCP connection, any number of
+/// request/response round-trips. This is what makes connection reuse
+/// measurable — the `serve_throughput` bench and the CI smoke issue all their
+/// requests through one of these and read the server's
+/// `keepalive_reuses_total` counter.
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    closed: bool,
+}
+
+impl HttpClient {
+    /// Connect to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            addr,
+            stream,
+            reader,
+            closed: false,
+        })
+    }
+
+    /// Send one request over the persistent connection and read its response.
+    /// Returns `(status, body)`. Errors once the server has closed the
+    /// connection (its request cap, its idle timeout, or a previous
+    /// `Connection: close`); reconnect with [`HttpClient::connect`] to go on.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        if self.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "server closed this keep-alive connection",
+            ));
+        }
+        write_request(
+            &mut self.stream,
+            self.addr,
+            method,
+            path,
+            body.unwrap_or(""),
+            false,
+        )?;
+        let (status, body, server_closes) = read_response(&mut self.reader)?;
+        if server_closes {
+            self.closed = true;
+        }
+        Ok((status, body))
+    }
 }
 
 #[cfg(test)]
@@ -233,28 +342,60 @@ mod tests {
     use super::*;
     use std::io::Cursor;
 
+    fn parse_one(raw: &str) -> io::Result<Request> {
+        read_request(&mut Cursor::new(raw)).map(|r| r.expect("expected a request, got EOF"))
+    }
+
     #[test]
     fn parses_a_post_with_body() {
         let raw = "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\n{\"texts\":[]}";
-        let request = read_request(&mut Cursor::new(raw)).unwrap();
+        let request = parse_one(raw).unwrap();
         assert_eq!(request.method, "POST");
         assert_eq!(request.path, "/predict");
         assert_eq!(request.body, "{\"texts\":[]}");
+        // HTTP/1.1 default: no Connection header means keep the connection.
+        assert!(!request.close);
     }
 
     #[test]
     fn parses_a_get_without_body() {
         let raw = "GET /healthz HTTP/1.1\r\n\r\n";
-        let request = read_request(&mut Cursor::new(raw)).unwrap();
+        let request = parse_one(raw).unwrap();
         assert_eq!(request.method, "GET");
         assert_eq!(request.path, "/healthz");
         assert!(request.body.is_empty());
     }
 
     #[test]
+    fn connection_close_is_honored_case_insensitively() {
+        let raw = "GET /healthz HTTP/1.1\r\nConnection: Close\r\n\r\n";
+        assert!(parse_one(raw).unwrap().close);
+        let keep = "GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+        assert!(!parse_one(keep).unwrap().close);
+    }
+
+    #[test]
     fn header_names_are_case_insensitive() {
         let raw = "POST /p HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
-        assert_eq!(read_request(&mut Cursor::new(raw)).unwrap().body, "hi");
+        assert_eq!(parse_one(raw).unwrap().body, "hi");
+    }
+
+    #[test]
+    fn eof_before_request_line_is_a_clean_close() {
+        assert!(read_request(&mut Cursor::new("")).unwrap().is_none());
+    }
+
+    #[test]
+    fn two_requests_parse_back_to_back_from_one_stream() {
+        // Keep-alive framing: Content-Length delimits the first body exactly,
+        // so the second request parses from the same reader.
+        let raw = "POST /p HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /healthz HTTP/1.1\r\n\r\n";
+        let mut cursor = Cursor::new(raw);
+        let first = read_request(&mut cursor).unwrap().unwrap();
+        assert_eq!(first.body, "hi");
+        let second = read_request(&mut cursor).unwrap().unwrap();
+        assert_eq!(second.path, "/healthz");
+        assert!(read_request(&mut cursor).unwrap().is_none());
     }
 
     #[test]
@@ -263,9 +404,11 @@ mod tests {
         assert!(read_request(&mut Cursor::new(huge)).is_err());
         let short = "POST /p HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc";
         assert!(read_request(&mut Cursor::new(short)).is_err());
-        assert!(read_request(&mut Cursor::new("")).is_err());
         let bad_length = "POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n";
         assert!(read_request(&mut Cursor::new(bad_length)).is_err());
+        // EOF mid-headers is an error, unlike EOF before the request line.
+        let mid_headers = "POST /p HTTP/1.1\r\nContent-Length: 2\r\n";
+        assert!(read_request(&mut Cursor::new(mid_headers)).is_err());
     }
 
     #[test]
@@ -287,14 +430,36 @@ mod tests {
     }
 
     #[test]
-    fn writes_a_well_formed_response() {
+    fn writes_a_well_formed_keep_alive_response() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::ok("{\"a\":1}")).unwrap();
+        write_response(&mut out, &Response::ok("{\"a\":1}"), true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
-        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+
+    #[test]
+    fn writes_a_close_response_when_asked() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::ok("{}"), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn read_response_parses_status_body_and_close() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}";
+        let (status, body, closes) = read_response(&mut Cursor::new(raw)).unwrap();
+        assert_eq!((status, body.as_str(), closes), (200, "{}", false));
+        let raw = "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        let (status, body, closes) = read_response(&mut Cursor::new(raw)).unwrap();
+        assert_eq!((status, body.as_str(), closes), (400, "", true));
+        // No Content-Length: EOF frames the body and implies close.
+        let raw = "HTTP/1.1 200 OK\r\n\r\nrest";
+        let (_, body, closes) = read_response(&mut Cursor::new(raw)).unwrap();
+        assert_eq!((body.as_str(), closes), ("rest", true));
     }
 
     #[test]

@@ -5,52 +5,77 @@
 //!
 //! The ROADMAP's north star is a system that serves heavy traffic, and PR 1
 //! built the substrate for that: sparse TF-IDF end to end plus batched
-//! parallel [`FittedBaseline`](holistix::FittedBaseline) scoring. This crate
-//! adds the request front end on top — hand-rolled HTTP/1.1 over
-//! `std::net::TcpListener` (the build is offline, so no tokio/hyper), with the
-//! property that made the batched path worth building: **concurrent requests
-//! share scoring batches**.
+//! parallel scoring. This crate adds the request front end on top —
+//! hand-rolled HTTP/1.1 over `std::net::TcpListener` (the build is offline,
+//! so no tokio/hyper) with **persistent connections** and the property that
+//! made the batched path worth building: **concurrent requests share scoring
+//! batches**, per model, without head-of-line blocking across models.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!                        ┌────────────────────────────── server thread ──┐
-//!  clients ── accept ──► │ conn mpsc ─► worker pool (N scoped threads)   │
-//!                        │                │ parse HTTP, route            │
-//!                        │                ▼                              │
-//!                        │            job mpsc ─► batcher thread         │
-//!                        │                          drain ≤ max_batch    │
-//!                        │                          or until max_wait    │
-//!                        │                          ▼                    │
-//!                        │            FittedBaseline::probabilities      │
-//!                        │            (one sparse, parallel call)        │
-//!                        │                          ▼                    │
-//!                        │            per-job reply channels ─► workers  │
-//!                        └───────────────────────────────────────────────┘
+//!                     ┌────────────────────────────────── server thread ──┐
+//!  clients ─ accept ─►│ conn mpsc ─► worker pool (N scoped threads)       │
+//!  (keep-alive:       │               │ per connection: loop              │
+//!   many requests     │               │   read request ─ route ─ respond  │
+//!   per connection)   │               │   until close/cap/idle            │
+//!                     │               ▼ per-kind job mpsc                 │
+//!                     │   ┌─ BatchQueue "LR"   ── drain ≤max_batch ──┐    │
+//!                     │   │                       or until max_wait  │    │
+//!                     │   ├─ BatchQueue "BERT" ── (own window sized ─┤    │
+//!                     │   │      …                from cost_hint)    │    │
+//!                     │   └──────────────┬───────────────────────────┘    │
+//!                     │                  ▼                                │
+//!                     │     Arc<dyn Scorer>::probabilities                │
+//!                     │     (one batched call per queue batch)            │
+//!                     │                  ▼                                │
+//!                     │     per-job reply channels ─► workers             │
+//!                     └───────────────────────────────────────────────────┘
 //! ```
 //!
-//! * **[`registry`]** — fits baselines at startup (one scoped thread per
+//! * **The [`Scorer`](holistix::Scorer) seam** — everything here is written
+//!   against `Arc<dyn Scorer>` (batched `probabilities` + `kind` +
+//!   `cost_hint`), never a concrete model type. The classical sparse
+//!   pipeline, the transformer analogues
+//!   ([`TransformerScorer`](holistix::TransformerScorer)) and any future
+//!   backend plug into the registry, the batch queues and `/explain` by
+//!   implementing that one trait.
+//! * **[`registry`]** — fits scorers at startup (one scoped thread per
 //!   [`BaselineKind`](holistix::BaselineKind), each classical fit sharded via
 //!   the map-reduce fit of `holistix-ml` across its slice of the machine's
-//!   thread budget) and keeps them warm behind `Arc`s. The registry itself is
-//!   immutable; [`SharedRegistry`](registry::SharedRegistry) makes it
-//!   *replaceable* — `POST /reload` fits a fresh registry from an uploaded
-//!   JSONL corpus **on a dedicated thread** (never an HTTP worker or the
-//!   batcher) and atomically swaps the `Arc`, so in-flight requests finish on
-//!   the old models and `/predict` keeps answering throughout (an integration
-//!   test pins this liveness).
-//! * **[`batcher`]** — request workers enqueue texts on an `mpsc` channel; a
-//!   single batcher thread drains up to [`BatchConfig::max_batch`] texts (or
-//!   whatever arrived within [`BatchConfig::max_wait`] of the first), scores
-//!   them with one `probabilities` call, and fans results back per request.
-//!   Batching is invisible in the answers: batched scoring is bit-for-bit
-//!   identical to text-at-a-time scoring, a property the core pipeline tests
-//!   pin and the loopback integration test re-asserts over HTTP.
-//! * **[`http`]** — the minimal HTTP/1.1 subset (Content-Length framing, one
-//!   request per connection) plus the blocking loopback client used by tests
-//!   and the `serve_demo` load generator.
-//! * **[`metrics`]** — request counters, the batch-size histogram and p50/p99
-//!   latency, served by `GET /metrics`.
+//!   thread budget) and keeps them warm behind `Arc<dyn Scorer>`s;
+//!   [`ModelRegistry::from_scorers`](registry::ModelRegistry::from_scorers)
+//!   registers heterogeneous or externally trained scorers directly. The
+//!   registry itself is immutable;
+//!   [`SharedRegistry`](registry::SharedRegistry) makes it *replaceable* —
+//!   `POST /reload` fits a fresh registry from an uploaded JSONL corpus **on
+//!   a dedicated thread** (never an HTTP worker or a batch queue) and
+//!   atomically swaps the `Arc`, so in-flight requests finish on the old
+//!   models and `/predict` keeps answering throughout (an integration test
+//!   pins this liveness).
+//! * **[`batcher`]** — one `BatchQueue` per registered
+//!   scorer: its own channel, its own drain thread, its own
+//!   [`BatchConfig`] window sized from the scorer's `cost_hint`
+//!   ([`BatchConfig::sized_for`]). Request workers enqueue texts on their
+//!   model's queue and block on per-job reply channels; each drain loop
+//!   coalesces up to [`BatchConfig::max_batch`] texts (or whatever arrived
+//!   within its window) and scores them with one `probabilities` call. A
+//!   saturated transformer queue therefore cannot delay a classical batch —
+//!   the isolation an integration test pins with a deliberately slow scorer
+//!   stub. Batching is invisible in the answers: batched scoring is
+//!   bit-for-bit identical to text-at-a-time scoring, a property the core
+//!   pipeline tests pin and the loopback integration test re-asserts over
+//!   HTTP.
+//! * **[`http`]** — the minimal HTTP/1.1 subset with keep-alive:
+//!   `Content-Length` framing on both sides, `Connection: close` honored,
+//!   per-connection request cap and idle timeout
+//!   ([`KeepAliveConfig`]). [`http_request`] is the one-shot blocking client;
+//!   [`HttpClient`] holds one connection open across any number of requests
+//!   (what the `serve_throughput` bench and the CI smoke drive).
+//! * **[`metrics`]** — request counters, per-kind queue sections (depth,
+//!   batch-size histogram, per-job p50/p99), `keepalive_reuses_total`, the
+//!   cross-queue batch histogram and request latency percentiles, served by
+//!   `GET /metrics`.
 //!
 //! ## Endpoints
 //!
@@ -60,7 +85,7 @@
 //! | `POST /explain` | `{"text": "…", "top_k"?, "n_samples"?}`      | LIME token attributions via the batched perturbation path |
 //! | `POST /reload`  | JSONL corpus (the `corpus::io` schema)        | `202` + post count; fits off-thread, swaps atomically (`409` if already reloading) |
 //! | `GET /healthz`  | —                                             | status + loaded models + `reloading` flag |
-//! | `GET /metrics`  | —                                             | counters, batch histogram, latency percentiles, registry fit stats (`reloads_total`, `last_fit_us`, `fit_shards`, `corpus_size`) |
+//! | `GET /metrics`  | —                                             | counters, per-kind queue sections, keep-alive reuses, batch histogram, latency percentiles, registry fit stats |
 //!
 //! JSON parsing and serialisation are shared with the corpus crate's
 //! [`holistix_corpus::json`] module (hoisted out of its JSONL reader), whose
@@ -85,7 +110,9 @@ pub mod registry;
 pub mod server;
 
 pub use batcher::{BatchConfig, BatcherHandle};
-pub use http::{http_request, Request, Response};
-pub use metrics::{Endpoint, ServeMetrics};
+pub use http::{http_request, HttpClient, Request, Response};
+pub use metrics::{Endpoint, QueueMetrics, ServeMetrics};
 pub use registry::{parse_kind, FitStats, ModelRegistry, RegistryConfig, SharedRegistry};
-pub use server::{serve, ServeConfig, ServerHandle, MAX_RELOAD_POSTS, MAX_TEXTS_PER_REQUEST};
+pub use server::{
+    serve, KeepAliveConfig, ServeConfig, ServerHandle, MAX_RELOAD_POSTS, MAX_TEXTS_PER_REQUEST,
+};

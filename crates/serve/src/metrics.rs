@@ -1,16 +1,24 @@
-//! Serving metrics: request counters, the batch-size histogram, and request
-//! latency percentiles, all exposed as JSON by `GET /metrics`.
+//! Serving metrics: request counters, per-kind queue statistics, the global
+//! batch-size histogram, keep-alive reuse and request latency percentiles,
+//! all exposed as JSON by `GET /metrics`.
 //!
-//! Counters are lock-free atomics; the histogram and the latency reservoir sit
+//! Counters are lock-free atomics; histograms and latency reservoirs sit
 //! behind mutexes that are touched once per batch / request (never per text),
 //! so the metrics path stays off the scoring hot path.
+//!
+//! Since the per-kind batch-queue redesign, every registered scorer owns a
+//! [`QueueMetrics`]: its live queue depth, its own batch-size histogram and a
+//! p50/p99 window over per-job latency (enqueue → scored), so a saturated
+//! transformer queue is visible *next to* a healthy classical one instead of
+//! smeared into one global histogram. The global batch histogram and
+//! `texts_scored` remain as cross-queue aggregates.
 
 use crate::registry::FitStats;
 use holistix_corpus::json::JsonValue;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// How many of the most recent request latencies the percentile window keeps.
+/// How many of the most recent latencies each percentile window keeps.
 const LATENCY_WINDOW: usize = 4096;
 
 /// Which endpoint a request hit, for per-endpoint counters.
@@ -30,8 +38,146 @@ pub enum Endpoint {
     Other,
 }
 
+/// A bounded reservoir of recent latencies with nearest-rank percentiles.
+#[derive(Debug, Default)]
+struct LatencyWindow {
+    values_us: Mutex<Vec<u64>>,
+    cursor: AtomicU64,
+}
+
+impl LatencyWindow {
+    fn record(&self, micros: u64) {
+        let mut window = self.values_us.lock().unwrap();
+        if window.len() < LATENCY_WINDOW {
+            window.push(micros);
+        } else {
+            let slot = self.cursor.fetch_add(1, Ordering::Relaxed) as usize;
+            window[slot % LATENCY_WINDOW] = micros;
+        }
+    }
+
+    /// `{"window": n, "p50": …, "p99": …}` (percentiles `null` when empty).
+    fn snapshot(&self) -> JsonValue {
+        let mut values = self.values_us.lock().unwrap().clone();
+        values.sort_unstable();
+        let percentile = |q: f64| -> JsonValue {
+            if values.is_empty() {
+                return JsonValue::Null;
+            }
+            // Nearest-rank on the sorted window.
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            JsonValue::Number(values[rank - 1] as f64)
+        };
+        JsonValue::object(vec![
+            ("window", JsonValue::Number(values.len() as f64)),
+            ("p50", percentile(0.50)),
+            ("p99", percentile(0.99)),
+        ])
+    }
+}
+
+/// A size-indexed batch histogram (`histogram[s]` counts batches of exactly
+/// `s` texts; index 0 unused).
+#[derive(Debug, Default)]
+struct BatchHistogram {
+    counts: Mutex<Vec<u64>>,
+}
+
+impl BatchHistogram {
+    fn record(&self, size: usize) {
+        let mut histogram = self.counts.lock().unwrap();
+        if histogram.len() <= size {
+            histogram.resize(size + 1, 0);
+        }
+        histogram[size] += 1;
+    }
+
+    fn max_size(&self) -> usize {
+        let histogram = self.counts.lock().unwrap();
+        histogram.iter().rposition(|&count| count > 0).unwrap_or(0)
+    }
+
+    /// `{"count": n, "max_size": m, "histogram": {"<size>": count, …}}`.
+    fn snapshot(&self) -> JsonValue {
+        let histogram = self.counts.lock().unwrap().clone();
+        let batch_count: u64 = histogram.iter().sum();
+        let max_batch = histogram.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let fields: Vec<(String, JsonValue)> = histogram
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(size, &count)| (size.to_string(), JsonValue::Number(count as f64)))
+            .collect();
+        JsonValue::object(vec![
+            ("count", JsonValue::Number(batch_count as f64)),
+            ("max_size", JsonValue::Number(max_batch as f64)),
+            ("histogram", JsonValue::Object(fields)),
+        ])
+    }
+}
+
+/// Per-queue statistics: one instance per registered scorer kind, shared
+/// between that kind's [`BatcherHandle`](crate::batcher::BatcherHandle) side
+/// (depth increments) and its drain loop (depth decrements, batch sizes, job
+/// latencies).
+#[derive(Debug, Default)]
+pub struct QueueMetrics {
+    depth: AtomicU64,
+    texts_scored: AtomicU64,
+    batches: BatchHistogram,
+    job_latency: LatencyWindow,
+}
+
+impl QueueMetrics {
+    /// Count one job entering the queue.
+    pub fn record_enqueued(&self) {
+        self.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `jobs` leaving the queue unscored (shutdown drain).
+    pub fn record_dropped(&self, jobs: usize) {
+        self.depth.fetch_sub(jobs as u64, Ordering::Relaxed);
+    }
+
+    /// Record one scored batch of `size` jobs with the given per-job latencies
+    /// (enqueue → scored, µs). Decrements the queue depth by the batch size.
+    pub fn record_batch(&self, size: usize, job_latencies_us: &[u64]) {
+        if size == 0 {
+            return;
+        }
+        self.depth.fetch_sub(size as u64, Ordering::Relaxed);
+        self.texts_scored.fetch_add(size as u64, Ordering::Relaxed);
+        self.batches.record(size);
+        for &micros in job_latencies_us {
+            self.job_latency.record(micros);
+        }
+    }
+
+    /// Jobs currently waiting in (or being scored from) this queue.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The largest batch this queue has scored (0 before the first batch).
+    pub fn max_batch_size(&self) -> usize {
+        self.batches.max_size()
+    }
+
+    fn snapshot(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("depth", JsonValue::Number(self.depth() as f64)),
+            (
+                "texts_scored",
+                JsonValue::Number(self.texts_scored.load(Ordering::Relaxed) as f64),
+            ),
+            ("batches", self.batches.snapshot()),
+            ("job_latency_us", self.job_latency.snapshot()),
+        ])
+    }
+}
+
 /// Shared metrics sink. One instance per server, shared by workers and the
-/// batcher thread.
+/// per-kind batch queues.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     predict_requests: AtomicU64,
@@ -42,17 +188,21 @@ pub struct ServeMetrics {
     other_requests: AtomicU64,
     error_responses: AtomicU64,
     texts_scored: AtomicU64,
+    /// Requests served on an already-used connection (the 2nd, 3rd, … request
+    /// of a keep-alive session). Zero means every request paid a TCP setup.
+    keepalive_reuses: AtomicU64,
     /// Completed registry reloads (a `/reload` fit + swap; startup not counted).
     /// The fit stats themselves are *not* mirrored here — the registry behind
     /// [`SharedRegistry`](crate::registry::SharedRegistry) is the single source
     /// of truth and [`snapshot_with_fit`](Self::snapshot_with_fit) reads them
     /// at snapshot time.
     reloads_total: AtomicU64,
-    /// `histogram[s]` counts scored batches of exactly `s` texts (index 0 unused).
-    batch_histogram: Mutex<Vec<u64>>,
-    /// Ring buffer of the last [`LATENCY_WINDOW`] request latencies, in µs.
-    latencies_us: Mutex<Vec<u64>>,
-    latency_cursor: AtomicU64,
+    /// Cross-queue aggregate batch histogram.
+    batches: BatchHistogram,
+    /// End-to-end request latency window.
+    request_latency: LatencyWindow,
+    /// Per-kind queue sections, in registration order.
+    queues: Mutex<Vec<(String, Arc<QueueMetrics>)>>,
 }
 
 impl ServeMetrics {
@@ -79,6 +229,16 @@ impl ServeMetrics {
         self.error_responses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one request served on a reused (keep-alive) connection.
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests served on reused connections so far.
+    pub fn keepalive_reuses_total(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
     /// Count one completed `/reload` (fresh registry fitted and swapped in).
     pub fn record_reload(&self) {
         self.reloads_total.fetch_add(1, Ordering::Relaxed);
@@ -89,34 +249,38 @@ impl ServeMetrics {
         self.reloads_total.load(Ordering::Relaxed)
     }
 
-    /// Record one scored micro-batch of `size` texts.
+    /// Register (or fetch) the per-queue section for a scorer kind. Called by
+    /// the server when it spawns a kind's drain loop; idempotent so a restart
+    /// of the queue set reuses the existing section.
+    pub fn queue(&self, kind_name: &str) -> Arc<QueueMetrics> {
+        let mut queues = self.queues.lock().unwrap();
+        if let Some((_, metrics)) = queues.iter().find(|(name, _)| name == kind_name) {
+            return Arc::clone(metrics);
+        }
+        let metrics = Arc::new(QueueMetrics::default());
+        queues.push((kind_name.to_string(), Arc::clone(&metrics)));
+        metrics
+    }
+
+    /// Record one scored micro-batch of `size` texts (cross-queue aggregate;
+    /// the owning queue's [`QueueMetrics`] is recorded separately).
     pub fn record_batch(&self, size: usize) {
         if size == 0 {
             return;
         }
         self.texts_scored.fetch_add(size as u64, Ordering::Relaxed);
-        let mut histogram = self.batch_histogram.lock().unwrap();
-        if histogram.len() <= size {
-            histogram.resize(size + 1, 0);
-        }
-        histogram[size] += 1;
+        self.batches.record(size);
     }
 
     /// Record one request's end-to-end latency.
     pub fn record_latency_us(&self, micros: u64) {
-        let mut window = self.latencies_us.lock().unwrap();
-        if window.len() < LATENCY_WINDOW {
-            window.push(micros);
-        } else {
-            let slot = self.latency_cursor.fetch_add(1, Ordering::Relaxed) as usize;
-            window[slot % LATENCY_WINDOW] = micros;
-        }
+        self.request_latency.record(micros);
     }
 
-    /// The largest batch scored so far (0 before the first batch).
+    /// The largest batch scored so far across all queues (0 before the first
+    /// batch).
     pub fn max_batch_size(&self) -> usize {
-        let histogram = self.batch_histogram.lock().unwrap();
-        histogram.iter().rposition(|&count| count > 0).unwrap_or(0)
+        self.batches.max_size()
     }
 
     /// Total requests across all endpoints (including unroutable ones, so
@@ -144,27 +308,6 @@ impl ServeMetrics {
     }
 
     fn build_snapshot(&self, fit: Option<&FitStats>) -> JsonValue {
-        let histogram = self.batch_histogram.lock().unwrap().clone();
-        let batch_count: u64 = histogram.iter().sum();
-        let max_batch = histogram.iter().rposition(|&c| c > 0).unwrap_or(0);
-        let histogram_fields: Vec<(String, JsonValue)> = histogram
-            .iter()
-            .enumerate()
-            .filter(|(_, &count)| count > 0)
-            .map(|(size, &count)| (size.to_string(), JsonValue::Number(count as f64)))
-            .collect();
-
-        let mut latencies = self.latencies_us.lock().unwrap().clone();
-        latencies.sort_unstable();
-        let percentile = |q: f64| -> JsonValue {
-            if latencies.is_empty() {
-                return JsonValue::Null;
-            }
-            // Nearest-rank on the sorted window.
-            let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
-            JsonValue::Number(latencies[rank - 1] as f64)
-        };
-
         let mut registry_fields = vec![(
             "reloads_total",
             JsonValue::Number(self.reloads_total.load(Ordering::Relaxed) as f64),
@@ -177,6 +320,14 @@ impl ServeMetrics {
             registry_fields.push(("fit_shards", JsonValue::Number(fit.shards as f64)));
             registry_fields.push(("corpus_size", JsonValue::Number(fit.corpus_size as f64)));
         }
+
+        let queue_fields: Vec<(String, JsonValue)> = self
+            .queues
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, metrics)| (name.clone(), metrics.snapshot()))
+            .collect();
 
         JsonValue::object(vec![
             (
@@ -214,25 +365,16 @@ impl ServeMetrics {
                 ]),
             ),
             (
+                "keepalive_reuses_total",
+                JsonValue::Number(self.keepalive_reuses.load(Ordering::Relaxed) as f64),
+            ),
+            (
                 "texts_scored",
                 JsonValue::Number(self.texts_scored.load(Ordering::Relaxed) as f64),
             ),
-            (
-                "batches",
-                JsonValue::object(vec![
-                    ("count", JsonValue::Number(batch_count as f64)),
-                    ("max_size", JsonValue::Number(max_batch as f64)),
-                    ("histogram", JsonValue::Object(histogram_fields)),
-                ]),
-            ),
-            (
-                "latency_us",
-                JsonValue::object(vec![
-                    ("window", JsonValue::Number(latencies.len() as f64)),
-                    ("p50", percentile(0.50)),
-                    ("p99", percentile(0.99)),
-                ]),
-            ),
+            ("batches", self.batches.snapshot()),
+            ("latency_us", self.request_latency.snapshot()),
+            ("queues", JsonValue::Object(queue_fields)),
             ("registry", JsonValue::object(registry_fields)),
         ])
     }
@@ -311,6 +453,56 @@ mod tests {
         assert_eq!(requests.get("predict").unwrap().as_f64(), Some(2.0));
         assert_eq!(requests.get("reload").unwrap().as_f64(), Some(1.0));
         assert_eq!(requests.get("errors").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn keepalive_reuse_counter_round_trips() {
+        let metrics = ServeMetrics::new();
+        assert_eq!(metrics.keepalive_reuses_total(), 0);
+        metrics.record_keepalive_reuse();
+        metrics.record_keepalive_reuse();
+        assert_eq!(metrics.keepalive_reuses_total(), 2);
+        let snapshot = metrics.snapshot();
+        assert_eq!(
+            snapshot.get("keepalive_reuses_total").unwrap().as_f64(),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn queue_sections_track_depth_batches_and_latency() {
+        let metrics = ServeMetrics::new();
+        let lr = metrics.queue("LR");
+        let bert = metrics.queue("BERT");
+        // Idempotent registration returns the same section.
+        assert!(Arc::ptr_eq(&lr, &metrics.queue("LR")));
+
+        for _ in 0..5 {
+            lr.record_enqueued();
+        }
+        assert_eq!(lr.depth(), 5);
+        lr.record_batch(3, &[10, 20, 30]);
+        assert_eq!(lr.depth(), 2);
+        assert_eq!(lr.max_batch_size(), 3);
+        bert.record_enqueued();
+        bert.record_dropped(1);
+        assert_eq!(bert.depth(), 0);
+
+        let snapshot = metrics.snapshot();
+        let queues = snapshot.get("queues").unwrap();
+        let lr_section = queues.get("LR").unwrap();
+        assert_eq!(lr_section.get("depth").unwrap().as_f64(), Some(2.0));
+        assert_eq!(lr_section.get("texts_scored").unwrap().as_f64(), Some(3.0));
+        let lr_batches = lr_section.get("batches").unwrap();
+        assert_eq!(lr_batches.get("max_size").unwrap().as_f64(), Some(3.0));
+        let lr_latency = lr_section.get("job_latency_us").unwrap();
+        assert_eq!(lr_latency.get("p50").unwrap().as_f64(), Some(20.0));
+        let bert_section = queues.get("BERT").unwrap();
+        assert_eq!(bert_section.get("depth").unwrap().as_f64(), Some(0.0));
+        assert_eq!(
+            bert_section.get("job_latency_us").unwrap().get("p50"),
+            Some(&JsonValue::Null)
+        );
     }
 
     #[test]

@@ -1,13 +1,20 @@
-//! The warm-model registry: fitted baselines held in memory for the lifetime
+//! The warm-model registry: fitted scorers held in memory for the lifetime
 //! of the server, behind an atomically swappable handle.
 //!
-//! Fitting a baseline (vectoriser + classifier, or a transformer fine-tune) is
+//! Fitting a model (vectoriser + classifier, or a transformer fine-tune) is
 //! seconds-to-minutes of work; serving a request against a fitted model is
 //! microseconds-to-milliseconds. The registry pays the fitting cost up front —
 //! one crossbeam scoped thread per requested [`BaselineKind`], each classical
 //! fit itself sharded across its slice of the machine's
 //! [`ThreadBudget`](holistix::ml::ThreadBudget) — and hands out
-//! `Arc<FittedBaseline>` clones to the batcher and the `/explain` handlers.
+//! `Arc<dyn Scorer>` clones to the batch queues and the `/explain` handlers.
+//!
+//! Since the `Scorer` API redesign the registry is backend-agnostic: it stores
+//! [`Arc<dyn Scorer>`](Scorer), so a classical sparse pipeline, a
+//! transformer analogue and any future backend (or a test stub) serve behind
+//! the same lookup, and the per-kind batch queues size themselves from each
+//! scorer's [`cost_hint`](Scorer::cost_hint). Heterogeneous entries come in
+//! through [`ModelRegistry::from_scorers`].
 //!
 //! A registry is immutable once built; *replacement* is what [`SharedRegistry`]
 //! adds. `POST /reload` fits a fresh [`ModelRegistry`] off-thread and
@@ -16,7 +23,7 @@
 //! new work sees the new models, with no lock held across a fit or a score.
 
 use holistix::ml::{scoped_map, ThreadBudget};
-use holistix::{BaselineKind, FittedBaseline, SpeedProfile};
+use holistix::{fit_scorer, BaselineKind, Scorer, SpeedProfile};
 use holistix_corpus::HolistixCorpus;
 use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
@@ -66,12 +73,12 @@ impl FitStats {
     }
 }
 
-/// Warm fitted baselines, keyed by [`BaselineKind`]. Immutable once built;
-/// every model is behind an `Arc` so request handlers and the batcher share
-/// them without copies. Replacement happens one level up, in
-/// [`SharedRegistry`].
+/// Warm fitted scorers, keyed by [`BaselineKind`]. Immutable once built;
+/// every scorer is behind an `Arc<dyn Scorer>` so request handlers and the
+/// batch queues share them without copies — and without knowing the backend.
+/// Replacement happens one level up, in [`SharedRegistry`].
 pub struct ModelRegistry {
-    entries: Vec<(BaselineKind, Arc<FittedBaseline>)>,
+    entries: Vec<(BaselineKind, Arc<dyn Scorer>)>,
     profile: SpeedProfile,
     seed: u64,
     stats: FitStats,
@@ -104,8 +111,11 @@ impl ModelRegistry {
     /// Fit the given baselines on explicit training data, one scoped thread
     /// per kind (the same fan-out pattern the cross-validation driver uses for
     /// folds), with each classical kind's vectoriser fit sharded across its
-    /// slice of `budget` (`kinds × shards ≤ budget.threads`). Panics if
-    /// `kinds` is empty — a server with no models cannot answer anything.
+    /// slice of `budget` (`kinds × shards ≤ budget.threads`). Every kind goes
+    /// through [`fit_scorer`], so classical kinds come back as sparse
+    /// [`FittedBaseline`](holistix::FittedBaseline)s and transformer kinds as
+    /// [`TransformerScorer`](holistix::TransformerScorer)s. Panics if `kinds`
+    /// is empty — a server with no models cannot answer anything.
     pub fn fit_budgeted(
         kinds: &[BaselineKind],
         profile: SpeedProfile,
@@ -118,12 +128,7 @@ impl ModelRegistry {
         let shards = budget.shards_per_fold(kinds.len());
         let started = Instant::now();
         let entries = scoped_map(kinds, |&kind| {
-            (
-                kind,
-                Arc::new(FittedBaseline::fit_with_threads(
-                    kind, profile, texts, labels, seed, shards,
-                )),
-            )
+            (kind, fit_scorer(kind, profile, texts, labels, seed, shards))
         });
         Self {
             entries,
@@ -159,10 +164,22 @@ impl ModelRegistry {
         )
     }
 
-    /// A registry around already-fitted models (used by tests that need to
-    /// compare server responses against direct model calls).
-    pub fn from_fitted(entries: Vec<(BaselineKind, Arc<FittedBaseline>)>) -> Self {
-        assert!(!entries.is_empty(), "registry needs at least one baseline");
+    /// A registry around already-fitted scorers, keyed by each scorer's own
+    /// [`kind`](Scorer::kind). The heterogeneity entry point: mix classical
+    /// baselines, transformer scorers and test stubs in one registry (the
+    /// slow-scorer isolation test registers a deliberately slow stub next to
+    /// LR this way). Panics on an empty list or on duplicate kinds.
+    pub fn from_scorers(scorers: Vec<Arc<dyn Scorer>>) -> Self {
+        assert!(!scorers.is_empty(), "registry needs at least one scorer");
+        let entries: Vec<(BaselineKind, Arc<dyn Scorer>)> =
+            scorers.into_iter().map(|s| (s.kind(), s)).collect();
+        for (i, (kind, _)) in entries.iter().enumerate() {
+            assert!(
+                entries[..i].iter().all(|(k, _)| k != kind),
+                "duplicate scorer for kind {:?}",
+                kind.name()
+            );
+        }
         Self {
             entries,
             profile: SpeedProfile::Fast,
@@ -172,7 +189,7 @@ impl ModelRegistry {
     }
 
     /// Statistics of the fit that produced this registry (zeroed for
-    /// [`Self::from_fitted`]).
+    /// [`Self::from_scorers`]).
     pub fn fit_stats(&self) -> FitStats {
         self.stats
     }
@@ -182,8 +199,8 @@ impl ModelRegistry {
         self.profile
     }
 
-    /// The warm model for a kind, if registered.
-    pub fn get(&self, kind: BaselineKind) -> Option<Arc<FittedBaseline>> {
+    /// The warm scorer for a kind, if registered.
+    pub fn get(&self, kind: BaselineKind) -> Option<Arc<dyn Scorer>> {
         self.entries
             .iter()
             .find(|(k, _)| *k == kind)
@@ -195,18 +212,21 @@ impl ModelRegistry {
         self.entries.iter().map(|(k, _)| *k).collect()
     }
 
+    /// `(kind, scorer)` pairs in registration order — what the server iterates
+    /// to spawn one batch queue per registered scorer.
+    pub fn scorers(&self) -> impl Iterator<Item = (BaselineKind, &Arc<dyn Scorer>)> {
+        self.entries.iter().map(|(k, s)| (*k, s))
+    }
+
     /// The default model: the first registered one.
     pub fn default_kind(&self) -> BaselineKind {
         self.entries[0].0
     }
 
-    /// Resolve a request's optional `model` field to a warm model. `None`
+    /// Resolve a request's optional `model` field to a warm scorer. `None`
     /// selects the default; unknown names and unregistered kinds are errors
     /// that list what is available.
-    pub fn resolve(
-        &self,
-        name: Option<&str>,
-    ) -> Result<(BaselineKind, Arc<FittedBaseline>), String> {
+    pub fn resolve(&self, name: Option<&str>) -> Result<(BaselineKind, Arc<dyn Scorer>), String> {
         let kind = match name {
             None => self.default_kind(),
             Some(name) => parse_kind(name).ok_or_else(|| {
@@ -392,6 +412,48 @@ mod tests {
         assert!(!Arc::ptr_eq(&before, &after));
         // Clones of the handle observe the same current registry.
         assert!(Arc::ptr_eq(&shared.clone().current(), &after));
+    }
+
+    #[test]
+    fn from_scorers_keys_by_scorer_kind() {
+        use holistix::FittedBaseline;
+        let corpus = HolistixCorpus::generate_small(90, 11);
+        let texts = corpus.texts();
+        let labels = corpus.label_indices();
+        let lr = Arc::new(FittedBaseline::fit(
+            BaselineKind::LogisticRegression,
+            SpeedProfile::Tiny,
+            &texts,
+            &labels,
+            11,
+        ));
+        let registry = ModelRegistry::from_scorers(vec![lr.clone() as Arc<dyn Scorer>]);
+        assert_eq!(registry.kinds(), vec![BaselineKind::LogisticRegression]);
+        assert_eq!(registry.fit_stats(), FitStats::none());
+        let served = registry.get(BaselineKind::LogisticRegression).unwrap();
+        assert_eq!(
+            served.probabilities_one(texts[0]),
+            lr.probabilities_one(texts[0])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate scorer")]
+    fn from_scorers_rejects_duplicate_kinds() {
+        use holistix::FittedBaseline;
+        let corpus = HolistixCorpus::generate_small(60, 13);
+        let texts = corpus.texts();
+        let labels = corpus.label_indices();
+        let fit = || -> Arc<dyn Scorer> {
+            Arc::new(FittedBaseline::fit(
+                BaselineKind::GaussianNb,
+                SpeedProfile::Tiny,
+                &texts,
+                &labels,
+                13,
+            ))
+        };
+        let _ = ModelRegistry::from_scorers(vec![fit(), fit()]);
     }
 
     #[test]

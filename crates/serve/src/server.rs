@@ -1,4 +1,5 @@
-//! The HTTP server: accept loop, fixed worker pool, request routing.
+//! The HTTP server: accept loop, fixed worker pool, keep-alive connections,
+//! request routing.
 //!
 //! Thread model (all scoped threads in the crossbeam-shim style the rest of
 //! the workspace uses):
@@ -6,34 +7,41 @@
 //! * the **accept thread** (the server's own thread) pushes accepted
 //!   connections onto an `mpsc` channel;
 //! * a **fixed pool** of [`ServeConfig::workers`] worker threads pops
-//!   connections, parses one request each, and answers it — `/predict`
-//!   blocks on the micro-batcher, `/explain` runs LIME against the warm
-//!   model directly (its perturbation set already flows through the batched
-//!   `predict_proba` path in [`LimeConfig::batch_size`]-sized chunks);
-//! * one **batcher thread** ([`crate::batcher`]) coalesces texts across
-//!   concurrent requests and scores them in single batched calls.
+//!   connections and serves each one *for its whole keep-alive session*: up
+//!   to [`KeepAliveConfig::max_requests`] requests per connection, closing
+//!   after [`KeepAliveConfig::idle_timeout`] of silence or on
+//!   `Connection: close` — `/predict` blocks on the model's batch queue,
+//!   `/explain` runs LIME against the warm scorer directly (its perturbation
+//!   set already flows through the batched `predict_proba` path in
+//!   [`LimeConfig::batch_size`]-sized chunks);
+//! * **one batch-queue thread per registered scorer** ([`crate::batcher`])
+//!   coalesces that kind's texts across concurrent requests and scores them
+//!   in single batched calls — a slow transformer batch never delays a
+//!   classical one.
 //!
 //! Shutdown: [`ServerHandle::shutdown`] flips the running flag and pokes the
 //! listener with a loopback connection; the accept loop exits, the connection
-//! channel closes, the workers drain and exit, their job senders drop, and the
-//! batcher exits — the scope then joins everything.
+//! channel closes, the workers finish their current keep-alive sessions (the
+//! running flag stops further requests on them) and exit, their job senders
+//! drop, and every batch queue drains and exits — the scope then joins
+//! everything.
 
-use crate::batcher::{run_batcher, BatchConfig, BatcherHandle, Job};
+use crate::batcher::{build_queues, BatchConfig, BatcherHandle};
 use crate::http::{read_request, write_response, Request, Response};
 use crate::metrics::{Endpoint, ServeMetrics};
 use crate::registry::{ModelRegistry, SharedRegistry};
 use holistix::corpus::WellnessDimension;
 use holistix::linalg::argmax;
 use holistix::ml::ThreadBudget;
+use holistix::Scorer;
 use holistix_corpus::json::JsonValue;
 use holistix_explain::{LimeConfig, LimeExplainer};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Most posts one `/reload` corpus may carry. Defense in depth: the 1 MiB
 /// request-body cap in `http.rs` already rejects any corpus this large (a
@@ -52,25 +60,53 @@ pub const MAX_TEXTS_PER_REQUEST: usize = 256;
 /// of distinct words.
 pub const MAX_EXPLAIN_FEATURES: usize = 512;
 
-/// Per-connection socket read/write timeout. An idle or trickling client can
-/// pin a worker for at most this long (and shutdown joins within it).
-const IO_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+/// Per-connection socket write timeout (reads use
+/// [`KeepAliveConfig::idle_timeout`]). A client that stops draining its
+/// responses can pin a worker for at most this long.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Thread budget for a `/reload` refit: half the machine (at least one), so
-/// the background fit leaves cores for the worker pool and the batcher that
-/// are serving live traffic off the old registry.
+/// the background fit leaves cores for the worker pool and the batch queues
+/// that are serving live traffic off the old registry.
 fn reload_fit_threads() -> usize {
     (ThreadBudget::machine().threads / 2).max(1)
+}
+
+/// Keep-alive policy for one connection.
+#[derive(Debug, Clone)]
+pub struct KeepAliveConfig {
+    /// Most requests one connection may carry before the server closes it
+    /// (announced via `Connection: close` on the final response). Bounds how
+    /// long one client can monopolise a pool worker.
+    pub max_requests: usize,
+    /// How long a connection may sit idle between requests before the server
+    /// closes it. Also bounds how long a shutdown waits on an idle client.
+    pub idle_timeout: Duration,
+}
+
+impl Default for KeepAliveConfig {
+    fn default() -> Self {
+        Self {
+            max_requests: 1000,
+            idle_timeout: Duration::from_secs(5),
+        }
+    }
 }
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Fixed worker-pool size. Each worker handles one connection at a time,
-    /// so this is also the request concurrency ceiling.
+    /// Fixed worker-pool size. Each worker serves one connection at a time
+    /// (for its whole keep-alive session), so this is also the concurrent
+    /// connection ceiling.
     pub workers: usize,
-    /// Micro-batching knobs.
+    /// Base micro-batching knobs. Each registered scorer's queue derives its
+    /// own window from this and the scorer's
+    /// [`cost_hint`](holistix::Scorer::cost_hint)
+    /// (see [`BatchConfig::sized_for`]).
     pub batch: BatchConfig,
+    /// Connection keep-alive policy.
+    pub keep_alive: KeepAliveConfig,
     /// LIME defaults for `/explain` (per-request `top_k` / `n_samples`
     /// overrides apply on top; `batch_size` controls how perturbation sets
     /// chunk through the batched scoring path).
@@ -82,6 +118,7 @@ impl Default for ServeConfig {
         Self {
             workers: 8,
             batch: BatchConfig::default(),
+            keep_alive: KeepAliveConfig::default(),
             lime: LimeConfig::default(),
         }
     }
@@ -128,7 +165,7 @@ impl Drop for ServerHandle {
 }
 
 /// Bind `addr` (use port 0 for an ephemeral port) and start serving the
-/// registry's warm models. Returns once the listener is bound — fitting has
+/// registry's warm scorers. Returns once the listener is bound — fitting has
 /// already happened in [`ModelRegistry`] construction, so the server answers
 /// from its first request.
 pub fn serve(
@@ -159,8 +196,10 @@ struct RequestContext<'a> {
     registry: &'a SharedRegistry,
     batcher: BatcherHandle,
     lime: &'a LimeConfig,
+    keep_alive: &'a KeepAliveConfig,
     metrics: &'a Arc<ServeMetrics>,
     reloading: &'a Arc<AtomicBool>,
+    running: &'a AtomicBool,
 }
 
 fn serve_loop(
@@ -170,7 +209,6 @@ fn serve_loop(
     running: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
 ) {
-    let (job_sender, job_receiver) = mpsc::channel::<Job>();
     // Bounded connection queue: each queued TcpStream holds an open file
     // descriptor, so an unbounded queue would let a connection burst exhaust
     // the fd limit. When the queue is full the accept thread blocks on send,
@@ -178,26 +216,34 @@ fn serve_loop(
     let (conn_sender, conn_receiver) = mpsc::sync_channel::<TcpStream>(config.workers.max(1) * 32);
     let conn_receiver = Mutex::new(conn_receiver);
     let reloading = Arc::new(AtomicBool::new(false));
+    // One batch queue per scorer registered at startup. `/reload` refits keep
+    // the kind set, so the queue set never needs to change at runtime.
+    let (batcher, queues) = build_queues(&registry, &config.batch, &metrics);
 
     let registry = &registry;
-    let batch_config = &config.batch;
+    let keep_alive = &config.keep_alive;
     let lime_config = &config.lime;
     let metrics = &metrics;
     let conn_receiver = &conn_receiver;
     let reloading = &reloading;
+    let running = &running;
 
     crossbeam::thread::scope(|scope| {
-        scope.spawn(move |_| run_batcher(job_receiver, registry, batch_config, metrics.as_ref()));
+        for queue in queues {
+            scope.spawn(move |_| queue.run(registry, metrics));
+        }
 
         for _ in 0..config.workers.max(1) {
-            let batcher = BatcherHandle::new(job_sender.clone());
+            let batcher = batcher.clone();
             scope.spawn(move |_| {
                 let context = RequestContext {
                     registry,
                     batcher,
                     lime: lime_config,
+                    keep_alive,
                     metrics,
                     reloading,
+                    running,
                 };
                 loop {
                     // Take the lock only to pop; handling runs unlocked so the
@@ -210,9 +256,9 @@ fn serve_loop(
                 }
             });
         }
-        // The workers hold clones; drop the original so the pool's exit (below)
-        // is what disconnects the batcher.
-        drop(job_sender);
+        // The workers hold clones; drop the original so the pool's exit
+        // (below) is what disconnects the batch queues.
+        drop(batcher);
 
         for stream in listener.incoming() {
             if !running.load(Ordering::SeqCst) {
@@ -226,7 +272,7 @@ fn serve_loop(
                 }
                 // Transient accept failures (EMFILE, aborted handshakes):
                 // back off briefly instead of busy-spinning on the error.
-                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
             }
         }
         drop(conn_sender);
@@ -234,26 +280,65 @@ fn serve_loop(
     .expect("server thread scope failed");
 }
 
+/// Serve one connection for its whole keep-alive session: up to
+/// `max_requests` request/response round-trips, ending on `Connection: close`,
+/// clean client EOF, idle timeout, a malformed request, or server shutdown.
 fn handle_connection(stream: TcpStream, context: &RequestContext<'_>) {
-    let started = Instant::now();
-    // Bound how long a silent or trickling client can hold this worker.
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    // The read timeout doubles as the keep-alive idle timeout: it bounds both
+    // a trickling request and the silence between requests.
+    let _ = stream.set_read_timeout(Some(context.keep_alive.idle_timeout));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
     let mut reader = BufReader::new(&stream);
-    let response = match read_request(&mut reader) {
-        Ok(request) => route(&request, context),
-        Err(e) => {
-            context.metrics.record_request(Endpoint::Other);
-            Response::error(400, &format!("malformed request: {e}"))
+    let max_requests = context.keep_alive.max_requests.max(1);
+    let mut served = 0usize;
+    while served < max_requests {
+        let request = match read_request(&mut reader) {
+            // Clean client close between requests: the normal end of a session.
+            Ok(None) => break,
+            // Idle timeout (WouldBlock on Unix, TimedOut elsewhere): close
+            // quietly — silence is not a protocol error.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break
+            }
+            Ok(Some(request)) => Ok(request),
+            Err(e) => Err(e),
+        };
+        let started = Instant::now();
+        served += 1;
+        if served > 1 {
+            context.metrics.record_keepalive_reuse();
         }
-    };
-    if response.status >= 400 {
-        context.metrics.record_error();
+        // Whether the *server* wants to keep going after this response.
+        let mut keep = served < max_requests && context.running.load(Ordering::SeqCst);
+        let response = match &request {
+            Ok(request) => {
+                keep &= !request.close;
+                route(request, context)
+            }
+            Err(e) => {
+                // A malformed request desynchronises the framing; answer 400
+                // and close rather than guess where the next request starts.
+                keep = false;
+                context.metrics.record_request(Endpoint::Other);
+                Response::error(400, &format!("malformed request: {e}"))
+            }
+        };
+        if response.status >= 400 {
+            context.metrics.record_error();
+        }
+        let write_failed = write_response(&mut (&stream), &response, keep).is_err();
+        context
+            .metrics
+            .record_latency_us(started.elapsed().as_micros() as u64);
+        if !keep || write_failed {
+            break;
+        }
     }
-    let _ = write_response(&mut (&stream), &response);
-    context
-        .metrics
-        .record_latency_us(started.elapsed().as_micros() as u64);
 }
 
 fn route(request: &Request, context: &RequestContext<'_>) -> Response {
@@ -317,8 +402,9 @@ fn handle_healthz(context: &RequestContext<'_>) -> Response {
 }
 
 /// `POST /predict`: `{"texts": ["…", …]}` (or `{"text": "…"}`), optional
-/// `"model"`. Every text goes through the micro-batcher, so concurrent
-/// requests share scoring batches.
+/// `"model"`. Every text goes through its model's batch queue, so concurrent
+/// requests for the same kind share scoring batches — and requests for
+/// different kinds never wait on each other.
 fn handle_predict(body: &str, context: &RequestContext<'_>) -> Response {
     let document = match JsonValue::parse(body) {
         Ok(v) => v,
@@ -386,9 +472,9 @@ fn handle_predict(body: &str, context: &RequestContext<'_>) -> Response {
 }
 
 /// `POST /explain`: `{"text": "…"}`, optional `"model"`, `"top_k"`,
-/// `"n_samples"`. Runs LIME against the warm model; the perturbation set is
-/// scored through the batched `predict_proba` path in
-/// [`LimeConfig::batch_size`] chunks.
+/// `"n_samples"`. Runs LIME against the warm scorer (any backend — the
+/// explainer sees only `dyn Scorer`); the perturbation set is scored through
+/// the batched `predict_proba` path in [`LimeConfig::batch_size`] chunks.
 fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
     let document = match JsonValue::parse(body) {
         Ok(v) => v,
@@ -410,7 +496,7 @@ fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
             ),
         );
     }
-    // Pin the model Arc now: if a reload swaps the registry mid-explanation,
+    // Pin the scorer Arc now: if a reload swaps the registry mid-explanation,
     // this request still finishes on the model it started with.
     let (kind, model) = match context
         .registry
@@ -429,7 +515,8 @@ fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
         lime.top_k = top_k.clamp(1, 50);
     }
     let top_k = lime.top_k;
-    let explanation = LimeExplainer::new(lime).explain(&*model, text, None);
+    let model: &dyn Scorer = &*model;
+    let explanation = LimeExplainer::new(lime).explain(model, text, None);
 
     let tokens: Vec<JsonValue> = explanation
         .token_weights
@@ -465,13 +552,13 @@ fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
 
 /// `POST /reload`: the body is a JSONL corpus in the `corpus::io` schema. The
 /// worker thread only parses and validates; the fit of the fresh registry runs
-/// on its own dedicated thread — never on an HTTP worker or the batcher — and
-/// the new registry is atomically swapped in when ready, so `/predict` keeps
-/// answering (from the old models) for the whole duration. Responds `202` with
-/// the accepted post count, `400` on a malformed or empty corpus, `409` if a
-/// reload is already in flight. Completion is observable in `GET /metrics`
-/// (`registry.reloads_total`, `registry.corpus_size`) and `GET /healthz`
-/// (`reloading`).
+/// on its own dedicated thread — never on an HTTP worker or a batch queue —
+/// and the new registry is atomically swapped in when ready, so `/predict`
+/// keeps answering (from the old models) for the whole duration. Responds
+/// `202` with the accepted post count, `400` on a malformed or empty corpus,
+/// `409` if a reload is already in flight. Completion is observable in
+/// `GET /metrics` (`registry.reloads_total`, `registry.corpus_size`) and
+/// `GET /healthz` (`reloading`).
 fn handle_reload(body: &str, context: &RequestContext<'_>) -> Response {
     let posts = match holistix_corpus::io::from_jsonl(body) {
         Ok(posts) => posts,
@@ -506,7 +593,7 @@ fn handle_reload(body: &str, context: &RequestContext<'_>) -> Response {
         let texts: Vec<&str> = posts.iter().map(|p| p.post.text.as_str()).collect();
         let labels: Vec<usize> = posts.iter().map(|p| p.label.index()).collect();
         // Half the machine: the fit must not starve the worker pool and the
-        // batcher, which are serving live traffic off the old registry.
+        // batch queues, which are serving live traffic off the old registry.
         let fresh = shared.current().refit_budgeted(
             &texts,
             &labels,
@@ -528,10 +615,9 @@ fn handle_reload(body: &str, context: &RequestContext<'_>) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::http::http_request;
+    use crate::http::{http_request, HttpClient};
     use crate::registry::RegistryConfig;
     use holistix::{BaselineKind, SpeedProfile};
-    use std::time::Duration;
 
     fn tiny_server() -> ServerHandle {
         let registry = ModelRegistry::fit_synthetic(&RegistryConfig {
@@ -550,6 +636,7 @@ mod tests {
                 n_samples: 40,
                 ..LimeConfig::default()
             },
+            ..ServeConfig::default()
         };
         serve("127.0.0.1:0", registry, config).expect("bind loopback")
     }
@@ -602,7 +689,99 @@ mod tests {
         assert_eq!(requests.get("predict").unwrap().as_f64(), Some(1.0));
         assert_eq!(requests.get("explain").unwrap().as_f64(), Some(1.0));
         assert!(metrics.get("texts_scored").unwrap().as_f64().unwrap() >= 2.0);
+        // The per-kind queue section exists for the one registered scorer.
+        let queues = metrics.get("queues").unwrap();
+        let lr = queues.get("LR").unwrap();
+        assert_eq!(lr.get("depth").unwrap().as_f64(), Some(0.0));
+        assert!(lr.get("texts_scored").unwrap().as_f64().unwrap() >= 2.0);
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_connection_serves_multiple_requests() {
+        let server = tiny_server();
+        let addr = server.addr();
+
+        let mut client = HttpClient::connect(addr).expect("connect");
+        for round in 0..3 {
+            let (status, body) = client.request("GET", "/healthz", None).unwrap();
+            assert_eq!(status, 200, "round {round}: {body}");
+        }
+        let (status, body) = client
+            .request("POST", "/predict", Some(r#"{"text":"i feel alone"}"#))
+            .unwrap();
+        assert_eq!(status, 200, "{body}");
+        drop(client);
+
+        // 4 requests over one connection: 3 of them reused it.
+        assert_eq!(server.metrics().keepalive_reuses_total(), 3);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_honors_connection_close_and_request_cap() {
+        let registry = ModelRegistry::fit_synthetic(&RegistryConfig {
+            kinds: vec![BaselineKind::LogisticRegression],
+            profile: SpeedProfile::Tiny,
+            training_posts: 90,
+            seed: 3,
+        });
+        let config = ServeConfig {
+            workers: 2,
+            keep_alive: KeepAliveConfig {
+                max_requests: 2,
+                idle_timeout: Duration::from_secs(5),
+            },
+            ..ServeConfig::default()
+        };
+        let server = serve("127.0.0.1:0", registry, config).expect("bind loopback");
+        let addr = server.addr();
+
+        // The one-shot client sends Connection: close; the server must not
+        // hold the socket open afterwards (http_request reads to completion).
+        let (status, _) = http_request(addr, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+
+        // A keep-alive client is cut off after max_requests: the 2nd response
+        // announces Connection: close, so the 3rd request fails client-side.
+        let mut client = HttpClient::connect(addr).expect("connect");
+        assert_eq!(client.request("GET", "/healthz", None).unwrap().0, 200);
+        assert_eq!(client.request("GET", "/healthz", None).unwrap().0, 200);
+        let err = client.request("GET", "/healthz", None).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotConnected, "{err}");
+        drop(client);
+
+        assert_eq!(server.metrics().keepalive_reuses_total(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_closed_after_the_timeout() {
+        let registry = ModelRegistry::fit_synthetic(&RegistryConfig {
+            kinds: vec![BaselineKind::LogisticRegression],
+            profile: SpeedProfile::Tiny,
+            training_posts: 90,
+            seed: 3,
+        });
+        let config = ServeConfig {
+            workers: 2,
+            keep_alive: KeepAliveConfig {
+                max_requests: 100,
+                idle_timeout: Duration::from_millis(100),
+            },
+            ..ServeConfig::default()
+        };
+        let server = serve("127.0.0.1:0", registry, config).expect("bind loopback");
+        let addr = server.addr();
+
+        let mut client = HttpClient::connect(addr).expect("connect");
+        assert_eq!(client.request("GET", "/healthz", None).unwrap().0, 200);
+        // Sit idle past the timeout; the server closes, so the next round
+        // trip fails (broken pipe on write or EOF on read).
+        std::thread::sleep(Duration::from_millis(400));
+        assert!(client.request("GET", "/healthz", None).is_err());
+        drop(client);
         server.shutdown();
     }
 

@@ -194,6 +194,18 @@ impl Trainer {
             .expect("Trainer::predict_proba called before fit");
         model.predict_proba_text(text)
     }
+
+    /// Class-probability vectors for a batch of texts, one row per text.
+    /// The batch entry point the serving layer's `Scorer` seam calls; each row
+    /// equals [`predict_proba`](Self::predict_proba) on that text exactly
+    /// (inference is row-independent). Panics if `fit` has not run.
+    pub fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        let model = self
+            .model
+            .as_ref()
+            .expect("Trainer::predict_proba_batch called before fit");
+        texts.iter().map(|t| model.predict_proba_text(t)).collect()
+    }
 }
 
 #[cfg(test)]

@@ -4,18 +4,19 @@
 //!
 //! ```bash
 //! cargo run --release --example serve_demo            # load generator + metrics report
-//! cargo run --release --example serve_demo -- --smoke # CI smoke: healthz + one predict
+//! cargo run --release --example serve_demo -- --smoke # CI smoke: keep-alive + predict + /reload
 //! ```
 //!
 //! The default mode fits a registry, starts the server on an ephemeral
-//! loopback port, fans out concurrent clients (each posting batches of texts
-//! drawn from a held-out synthetic corpus), and prints the `/metrics`
-//! document — the batch-size histogram shows cross-request micro-batching
-//! doing its job.
+//! loopback port, fans out concurrent clients — each holding **one
+//! keep-alive connection** for its whole request stream — and prints the
+//! `/metrics` document: the batch-size histogram shows cross-request
+//! micro-batching doing its job and `keepalive_reuses_total` shows the
+//! connection reuse.
 
 use holistix::prelude::*;
 use holistix_serve::{
-    http_request, serve, BatchConfig, ModelRegistry, RegistryConfig, ServeConfig,
+    http_request, serve, BatchConfig, HttpClient, ModelRegistry, RegistryConfig, ServeConfig,
 };
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -69,11 +70,36 @@ fn main() {
 
     if smoke {
         let body = r#"{"texts":["i feel alone and cut off from everyone"]}"#;
-        let predict = request_ok(addr, "POST", "/predict", Some(body));
+
+        // Keep-alive round-trip: ≥2 requests over ONE persistent connection,
+        // then assert the server counted the reuse — proof the connection was
+        // actually held open, not silently reopened per request.
+        let mut client = match HttpClient::connect(addr) {
+            Ok(client) => client,
+            Err(e) => fail(&format!("keep-alive connect failed: {e}")),
+        };
+        let mut predict = String::new();
+        for round in 0..3 {
+            match client.request("POST", "/predict", Some(body)) {
+                Ok((200, response)) => predict = response,
+                Ok((status, response)) => fail(&format!(
+                    "keep-alive predict {round} -> {status}: {response}"
+                )),
+                Err(e) => fail(&format!("keep-alive predict {round} failed: {e}")),
+            }
+        }
+        drop(client);
         println!("predict: {predict}");
         if !predict.contains("probabilities") {
             fail("predict response carries no probabilities");
         }
+        let reuses = server.metrics().keepalive_reuses_total();
+        if reuses < 2 {
+            fail(&format!(
+                "3 requests over one connection produced only {reuses} keep-alive reuses"
+            ));
+        }
+        println!("keep-alive ok ({reuses} reuses over one connection)");
 
         // /reload round-trip: upload a fresh JSONL corpus, confirm 202, keep
         // predicting while the off-thread fit runs, wait for the atomic swap.
@@ -116,33 +142,48 @@ fn main() {
         return;
     }
 
-    // Load generator: concurrent clients posting held-out texts.
+    // Load generator: concurrent clients posting held-out texts, each over
+    // one persistent keep-alive connection.
     const CLIENTS: usize = 6;
     const REQUESTS_PER_CLIENT: usize = 25;
     let corpus = HolistixCorpus::generate_small(200, 7);
     let pool: Vec<String> = corpus.texts().iter().map(|t| t.to_string()).collect();
 
-    println!("driving {CLIENTS} clients × {REQUESTS_PER_CLIENT} requests…");
+    println!("driving {CLIENTS} keep-alive clients × {REQUESTS_PER_CLIENT} requests…");
     crossbeam::thread::scope(|scope| {
-        for client in 0..CLIENTS {
+        for client_id in 0..CLIENTS {
             let pool = &pool;
             scope.spawn(move |_| {
+                let mut client = match HttpClient::connect(addr) {
+                    Ok(client) => client,
+                    Err(e) => fail(&format!("client {client_id} connect failed: {e}")),
+                };
                 for i in 0..REQUESTS_PER_CLIENT {
                     // Mix single- and multi-text requests across both models.
-                    let n_texts = 1 + (client + i) % 3;
-                    let start = (client * REQUESTS_PER_CLIENT + i * 3) % (pool.len() - n_texts);
+                    let n_texts = 1 + (client_id + i) % 3;
+                    let start = (client_id * REQUESTS_PER_CLIENT + i * 3) % (pool.len() - n_texts);
                     let texts: Vec<String> = pool[start..start + n_texts]
                         .iter()
                         .map(|t| holistix::corpus::json::json_escape(t))
                         .collect();
                     let model = if i % 4 == 0 { "Gaussian NB" } else { "LR" };
                     let body = format!("{{\"texts\":[{}],\"model\":\"{model}\"}}", texts.join(","));
-                    let _ = request_ok(addr, "POST", "/predict", Some(&body));
+                    match client.request("POST", "/predict", Some(&body)) {
+                        Ok((200, _)) => {}
+                        Ok((status, response)) => {
+                            fail(&format!("POST /predict -> {status}: {response}"))
+                        }
+                        Err(e) => fail(&format!("POST /predict failed: {e}")),
+                    }
                 }
             });
         }
     })
     .expect("load generator scope failed");
+    println!(
+        "keep-alive reuses: {}",
+        server.metrics().keepalive_reuses_total()
+    );
 
     let explain = request_ok(
         addr,

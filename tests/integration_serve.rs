@@ -10,16 +10,16 @@
 //! what makes the bitwise comparison across the HTTP boundary possible.
 
 use holistix::corpus::JsonValue;
-use holistix::{BaselineKind, FittedBaseline, SpeedProfile};
+use holistix::{BaselineKind, FittedBaseline, Scorer, SpeedProfile};
 use holistix_corpus::HolistixCorpus;
 use holistix_serve::{
-    http_request, serve, BatchConfig, ModelRegistry, RegistryConfig, ServeConfig,
+    http_request, serve, BatchConfig, HttpClient, ModelRegistry, RegistryConfig, ServeConfig,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
-fn start_server() -> (holistix_serve::ServerHandle, Arc<FittedBaseline>) {
+fn start_server() -> (holistix_serve::ServerHandle, Arc<dyn Scorer>) {
     let registry = ModelRegistry::fit_synthetic(&RegistryConfig {
         kinds: vec![BaselineKind::LogisticRegression],
         profile: SpeedProfile::Tiny,
@@ -236,6 +236,186 @@ fn predict_keeps_answering_during_a_slow_reload() {
     println!(
         "predicts answered during reload: {}/6",
         during_reload.load(Ordering::SeqCst)
+    );
+    server.shutdown();
+}
+
+/// The keep-alive bar: one TCP connection carries many requests, the server's
+/// reuse counter proves no reconnects happened, and every answer over the
+/// persistent connection stays bit-identical to direct scoring — connection
+/// reuse, like batching, changes latency, never answers.
+#[test]
+fn keep_alive_session_reuses_one_connection_bitwise() {
+    let (server, model) = start_server();
+    let addr = server.addr();
+
+    let corpus = HolistixCorpus::generate_small(30, 41);
+    let texts: Vec<&str> = corpus.texts().iter().take(5).copied().collect();
+
+    let mut client = HttpClient::connect(addr).expect("connect");
+    for text in &texts {
+        let body = format!("{{\"text\":{}}}", holistix::corpus::json::json_escape(text));
+        let (status, response) = client
+            .request("POST", "/predict", Some(&body))
+            .expect("keep-alive predict");
+        assert_eq!(status, 200, "{response}");
+        let document = JsonValue::parse(&response).unwrap();
+        let results = document.get("results").unwrap().as_array().unwrap();
+        let got: Vec<f64> = results[0]
+            .get("probabilities")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|p| p.as_f64().unwrap())
+            .collect();
+        let want = model.probabilities_one(text);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.to_bits(), "row for {text:?} diverged");
+        }
+    }
+    // /metrics over the same connection: 5 predicts + this = 5 reuses.
+    let (status, body) = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let metrics = JsonValue::parse(&body).unwrap();
+    let reuses = metrics
+        .get("keepalive_reuses_total")
+        .unwrap()
+        .as_usize()
+        .unwrap();
+    assert_eq!(reuses, texts.len(), "expected every follow-up to reuse");
+    drop(client);
+    server.shutdown();
+}
+
+/// A deliberately slow scorer that blocks inside `probabilities` until the
+/// test releases it (with a hard deadline so a failing test cannot wedge the
+/// server's queue thread forever). Registered as the BERT analogue.
+struct GatedScorer {
+    started: Arc<AtomicBool>,
+    release: Arc<AtomicBool>,
+}
+
+impl Scorer for GatedScorer {
+    fn probabilities(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        self.started.store(true, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while !self.release.load(Ordering::SeqCst) && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        texts
+            .iter()
+            .map(|_| vec![0.5, 0.1, 0.1, 0.1, 0.1, 0.1])
+            .collect()
+    }
+
+    fn kind(&self) -> BaselineKind {
+        BaselineKind::Transformer(holistix::transformer::ModelKind::Bert)
+    }
+
+    fn cost_hint(&self) -> Duration {
+        Duration::from_millis(50)
+    }
+}
+
+/// The per-kind queue isolation bar: with the slow (transformer) queue
+/// *provably in the middle of scoring a batch*, classical `/predict` requests
+/// must keep completing with bit-identical answers. Under the old
+/// single-batcher design every one of these requests would sit behind the
+/// blocked `probabilities` call; with per-kind queues the classical drain
+/// loop never sees the slow batch. Deterministic — the slow scorer is gated
+/// on a flag, not a sleep, so no timing assumptions.
+#[test]
+fn classical_predicts_complete_while_slow_scorer_batch_is_in_flight() {
+    let corpus = HolistixCorpus::generate_small(120, 13);
+    let texts = corpus.texts();
+    let labels = corpus.label_indices();
+    let lr = Arc::new(FittedBaseline::fit(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Tiny,
+        &texts,
+        &labels,
+        13,
+    ));
+    let started = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicBool::new(false));
+    let registry = ModelRegistry::from_scorers(vec![
+        lr.clone() as Arc<dyn Scorer>,
+        Arc::new(GatedScorer {
+            started: Arc::clone(&started),
+            release: Arc::clone(&release),
+        }),
+    ]);
+    let server = serve(
+        "127.0.0.1:0",
+        registry,
+        ServeConfig {
+            workers: 4,
+            batch: BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+
+    let slow_done = Arc::new(AtomicBool::new(false));
+    crossbeam::thread::scope(|scope| {
+        let slow_done_flag = Arc::clone(&slow_done);
+        scope.spawn(move |_| {
+            let (status, body) = http_request(
+                addr,
+                "POST",
+                "/predict",
+                Some(r#"{"text":"saturate the slow queue","model":"BERT"}"#),
+            )
+            .expect("slow predict");
+            assert_eq!(status, 200, "{body}");
+            slow_done_flag.store(true, Ordering::SeqCst);
+        });
+
+        // Wait until the slow queue is demonstrably inside its scoring call.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !started.load(Ordering::SeqCst) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "slow scorer never started"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // Classical requests must answer — correctly — while the slow batch
+        // is still in flight.
+        for (i, text) in texts.iter().take(6).enumerate() {
+            let got = predict_one(addr, text);
+            let want = lr.probabilities_one(text);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "classical row {i} diverged");
+            }
+            assert!(
+                !slow_done.load(Ordering::SeqCst),
+                "slow request finished before release — the gate is broken"
+            );
+        }
+
+        // The slow queue's depth is visible in /metrics while it is stuck.
+        let (status, body) = http_request(addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        let metrics = JsonValue::parse(&body).unwrap();
+        let queues = metrics.get("queues").unwrap();
+        assert!(queues.get("BERT").is_some(), "no BERT queue section");
+        assert!(queues.get("LR").is_some(), "no LR queue section");
+
+        release.store(true, Ordering::SeqCst);
+    })
+    .expect("isolation scope failed");
+
+    assert!(
+        slow_done.load(Ordering::SeqCst),
+        "slow request never finished"
     );
     server.shutdown();
 }
