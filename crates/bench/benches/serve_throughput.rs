@@ -18,14 +18,27 @@
 //! and the mean scored-batch size per setting so the trade-off is visible in
 //! one run; criterion per-iteration timings follow.
 //!
+//! Since the connection-multiplexer redesign there is a second headline
+//! sweep: requests/s and resident OS thread count as a function of **idle
+//! keep-alive connections parked on the server** (100 → 2 000). Under the old
+//! one-thread-per-connection pool those idle clients would each pin a worker;
+//! under the multiplexer they cost poll-set entries, so throughput and thread
+//! count must both stay flat. The sweep's trajectory is written to
+//! `BENCH_serve.json` at the repository root so successive runs can be
+//! compared.
+//!
 //! Correctness is pinned elsewhere (the loopback integration tests assert
 //! bit-identical answers over keep-alive connections and batches); this bench
 //! compares only speed.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::corpus::JsonValue;
 use holistix::prelude::*;
-use holistix_serve::{serve, BatchConfig, HttpClient, ModelRegistry, ServeConfig, ServerHandle};
-use std::net::SocketAddr;
+use holistix_serve::{
+    os_thread_count, serve, BatchConfig, HttpClient, KeepAliveConfig, ModelRegistry, ServeConfig,
+    ServerHandle,
+};
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 /// Synthetic lexicon size: paper-scale vocabulary.
@@ -42,7 +55,11 @@ const REQUESTS_PER_CLIENT: usize = 50;
 /// Start a server with the given LR-queue window, fitted once on the
 /// augmented corpus (the registry is fitted per call because the server owns
 /// it; fit cost is outside the measured request loops).
-fn start_server(corpus: &HolistixCorpus, max_wait: Duration) -> ServerHandle {
+fn start_server(
+    corpus: &HolistixCorpus,
+    max_wait: Duration,
+    idle_timeout: Duration,
+) -> ServerHandle {
     let texts = corpus.texts();
     let labels = corpus.label_indices();
     let registry = ModelRegistry::fit(
@@ -53,14 +70,43 @@ fn start_server(corpus: &HolistixCorpus, max_wait: Duration) -> ServerHandle {
         42,
     );
     let config = ServeConfig {
-        workers: CLIENTS + 2,
+        handlers: CLIENTS + 2,
         batch: BatchConfig {
             max_batch: 64,
             max_wait,
         },
+        keep_alive: KeepAliveConfig {
+            idle_timeout,
+            ..KeepAliveConfig::default()
+        },
         ..ServeConfig::default()
     };
     serve("127.0.0.1:0", registry, config).expect("bind loopback")
+}
+
+/// Park `n` keep-alive connections on the server that never send a byte.
+/// Returned streams must stay alive for the duration of the measurement.
+/// Connects with retry: a burst of thousands of SYNs can transiently overrun
+/// the listen backlog.
+fn open_idle_clients(addr: SocketAddr, n: usize) -> Vec<TcpStream> {
+    let mut idle = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut attempts = 0;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    idle.push(stream);
+                    break;
+                }
+                Err(e) => {
+                    attempts += 1;
+                    assert!(attempts < 200, "idle client {i} could not connect: {e}");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+    idle
 }
 
 /// Drive `CLIENTS` persistent connections × `REQUESTS_PER_CLIENT` single-text
@@ -102,7 +148,11 @@ fn bench_serve_throughput(c: &mut Criterion) {
          12k-term vocabulary"
     );
     for &wait_ms in &waits {
-        let server = start_server(&corpus, Duration::from_millis(wait_ms));
+        let server = start_server(
+            &corpus,
+            Duration::from_millis(wait_ms),
+            Duration::from_secs(5),
+        );
         let elapsed = drive(server.addr(), &pool);
         let metrics = server.metrics();
         let reuses = metrics.keepalive_reuses_total();
@@ -128,10 +178,68 @@ fn bench_serve_throughput(c: &mut Criterion) {
         server.shutdown();
     }
 
+    // The multiplexer's headline: park 100 → 2 000 idle keep-alive clients on
+    // one server and re-measure active-client throughput and the process's OS
+    // thread count at each step. Both must stay flat — idle connections are
+    // poll-set entries, not threads.
+    let idle_counts = [100usize, 500, 1000, 2000];
+    // One server for the whole sweep (so the thread-count comparison is
+    // apples-to-apples) with a long idle timeout so the parked clients are
+    // not evicted mid-measurement.
+    let server = start_server(&corpus, Duration::from_millis(2), Duration::from_secs(600));
+    let addr = server.addr();
+    println!("serve_idle_sweep: {CLIENTS} active clients against parked idle connections");
+    let mut trajectory: Vec<JsonValue> = Vec::new();
+    let mut thread_counts: Vec<u64> = Vec::new();
+    let mut idle_pool: Vec<TcpStream> = Vec::new();
+    for &target in &idle_counts {
+        idle_pool.extend(open_idle_clients(addr, target - idle_pool.len()));
+        let elapsed = drive(addr, &pool);
+        let req_per_s = total_requests / elapsed.as_secs_f64();
+        let os_threads = os_thread_count().unwrap_or(0);
+        let open = server.metrics().connections().open();
+        assert!(
+            open >= target as u64,
+            "only {open} connections open with {target} idle clients parked"
+        );
+        thread_counts.push(os_threads);
+        println!(
+            "idle {target:>4}: {req_per_s:>7.0} req/s  ({os_threads} OS threads, {open} open connections)"
+        );
+        trajectory.push(JsonValue::object(vec![
+            ("idle_clients", JsonValue::Number(target as f64)),
+            ("req_per_s", JsonValue::Number(req_per_s)),
+            ("os_threads", JsonValue::Number(os_threads as f64)),
+            ("open_connections", JsonValue::Number(open as f64)),
+        ]));
+    }
+    drop(idle_pool);
+    server.shutdown();
+    assert!(
+        thread_counts.windows(2).all(|w| w[0] == w[1]),
+        "OS thread count moved with idle connections: {thread_counts:?}"
+    );
+    let report = JsonValue::object(vec![
+        ("bench", JsonValue::string("serve_throughput")),
+        ("active_clients", JsonValue::Number(CLIENTS as f64)),
+        (
+            "requests_per_client",
+            JsonValue::Number(REQUESTS_PER_CLIENT as f64),
+        ),
+        ("idle_sweep", JsonValue::Array(trajectory)),
+    ]);
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out_path, report.to_string()).expect("write BENCH_serve.json");
+    println!("idle-sweep trajectory written to {out_path}");
+
     let mut group = c.benchmark_group("serve_throughput");
     group.sample_size(10);
     for &wait_ms in &waits {
-        let server = start_server(&corpus, Duration::from_millis(wait_ms));
+        let server = start_server(
+            &corpus,
+            Duration::from_millis(wait_ms),
+            Duration::from_secs(5),
+        );
         let addr = server.addr();
         group.bench_function(format!("keepalive_predict_wait_{wait_ms}ms"), |b| {
             b.iter(|| drive(addr, &pool))

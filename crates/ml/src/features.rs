@@ -29,11 +29,31 @@
 //! test in `crates/ml/tests/property.rs` pins this), because frequency merges
 //! are integer sums, term ordering is a total order, and every transformed row
 //! depends only on its own document.
+//!
+//! ## The interned fit path
+//!
+//! Inside a shard the analyzer does not build `Vec<String>` per document.
+//! Each shard owns a per-fit [`Interner`]: tokens are cut as byte spans
+//! ([`token_spans`]), lowercased through a borrow when the slice is already
+//! ASCII-lowercase, and mapped to dense `u32` symbols, so the fit allocates
+//! one `String` per *distinct* term instead of one per token occurrence.
+//! Stems are memoised per distinct word symbol and term/document frequencies
+//! accumulate in plain `Vec<u64>` slots indexed by symbol ([`SymCounts`]),
+//! folding into a [`VocabularyBuilder`] only once per shard. The counts are
+//! the same integers the string path produced, so vocabularies, IDF vectors
+//! and matrices stay bit-identical (pinned by a property test against a
+//! reference analyzer built from the public text API). The string-based
+//! [`analyze`] remains the transform/inference path, where documents arrive
+//! one at a time and an arena would never amortise.
 
 use crate::parallel::{scoped_map, tree_reduce};
 use holistix_linalg::{CsrBuilder, CsrMatrix, Matrix};
-use holistix_text::{ngrams, stem, StopwordFilter, Vocabulary, VocabularyBuilder};
+use holistix_text::{
+    ngrams, stem, token_spans, Interner, StopwordFilter, Sym, TokenKind, Vocabulary,
+    VocabularyBuilder,
+};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Analyzer and vocabulary options shared by both vectorisers.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -103,30 +123,176 @@ fn analyze(text: &str, options: &VectorizerOptions, stopwords: &StopwordFilter) 
     terms
 }
 
-/// One shard's map output: vocabulary counts, plus (when requested) the
-/// per-document token streams so a following transform never tokenises again.
-struct ShardFit {
-    builder: VocabularyBuilder,
-    tokens: Vec<Vec<String>>,
+/// The interned analyzer: the symbol-producing twin of [`analyze`], scoped to
+/// one fit shard. Holds the term arena, the per-distinct-word stem memo, and
+/// reusable scratch buffers; emits the exact term sequence [`analyze`] would,
+/// as dense [`Sym`]s.
+struct InternedAnalyzer<'a> {
+    options: &'a VectorizerOptions,
+    stopwords: &'static StopwordFilter,
+    interner: Interner,
+    /// word symbol → stemmed symbol, so each distinct word is stemmed once.
+    stem_memo: HashMap<Sym, Sym>,
+    /// Unigram scratch, reused across documents.
+    words: Vec<Sym>,
+    /// N-gram join scratch, reused across n-grams.
+    gram: String,
 }
 
-/// Analyze one contiguous document shard into a [`ShardFit`].
+impl<'a> InternedAnalyzer<'a> {
+    fn new(options: &'a VectorizerOptions) -> Self {
+        Self {
+            options,
+            stopwords: StopwordFilter::english_shared(),
+            interner: Interner::new(),
+            stem_memo: HashMap::new(),
+            words: Vec::new(),
+            gram: String::new(),
+        }
+    }
+
+    /// Append the analyzed term symbols for `text` to `out` — the same terms,
+    /// in the same order, as `analyze(text, options, stopwords)`.
+    fn analyze_into(&mut self, text: &str, out: &mut Vec<Sym>) {
+        self.words.clear();
+        for (start, end, kind) in token_spans(text) {
+            if kind != TokenKind::Word {
+                continue;
+            }
+            let raw = &text[start..end];
+            let lowered;
+            let token: &str = if self.options.lowercase
+                && !raw.bytes().all(|b| b.is_ascii() && !b.is_ascii_uppercase())
+            {
+                // Slow path: uppercase or non-ASCII — go through the same
+                // `str::to_lowercase` the string analyzer uses (it is context
+                // sensitive, e.g. Greek final sigma, so no per-char shortcut).
+                lowered = raw.to_lowercase();
+                &lowered
+            } else {
+                raw
+            };
+            if self.options.remove_stopwords && self.stopwords.is_stopword(token) {
+                continue;
+            }
+            self.words.push(self.interner.intern(token));
+        }
+        if self.options.stem {
+            for sym in &mut self.words {
+                *sym = match self.stem_memo.get(sym) {
+                    Some(&stemmed) => stemmed,
+                    None => {
+                        let stemmed_term = stem(self.interner.resolve(*sym));
+                        let stemmed = self.interner.intern(&stemmed_term);
+                        self.stem_memo.insert(*sym, stemmed);
+                        stemmed
+                    }
+                };
+            }
+        }
+        out.extend_from_slice(&self.words);
+        for n in 2..=self.options.ngram_max {
+            if self.words.len() < n {
+                break;
+            }
+            for window in self.words.windows(n) {
+                self.gram.clear();
+                for (i, &sym) in window.iter().enumerate() {
+                    if i > 0 {
+                        self.gram.push(' ');
+                    }
+                    self.gram.push_str(self.interner.resolve(sym));
+                }
+                out.push(self.interner.intern(&self.gram));
+            }
+        }
+    }
+}
+
+/// Dense per-symbol frequency accumulators for one shard: `Vec` slots indexed
+/// by [`Sym`] instead of `HashMap<String, u64>` probes. Document frequency
+/// dedup uses a per-document stamp, so no per-document set is allocated.
+#[derive(Default)]
+struct SymCounts {
+    term: Vec<u64>,
+    doc: Vec<u64>,
+    /// Stamp of the last document each symbol was seen in.
+    seen_in: Vec<u32>,
+    stamp: u32,
+    n_docs: u64,
+}
+
+impl SymCounts {
+    fn add_document(&mut self, terms: &[Sym], n_syms: usize) {
+        self.n_docs += 1;
+        self.stamp += 1;
+        if self.term.len() < n_syms {
+            self.term.resize(n_syms, 0);
+            self.doc.resize(n_syms, 0);
+            self.seen_in.resize(n_syms, 0);
+        }
+        for &sym in terms {
+            let i = sym as usize;
+            self.term[i] += 1;
+            if self.seen_in[i] != self.stamp {
+                self.seen_in[i] = self.stamp;
+                self.doc[i] += 1;
+            }
+        }
+    }
+
+    /// Fold the totals into a [`VocabularyBuilder`] — exactly what
+    /// `add_document`-ing every document's string terms would have produced.
+    /// Symbols that never occurred as terms (stem-memo keys interned only as
+    /// lookups) have zero counts and are skipped.
+    fn into_builder(self, interner: &Interner) -> VocabularyBuilder {
+        let mut builder = VocabularyBuilder::new();
+        builder.record_documents(self.n_docs);
+        for (i, (&term_count, &doc_count)) in self.term.iter().zip(&self.doc).enumerate() {
+            if term_count > 0 {
+                builder.record_term(interner.resolve(i as Sym), term_count, doc_count);
+            }
+        }
+        builder
+    }
+}
+
+/// One shard's map output: vocabulary counts, plus (when requested) the
+/// per-document interned token streams and their arena so a following
+/// transform never tokenises again.
+struct ShardFit {
+    builder: VocabularyBuilder,
+    interner: Interner,
+    tokens: Vec<Vec<Sym>>,
+}
+
+/// A shard's retained token streams paired with the arena they intern into.
+type ShardTokens = (Interner, Vec<Vec<Sym>>);
+
+/// Analyze one contiguous document shard into a [`ShardFit`] through the
+/// interned path (see the module docs).
 fn analyze_shard<S: AsRef<str>>(
     documents: &[S],
     options: &VectorizerOptions,
     keep_tokens: bool,
 ) -> ShardFit {
-    let stopwords = StopwordFilter::english_shared();
-    let mut builder = VocabularyBuilder::new();
+    let mut analyzer = InternedAnalyzer::new(options);
+    let mut counts = SymCounts::default();
     let mut tokens = Vec::with_capacity(if keep_tokens { documents.len() } else { 0 });
+    let mut scratch: Vec<Sym> = Vec::new();
     for doc in documents {
-        let terms = analyze(doc.as_ref(), options, stopwords);
-        builder.add_document(&terms);
+        scratch.clear();
+        analyzer.analyze_into(doc.as_ref(), &mut scratch);
+        counts.add_document(&scratch, analyzer.interner.len());
         if keep_tokens {
-            tokens.push(terms);
+            tokens.push(scratch.clone());
         }
     }
-    ShardFit { builder, tokens }
+    ShardFit {
+        builder: counts.into_builder(&analyzer.interner),
+        interner: analyzer.interner,
+        tokens,
+    }
 }
 
 /// The map-reduce fit shared by both vectorisers: chunk `documents` into at
@@ -136,17 +302,18 @@ fn analyze_shard<S: AsRef<str>>(
 /// so the reduce is `O(log shards)` sequential rounds instead of a
 /// single-threaded fold — the step that dominated at ≥16 shards).
 ///
-/// Returns the merged builder and the per-shard token streams (empty vectors
-/// unless `keep_tokens`). One shard — the sequential fit — runs inline on the
-/// calling thread; results are bit-identical for every shard count because
-/// frequency merging is an associative integer sum (so fold and tree agree
-/// exactly) and vocabulary freezing orders terms totally.
+/// Returns the merged builder and the per-shard interned token streams with
+/// their arenas (empty streams unless `keep_tokens`). One shard — the
+/// sequential fit — runs inline on the calling thread; results are
+/// bit-identical for every shard count because frequency merging is an
+/// associative integer sum (so fold and tree agree exactly) and vocabulary
+/// freezing orders terms totally.
 fn fit_shards<S: AsRef<str> + Sync>(
     documents: &[S],
     options: &VectorizerOptions,
     n_threads: usize,
     keep_tokens: bool,
-) -> (VocabularyBuilder, Vec<Vec<Vec<String>>>) {
+) -> (VocabularyBuilder, Vec<ShardTokens>) {
     let n_shards = n_threads.clamp(1, documents.len().max(1));
     let shards: Vec<ShardFit> = if n_shards <= 1 {
         vec![analyze_shard(documents, options, keep_tokens)]
@@ -159,7 +326,7 @@ fn fit_shards<S: AsRef<str> + Sync>(
     let mut token_shards = Vec::with_capacity(shards.len());
     for shard in shards {
         builders.push(shard.builder);
-        token_shards.push(shard.tokens);
+        token_shards.push((shard.interner, shard.tokens));
     }
     let merged = tree_reduce(builders, |mut left, right| {
         left.merge(right);
@@ -169,17 +336,24 @@ fn fit_shards<S: AsRef<str> + Sync>(
     (merged, token_shards)
 }
 
-/// Count one shard's retained token streams into a CSR block. Entries are
-/// pushed in token order with weight `1.0`, exactly as
-/// [`CountVectorizer::transform_sparse`] does, so the block is bit-identical
-/// to the corresponding rows of a standalone transform.
-fn count_block(vocabulary: &Vocabulary, documents: &[Vec<String>]) -> CsrMatrix {
+/// Count one shard's retained interned token streams into a CSR block. The
+/// shard's symbols map to vocabulary columns through one dense lookup table
+/// (symbol → `Option<column>`), built with a single hash probe per *distinct*
+/// shard term. Entries are pushed in token order with weight `1.0`, exactly
+/// as [`CountVectorizer::transform_sparse`] does, so the block is
+/// bit-identical to the corresponding rows of a standalone transform.
+fn count_block(vocabulary: &Vocabulary, interner: &Interner, documents: &[Vec<Sym>]) -> CsrMatrix {
+    let columns: Vec<Option<usize>> = interner
+        .terms()
+        .iter()
+        .map(|term| vocabulary.id(term))
+        .collect();
     let mut builder = CsrBuilder::new(vocabulary.len());
     let mut entries: Vec<(usize, f64)> = Vec::new();
     for tokens in documents {
         entries.clear();
-        for term in tokens {
-            if let Some(col) = vocabulary.id(term) {
+        for &sym in tokens {
+            if let Some(col) = columns[sym as usize] {
                 entries.push((col, 1.0));
             }
         }
@@ -235,10 +409,12 @@ impl CountVectorizer {
         let mut blocks: Vec<CsrMatrix> = if token_shards.len() <= 1 {
             token_shards
                 .iter()
-                .map(|tokens| count_block(&vocabulary, tokens))
+                .map(|(interner, tokens)| count_block(&vocabulary, interner, tokens))
                 .collect()
         } else {
-            scoped_map(&token_shards, |tokens| count_block(&vocabulary, tokens))
+            scoped_map(&token_shards, |(interner, tokens)| {
+                count_block(&vocabulary, interner, tokens)
+            })
         };
         // A lone block IS the matrix — vstack would copy the whole corpus's
         // CSR arrays for nothing on the (default) sequential path.

@@ -201,6 +201,117 @@ mod parallel_fit_equivalence {
     }
 }
 
+mod interned_fit_equivalence {
+    use holistix_ml::{CountVectorizer, VectorizerOptions};
+    use holistix_text::{ngrams, stem, tokenize, StopwordFilter, TokenKind, VocabularyBuilder};
+    use proptest::prelude::*;
+
+    /// Corpora over an alphabet with uppercase, accented and Greek characters,
+    /// so both the ASCII borrow fast path and the `to_lowercase` slow path of
+    /// the interned analyzer (including final-sigma context sensitivity) are
+    /// exercised.
+    fn corpus() -> impl Strategy<Value = Vec<String>> {
+        proptest::collection::vec("[a-fA-F ÉéΣσßi]{0,60}", 1..24)
+    }
+
+    fn option_grid(variant: usize) -> VectorizerOptions {
+        match variant % 5 {
+            0 => VectorizerOptions::paper_default(),
+            1 => VectorizerOptions {
+                stem: true,
+                ..VectorizerOptions::paper_default()
+            },
+            2 => VectorizerOptions {
+                ngram_max: 3,
+                stem: true,
+                remove_stopwords: false,
+                ..VectorizerOptions::paper_default()
+            },
+            3 => VectorizerOptions {
+                lowercase: false,
+                min_document_frequency: 2,
+                ..VectorizerOptions::paper_default()
+            },
+            _ => VectorizerOptions {
+                ngram_max: 2,
+                max_features: Some(30),
+                ..VectorizerOptions::paper_default()
+            },
+        }
+    }
+
+    /// The string-based analyzer reconstructed from the public text API — the
+    /// pre-interning fit path, kept as the independent reference.
+    fn reference_analyze(text: &str, options: &VectorizerOptions) -> Vec<String> {
+        let stopwords = StopwordFilter::english_shared();
+        let mut words: Vec<String> = tokenize(text)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Word)
+            .map(|t| if options.lowercase { t.lower() } else { t.text })
+            .filter(|w| !options.remove_stopwords || !stopwords.is_stopword(w))
+            .collect();
+        if options.stem {
+            words = words.iter().map(|w| stem(w)).collect();
+        }
+        if options.ngram_max <= 1 {
+            return words;
+        }
+        let mut terms = words.clone();
+        for n in 2..=options.ngram_max {
+            terms.extend(ngrams(&words, n).into_iter().map(|g| g.joined()));
+        }
+        terms
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The interning satellite's acceptance bar: the interned fit's
+        /// vocabulary is **bit-identical** to one built by `add_document`-ing
+        /// the reference analyzer's string terms — same terms in the same
+        /// order, same integer frequencies, same IDF bits — and the retained
+        /// token streams count into the same matrix the string transform
+        /// produces.
+        #[test]
+        fn interned_fit_matches_string_reference(
+            docs in corpus(),
+            n_threads in 1usize..9,
+            variant in 0usize..5,
+        ) {
+            let options = option_grid(variant);
+            let mut builder = VocabularyBuilder::new();
+            for doc in &docs {
+                builder.add_document(&reference_analyze(doc, &options));
+            }
+            let reference = builder.build_with_min_df(
+                options.min_document_frequency.max(1),
+                options.max_features,
+            );
+
+            let (fitted, matrix) =
+                CountVectorizer::fit_transform_sparse_parallel(&docs, options, n_threads);
+            prop_assert_eq!(fitted.vocabulary().terms(), reference.terms());
+            for term in reference.terms() {
+                prop_assert_eq!(
+                    fitted.vocabulary().term_frequency(term),
+                    reference.term_frequency(term)
+                );
+                prop_assert_eq!(
+                    fitted.vocabulary().document_frequency(term),
+                    reference.document_frequency(term)
+                );
+                prop_assert_eq!(
+                    fitted.vocabulary().idf(term).to_bits(),
+                    reference.idf(term).to_bits()
+                );
+            }
+            // The interned token streams re-emit the same CSR matrix the
+            // string-based transform builds from scratch.
+            prop_assert_eq!(matrix, fitted.transform_sparse(&docs));
+        }
+    }
+}
+
 mod tree_reduce_equivalence {
     use holistix_ml::tree_reduce;
     use holistix_text::VocabularyBuilder;

@@ -11,7 +11,12 @@
 //! persistence is the default.
 //!
 //! [`read_request`] and [`write_response`] are generic over `BufRead`/`Write`
-//! so they unit-test against in-memory buffers. Two clients match the server:
+//! so they unit-test against in-memory buffers. [`RequestParser`] is the
+//! incremental twin of `read_request` for the nonblocking connection
+//! multiplexer: it accumulates whatever fragments the socket delivers and
+//! yields complete requests with the same semantics and limits as the
+//! blocking parser (a unit test feeds both the same streams byte-for-byte).
+//! Two clients match the server:
 //! [`http_request`], the one-shot `Connection: close` helper, and
 //! [`HttpClient`], a blocking keep-alive client that pipelines any number of
 //! request/response round-trips over one TCP connection (what the
@@ -158,6 +163,170 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         body,
         close,
     }))
+}
+
+/// A request head parsed out of the buffer, waiting for its body bytes.
+#[derive(Debug)]
+struct PendingHead {
+    method: String,
+    path: String,
+    close: bool,
+    /// Bytes the head occupies in the buffer (through the blank line).
+    head_len: usize,
+    content_length: usize,
+}
+
+/// An incremental, resumable request parser — the nonblocking twin of
+/// [`read_request`], built for the poller's edge-driven reads: bytes arrive in
+/// arbitrary fragments via [`feed`](Self::feed), and
+/// [`poll_request`](Self::poll_request) yields a [`Request`] exactly when one
+/// is complete, `None` when more bytes are needed, or an error on the same
+/// protocol violations the blocking parser rejects (head over
+/// [`MAX_HEAD_BYTES`], bad or oversized `Content-Length`, non-UTF-8 body).
+///
+/// The parser owns a growable buffer, so a request split across any number of
+/// reads — down to one byte at a time — parses identically to a single-shot
+/// read, and bytes past a complete request (pipelining) stay buffered for the
+/// next poll. After an error the connection is unrecoverable (framing is
+/// lost); the caller answers 400 and closes.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buffer: Vec<u8>,
+    /// Resume point for the head-terminator scan, so feeding a head one byte
+    /// at a time stays linear instead of rescanning from zero each poll.
+    scanned: usize,
+    head: Option<PendingHead>,
+}
+
+impl RequestParser {
+    /// A fresh parser with nothing buffered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append freshly read bytes to the parse buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buffer.extend_from_slice(bytes);
+    }
+
+    /// True when no partial request is buffered — EOF here is the clean end
+    /// of a keep-alive session, while EOF mid-request is a peer abort.
+    pub fn is_idle(&self) -> bool {
+        self.buffer.is_empty() && self.head.is_none()
+    }
+
+    /// Bytes currently buffered (unparsed input plus any pending head).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Try to complete one request from the buffered bytes. `Ok(None)` means
+    /// the buffer holds only a request prefix — feed more and poll again.
+    /// Call in a loop to drain pipelined requests.
+    pub fn poll_request(&mut self) -> io::Result<Option<Request>> {
+        if self.head.is_none() {
+            match self.find_head_end()? {
+                Some(head_len) => self.head = Some(self.parse_head(head_len)?),
+                None => return Ok(None),
+            }
+        }
+        let pending = self.head.as_ref().expect("pending head");
+        let total = pending.head_len + pending.content_length;
+        if self.buffer.len() < total {
+            return Ok(None);
+        }
+        let pending = self.head.take().expect("pending head");
+        let body = String::from_utf8(self.buffer[pending.head_len..total].to_vec())
+            .map_err(|_| invalid("body is not valid UTF-8"))?;
+        self.buffer.drain(..total);
+        self.scanned = 0;
+        Ok(Some(Request {
+            method: pending.method,
+            path: pending.path,
+            body,
+            close: pending.close,
+        }))
+    }
+
+    /// Locate the head terminator (a blank line: `\r\n\r\n` or bare `\n\n`),
+    /// returning the head length including it. Enforces [`MAX_HEAD_BYTES`]
+    /// even while the terminator is still outstanding, so a client streaming
+    /// an endless header cannot grow the buffer unboundedly.
+    fn find_head_end(&mut self) -> io::Result<Option<usize>> {
+        let buffer = &self.buffer;
+        for i in self.scanned..buffer.len() {
+            if buffer[i] != b'\n' {
+                continue;
+            }
+            match buffer.get(i + 1) {
+                Some(b'\n') => return Ok(Some(i + 2)),
+                Some(b'\r') if buffer.get(i + 2) == Some(&b'\n') => return Ok(Some(i + 3)),
+                _ => {}
+            }
+        }
+        if buffer.len() as u64 >= MAX_HEAD_BYTES {
+            return Err(invalid(format!(
+                "request head exceeds the {MAX_HEAD_BYTES} byte limit"
+            )));
+        }
+        // A terminator may straddle the next read; re-examine the tail.
+        self.scanned = buffer.len().saturating_sub(2);
+        Ok(None)
+    }
+
+    /// Parse the head's request line and headers — the same rules (and error
+    /// messages) as [`read_request`].
+    fn parse_head(&self, head_len: usize) -> io::Result<PendingHead> {
+        if head_len as u64 > MAX_HEAD_BYTES {
+            return Err(invalid(format!(
+                "request head exceeds the {MAX_HEAD_BYTES} byte limit"
+            )));
+        }
+        let head = std::str::from_utf8(&self.buffer[..head_len])
+            .map_err(|_| invalid("request head is not valid UTF-8"))?;
+        let mut lines = head.split('\n');
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| invalid("empty request line"))?
+            .to_string();
+        let path = parts
+            .next()
+            .ok_or_else(|| invalid("request line missing path"))?
+            .to_string();
+        let mut content_length = 0usize;
+        let mut close = false;
+        for line in lines {
+            let header = line.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| invalid(format!("bad Content-Length {value:?}")))?;
+                } else if name.eq_ignore_ascii_case("connection") {
+                    close = value.trim().eq_ignore_ascii_case("close");
+                }
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(invalid(format!(
+                "body of {content_length} bytes exceeds the {MAX_BODY_BYTES} byte limit"
+            )));
+        }
+        Ok(PendingHead {
+            method,
+            path,
+            close,
+            head_len,
+            content_length,
+        })
+    }
 }
 
 fn reason(status: u16) -> &'static str {
@@ -427,6 +596,104 @@ mod tests {
             "X-H: v\r\n".repeat((MAX_HEAD_BYTES as usize / 8) + 10)
         );
         assert!(read_request(&mut Cursor::new(many)).is_err());
+    }
+
+    /// Drain every complete request currently parseable.
+    fn drain(parser: &mut RequestParser) -> Vec<Request> {
+        let mut out = Vec::new();
+        while let Some(request) = parser.poll_request().unwrap() {
+            out.push(request);
+        }
+        out
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_parser() {
+        let raws = [
+            "POST /predict HTTP/1.1\r\nHost: x\r\nContent-Length: 12\r\n\r\n{\"texts\":[]}",
+            "GET /healthz HTTP/1.1\r\n\r\n",
+            "GET /metrics HTTP/1.1\r\nConnection: Close\r\n\r\n",
+            "POST /p HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi",
+        ];
+        for raw in raws {
+            let blocking = parse_one(raw).unwrap();
+            let mut parser = RequestParser::new();
+            parser.feed(raw.as_bytes());
+            let incremental = parser.poll_request().unwrap().expect("complete request");
+            assert_eq!(incremental.method, blocking.method);
+            assert_eq!(incremental.path, blocking.path);
+            assert_eq!(incremental.body, blocking.body);
+            assert_eq!(incremental.close, blocking.close);
+            assert!(parser.is_idle(), "leftover bytes after {raw:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_parser_handles_one_byte_at_a_time() {
+        let raw = "POST /predict HTTP/1.1\r\nContent-Length: 11\r\n\r\nhello world";
+        let mut parser = RequestParser::new();
+        let mut requests = Vec::new();
+        for (i, byte) in raw.as_bytes().iter().enumerate() {
+            parser.feed(&[*byte]);
+            let drained = drain(&mut parser);
+            if i + 1 < raw.len() {
+                assert!(drained.is_empty(), "request completed early at byte {i}");
+                assert!(!parser.is_idle());
+            }
+            requests.extend(drained);
+        }
+        assert_eq!(requests.len(), 1);
+        assert_eq!(requests[0].body, "hello world");
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn incremental_parser_drains_pipelined_requests_in_order() {
+        let raw = "POST /p HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n";
+        let mut parser = RequestParser::new();
+        parser.feed(raw.as_bytes());
+        let requests = drain(&mut parser);
+        let paths: Vec<&str> = requests.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, ["/p", "/healthz", "/metrics"]);
+        assert!(parser.is_idle());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_what_the_blocking_parser_rejects() {
+        // Oversized Content-Length fails as soon as the head completes.
+        let mut parser = RequestParser::new();
+        parser.feed(format!("POST /p HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20).as_bytes());
+        assert!(parser.poll_request().is_err());
+
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST /p HTTP/1.1\r\nContent-Length: nope\r\n\r\n");
+        assert!(parser.poll_request().is_err());
+
+        // An endless head errors once the budget is spent — even though no
+        // terminator ever arrives.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET /healthz HTTP/1.1\r\nX-Junk: ");
+        for _ in 0..(64 << 10) / 16 {
+            parser.feed(&[b'A'; 16]);
+            if parser.poll_request().is_err() {
+                return;
+            }
+        }
+        panic!("endless head never errored");
+    }
+
+    #[test]
+    fn incremental_parser_terminator_straddles_reads() {
+        // Split the \r\n\r\n terminator across feeds at every offset.
+        let raw = "POST /p HTTP/1.1\r\nContent-Length: 2\r\n\r\nok";
+        for split in 1..raw.len() {
+            let mut parser = RequestParser::new();
+            parser.feed(&raw.as_bytes()[..split]);
+            let _ = parser.poll_request().unwrap();
+            parser.feed(&raw.as_bytes()[split..]);
+            let request = parser.poll_request().unwrap().expect("complete");
+            assert_eq!(request.body, "ok", "split at {split}");
+        }
     }
 
     #[test]

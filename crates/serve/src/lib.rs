@@ -13,25 +13,46 @@
 //!
 //! ## Architecture
 //!
+//! Since the connection-multiplexer redesign, no thread count scales with the
+//! number of connected clients: P pollers + H handlers + one batch queue per
+//! scorer serve any number of keep-alive connections.
+//!
 //! ```text
-//!                     ┌────────────────────────────────── server thread ──┐
-//!  clients ─ accept ─►│ conn mpsc ─► worker pool (N scoped threads)       │
-//!  (keep-alive:       │               │ per connection: loop              │
-//!   many requests     │               │   read request ─ route ─ respond  │
-//!   per connection)   │               │   until close/cap/idle            │
-//!                     │               ▼ per-kind job mpsc                 │
-//!                     │   ┌─ BatchQueue "LR"   ── drain ≤max_batch ──┐    │
-//!                     │   │                       or until max_wait  │    │
-//!                     │   ├─ BatchQueue "BERT" ── (own window sized ─┤    │
-//!                     │   │      …                from cost_hint)    │    │
-//!                     │   └──────────────┬───────────────────────────┘    │
-//!                     │                  ▼                                │
-//!                     │     Arc<dyn Scorer>::probabilities                │
-//!                     │     (one batched call per queue batch)            │
-//!                     │                  ▼                                │
-//!                     │     per-job reply channels ─► workers             │
-//!                     └───────────────────────────────────────────────────┘
+//!                  ┌────────────────────────────────── server thread ──────┐
+//!  clients ───────►│ nonblocking listener ─ accepted by any poller         │
+//!  (keep-alive,    │                                                       │
+//!   pipelined)     │  poller threads (P, fixed) — poll(2) readiness loop   │
+//!                  │  │ per connection (owned by one poller):              │
+//!                  │  │   incremental RequestParser ── reorder buffer ──►  │
+//!                  │  │   seq-numbered dispatch        in-order responses, │
+//!                  │  │   (≤32 pipelined)              partial-write       │
+//!                  │  │   idle-timeout wheel           resumption          │
+//!                  │  ▼ job mpsc              ▲ completions + waker        │
+//!                  │  handler threads (H, fixed): route ─ respond          │
+//!                  │  │ /predict blocks here, never on a poller            │
+//!                  │  ▼ per-kind job mpsc                                  │
+//!                  │   ┌─ BatchQueue "LR"   ── drain ≤max_batch ──┐        │
+//!                  │   │                       or until max_wait  │        │
+//!                  │   ├─ BatchQueue "BERT" ── (own window sized ─┤        │
+//!                  │   │      …                from cost_hint)    │        │
+//!                  │   └──────────────┬───────────────────────────┘        │
+//!                  │                  ▼                                    │
+//!                  │     Arc<dyn Scorer>::probabilities                    │
+//!                  │     (one batched call per queue batch)                │
+//!                  │                  ▼                                    │
+//!                  │     per-job reply channels ─► handlers ─► pollers     │
+//!                  └───────────────────────────────────────────────────────┘
 //! ```
+//!
+//! * **[`poller`]** — the `std`-only readiness layer: a safe wrapper over the
+//!   `poll(2)` symbol libc already provides (the build is offline, so no
+//!   mio/tokio), plus the `UnixStream`-pair waker handlers use to hand
+//!   completed responses back to the owning poller.
+//! * **[`conn`]** — per-connection state machines: incremental request
+//!   framing that resumes from any byte boundary, response write-out with
+//!   partial-write resumption, request pipelining with an in-order reorder
+//!   buffer, keep-alive accounting, and the hashed idle-timeout wheel with
+//!   lazy revalidation.
 //!
 //! * **The [`Scorer`](holistix::Scorer) seam** — everything here is written
 //!   against `Arc<dyn Scorer>` (batched `probabilities` + `kind` +
@@ -69,13 +90,17 @@
 //! * **[`http`]** — the minimal HTTP/1.1 subset with keep-alive:
 //!   `Content-Length` framing on both sides, `Connection: close` honored,
 //!   per-connection request cap and idle timeout
-//!   ([`KeepAliveConfig`]). [`http_request`] is the one-shot blocking client;
-//!   [`HttpClient`] holds one connection open across any number of requests
-//!   (what the `serve_throughput` bench and the CI smoke drive).
+//!   ([`KeepAliveConfig`]). [`RequestParser`](http::RequestParser) is the
+//!   incremental server-side parser the pollers feed byte fragments into;
+//!   [`http_request`] is the one-shot blocking client; [`HttpClient`] holds
+//!   one connection open across any number of requests (what the
+//!   `serve_throughput` bench and the CI smoke drive).
 //! * **[`metrics`]** — request counters, per-kind queue sections (depth,
 //!   batch-size histogram, per-job p50/p99), `keepalive_reuses_total`, the
-//!   cross-queue batch histogram and request latency percentiles, served by
-//!   `GET /metrics`.
+//!   connection section (open gauge, accept/close totals, readiness wakeups,
+//!   pipelined requests, idle evictions), the configured thread plan next to
+//!   the live OS thread count, the cross-queue batch histogram and request
+//!   latency percentiles, served by `GET /metrics`.
 //!
 //! ## Endpoints
 //!
@@ -84,8 +109,8 @@
 //! | `POST /predict` | `{"texts": […], "model"?: "LR"}`             | per-text 6-dimension probabilities + label |
 //! | `POST /explain` | `{"text": "…", "top_k"?, "n_samples"?}`      | LIME token attributions via the batched perturbation path |
 //! | `POST /reload`  | JSONL corpus (the `corpus::io` schema)        | `202` + post count; fits off-thread, swaps atomically (`409` if already reloading) |
-//! | `GET /healthz`  | —                                             | status + loaded models + `reloading` flag |
-//! | `GET /metrics`  | —                                             | counters, per-kind queue sections, keep-alive reuses, batch histogram, latency percentiles, registry fit stats |
+//! | `GET /healthz`  | —                                             | status + loaded models + `reloading` flag + open connection count |
+//! | `GET /metrics`  | —                                             | counters, per-kind queue sections, connection + thread sections, keep-alive reuses, batch histogram, latency percentiles, registry fit stats |
 //!
 //! JSON parsing and serialisation are shared with the corpus crate's
 //! [`holistix_corpus::json`] module (hoisted out of its JSONL reader), whose
@@ -104,14 +129,16 @@
 //! ```
 
 pub mod batcher;
+pub mod conn;
 pub mod http;
 pub mod metrics;
+pub mod poller;
 pub mod registry;
 pub mod server;
 
 pub use batcher::{BatchConfig, BatcherHandle};
 pub use http::{http_request, HttpClient, Request, Response};
-pub use metrics::{Endpoint, QueueMetrics, ServeMetrics};
+pub use metrics::{os_thread_count, ConnectionMetrics, Endpoint, QueueMetrics, ServeMetrics};
 pub use registry::{parse_kind, FitStats, ModelRegistry, RegistryConfig, SharedRegistry};
 pub use server::{
     serve, KeepAliveConfig, ServeConfig, ServerHandle, MAX_RELOAD_POSTS, MAX_TEXTS_PER_REQUEST,

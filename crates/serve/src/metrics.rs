@@ -116,6 +116,103 @@ impl BatchHistogram {
     }
 }
 
+/// Connection-layer statistics for the nonblocking multiplexer: the open
+/// connection gauge, lifetime accept/close totals, readiness wakeups (one per
+/// `poll(2)` return that reported at least one ready fd), pipelined requests
+/// (parsed while an earlier request on the same connection was still in
+/// flight) and idle-timeout evictions.
+#[derive(Debug, Default)]
+pub struct ConnectionMetrics {
+    open: AtomicU64,
+    accepted_total: AtomicU64,
+    closed_total: AtomicU64,
+    wakeups_total: AtomicU64,
+    pipelined_total: AtomicU64,
+    idle_evictions_total: AtomicU64,
+}
+
+impl ConnectionMetrics {
+    /// Count one accepted connection (raises the open gauge).
+    pub fn record_accepted(&self) {
+        self.open.fetch_add(1, Ordering::Relaxed);
+        self.accepted_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one closed connection (lowers the open gauge).
+    pub fn record_closed(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        self.closed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one readiness wakeup (a `poll` return with ≥ 1 ready fd).
+    pub fn record_wakeup(&self) {
+        self.wakeups_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request parsed while an earlier one was still in flight.
+    pub fn record_pipelined(&self) {
+        self.pipelined_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one connection evicted by the idle-timeout wheel. The eviction
+    /// also closes the connection, which is recorded separately via
+    /// [`record_closed`](Self::record_closed).
+    pub fn record_idle_eviction(&self) {
+        self.idle_evictions_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently open.
+    pub fn open(&self) -> u64 {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Requests served pipelined so far.
+    pub fn pipelined_total(&self) -> u64 {
+        self.pipelined_total.load(Ordering::Relaxed)
+    }
+
+    /// Idle-timeout evictions so far.
+    pub fn idle_evictions_total(&self) -> u64 {
+        self.idle_evictions_total.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("open", JsonValue::Number(self.open() as f64)),
+            (
+                "accepted_total",
+                JsonValue::Number(self.accepted_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "closed_total",
+                JsonValue::Number(self.closed_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "wakeups_total",
+                JsonValue::Number(self.wakeups_total.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "pipelined_requests_total",
+                JsonValue::Number(self.pipelined_total() as f64),
+            ),
+            (
+                "idle_timeout_evictions_total",
+                JsonValue::Number(self.idle_evictions_total() as f64),
+            ),
+        ])
+    }
+}
+
+/// Read this process's live OS thread count from `/proc/self/status`
+/// (`Threads:` line). Linux-specific; returns `None` elsewhere or when the
+/// file is unreadable. The flat-thread-count guarantee of the multiplexer is
+/// asserted against exactly this number.
+pub fn os_thread_count() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("Threads:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Per-queue statistics: one instance per registered scorer kind, shared
 /// between that kind's [`BatcherHandle`](crate::batcher::BatcherHandle) side
 /// (depth increments) and its drain loop (depth decrements, batch sizes, job
@@ -203,6 +300,12 @@ pub struct ServeMetrics {
     request_latency: LatencyWindow,
     /// Per-kind queue sections, in registration order.
     queues: Mutex<Vec<(String, Arc<QueueMetrics>)>>,
+    /// Connection-layer counters for the nonblocking multiplexer.
+    connections: ConnectionMetrics,
+    /// Configured thread plan `(pollers, handlers, queues)`, set once at
+    /// server start; the point of the multiplexer is that this plan — not the
+    /// connection count — determines the process's thread count.
+    thread_plan: Mutex<Option<(usize, usize, usize)>>,
 }
 
 impl ServeMetrics {
@@ -237,6 +340,18 @@ impl ServeMetrics {
     /// Requests served on reused connections so far.
     pub fn keepalive_reuses_total(&self) -> u64 {
         self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// The connection-layer counters (shared with pollers).
+    pub fn connections(&self) -> &ConnectionMetrics {
+        &self.connections
+    }
+
+    /// Record the configured thread plan: how many poller, handler and
+    /// batch-queue threads the server runs. Reported under `threads` in the
+    /// snapshot next to the live OS thread count.
+    pub fn set_thread_plan(&self, pollers: usize, handlers: usize, queues: usize) {
+        *self.thread_plan.lock().unwrap() = Some((pollers, handlers, queues));
     }
 
     /// Count one completed `/reload` (fresh registry fitted and swapped in).
@@ -329,6 +444,20 @@ impl ServeMetrics {
             .map(|(name, metrics)| (name.clone(), metrics.snapshot()))
             .collect();
 
+        let mut thread_fields = Vec::new();
+        if let Some((pollers, handlers, queues)) = *self.thread_plan.lock().unwrap() {
+            thread_fields.push(("pollers", JsonValue::Number(pollers as f64)));
+            thread_fields.push(("handlers", JsonValue::Number(handlers as f64)));
+            thread_fields.push(("queues", JsonValue::Number(queues as f64)));
+        }
+        thread_fields.push((
+            "os_threads",
+            match os_thread_count() {
+                Some(n) => JsonValue::Number(n as f64),
+                None => JsonValue::Null,
+            },
+        ));
+
         JsonValue::object(vec![
             (
                 "requests",
@@ -374,6 +503,8 @@ impl ServeMetrics {
             ),
             ("batches", self.batches.snapshot()),
             ("latency_us", self.request_latency.snapshot()),
+            ("connections", self.connections.snapshot()),
+            ("threads", JsonValue::object(thread_fields)),
             ("queues", JsonValue::Object(queue_fields)),
             ("registry", JsonValue::object(registry_fields)),
         ])
@@ -503,6 +634,46 @@ mod tests {
             bert_section.get("job_latency_us").unwrap().get("p50"),
             Some(&JsonValue::Null)
         );
+    }
+
+    #[test]
+    fn connection_counters_and_thread_plan_round_trip() {
+        let metrics = ServeMetrics::new();
+        let conns = metrics.connections();
+        conns.record_accepted();
+        conns.record_accepted();
+        conns.record_wakeup();
+        conns.record_pipelined();
+        conns.record_idle_eviction();
+        conns.record_closed();
+        assert_eq!(conns.open(), 1);
+        metrics.set_thread_plan(2, 8, 3);
+
+        let snapshot = metrics.snapshot();
+        let section = snapshot.get("connections").unwrap();
+        assert_eq!(section.get("open").unwrap().as_f64(), Some(1.0));
+        assert_eq!(section.get("accepted_total").unwrap().as_f64(), Some(2.0));
+        assert_eq!(section.get("closed_total").unwrap().as_f64(), Some(1.0));
+        assert_eq!(section.get("wakeups_total").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            section.get("pipelined_requests_total").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            section
+                .get("idle_timeout_evictions_total")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        let threads = snapshot.get("threads").unwrap();
+        assert_eq!(threads.get("pollers").unwrap().as_f64(), Some(2.0));
+        assert_eq!(threads.get("handlers").unwrap().as_f64(), Some(8.0));
+        assert_eq!(threads.get("queues").unwrap().as_f64(), Some(3.0));
+        // On Linux the live OS thread count is a positive number.
+        let os_threads = os_thread_count().expect("Linux /proc/self/status");
+        assert!(os_threads >= 1);
+        assert!(threads.get("os_threads").unwrap().as_f64().unwrap() >= 1.0);
     }
 
     #[test]

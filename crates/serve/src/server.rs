@@ -1,34 +1,44 @@
-//! The HTTP server: accept loop, fixed worker pool, keep-alive connections,
-//! request routing.
+//! The HTTP server: a nonblocking connection multiplexer in front of a small
+//! fixed pool of request handlers.
 //!
-//! Thread model (all scoped threads in the crossbeam-shim style the rest of
-//! the workspace uses):
+//! Thread model — every count here is configuration, none scale with the
+//! number of connected clients:
 //!
-//! * the **accept thread** (the server's own thread) pushes accepted
-//!   connections onto an `mpsc` channel;
-//! * a **fixed pool** of [`ServeConfig::workers`] worker threads pops
-//!   connections and serves each one *for its whole keep-alive session*: up
-//!   to [`KeepAliveConfig::max_requests`] requests per connection, closing
-//!   after [`KeepAliveConfig::idle_timeout`] of silence or on
-//!   `Connection: close` — `/predict` blocks on the model's batch queue,
-//!   `/explain` runs LIME against the warm scorer directly (its perturbation
-//!   set already flows through the batched `predict_proba` path in
-//!   [`LimeConfig::batch_size`]-sized chunks);
+//! * [`ServeConfig::pollers`] **poller threads** own the connections. Each
+//!   runs a readiness loop over `poll(2)` ([`crate::poller`]): it accepts new
+//!   sockets (the nonblocking listener is polled by every poller; the kernel
+//!   breaks the tie), reads whatever bytes are available into each
+//!   connection's incremental parser, dispatches parsed requests to the
+//!   handler pool, and writes completed responses back out with partial-write
+//!   resumption ([`crate::conn`]). Pollers never block on a socket or a
+//!   model, so ten thousand idle keep-alive clients cost two sleeping
+//!   threads, not ten thousand.
+//! * [`ServeConfig::handlers`] **handler threads** run the routes. They pull
+//!   parsed requests off one shared queue, block as needed (`/predict` waits
+//!   on the model's batch queue, `/explain` runs LIME), and hand the finished
+//!   response back to the owning poller through its completion list + waker.
 //! * **one batch-queue thread per registered scorer** ([`crate::batcher`])
-//!   coalesces that kind's texts across concurrent requests and scores them
-//!   in single batched calls — a slow transformer batch never delays a
-//!   classical one.
+//!   coalesces texts across concurrent requests — a slow transformer batch
+//!   never delays a classical one.
 //!
-//! Shutdown: [`ServerHandle::shutdown`] flips the running flag and pokes the
-//! listener with a loopback connection; the accept loop exits, the connection
-//! channel closes, the workers finish their current keep-alive sessions (the
-//! running flag stops further requests on them) and exit, their job senders
-//! drop, and every batch queue drains and exits — the scope then joins
-//! everything.
+//! Connections are pipelined: a poller keeps parsing (and dispatching)
+//! request `N+1` while `N` is still being scored, and the per-connection
+//! reorder buffer guarantees responses go out in request order. Idle
+//! connections are evicted by a timer wheel, never by a blocking read
+//! timeout; a client that stops draining its responses is evicted by the same
+//! wheel once no bytes have moved for the idle timeout.
+//!
+//! Shutdown: [`ServerHandle::shutdown`] flips the running flag and wakes
+//! every poller. Pollers drop their connections and exit; the job channel
+//! closes, handlers finish their in-flight requests and exit; their batcher
+//! handles drop, and every batch queue drains and exits — the scope then
+//! joins everything.
 
 use crate::batcher::{build_queues, BatchConfig, BatcherHandle};
-use crate::http::{read_request, write_response, Request, Response};
+use crate::conn::{Connection, TimerWheel};
+use crate::http::{Request, Response};
 use crate::metrics::{Endpoint, ServeMetrics};
+use crate::poller::{waker_pair, Interest, PollSet, ReadyEvent, WakeReader, Waker};
 use crate::registry::{ModelRegistry, SharedRegistry};
 use holistix::corpus::WellnessDimension;
 use holistix::linalg::argmax;
@@ -36,8 +46,8 @@ use holistix::ml::ThreadBudget;
 use holistix::Scorer;
 use holistix_corpus::json::JsonValue;
 use holistix_explain::{LimeConfig, LimeExplainer};
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -60,13 +70,21 @@ pub const MAX_TEXTS_PER_REQUEST: usize = 256;
 /// of distinct words.
 pub const MAX_EXPLAIN_FEATURES: usize = 512;
 
-/// Per-connection socket write timeout (reads use
-/// [`KeepAliveConfig::idle_timeout`]). A client that stops draining its
-/// responses can pin a worker for at most this long.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// How long a poller sleeps when no timer is pending. Purely a liveness
+/// backstop — wakeups for I/O, completions and shutdown all interrupt it.
+const FALLBACK_POLL: Duration = Duration::from_millis(500);
+
+/// Buckets in each poller's idle-timeout wheel.
+const WHEEL_BUCKETS: usize = 32;
+
+/// Poll-set token for a poller's own waker pipe.
+const TOKEN_WAKER: usize = usize::MAX;
+
+/// Poll-set token for the shared listener.
+const TOKEN_LISTENER: usize = usize::MAX - 1;
 
 /// Thread budget for a `/reload` refit: half the machine (at least one), so
-/// the background fit leaves cores for the worker pool and the batch queues
+/// the background fit leaves cores for the handler pool and the batch queues
 /// that are serving live traffic off the old registry.
 fn reload_fit_threads() -> usize {
     (ThreadBudget::machine().threads / 2).max(1)
@@ -77,10 +95,11 @@ fn reload_fit_threads() -> usize {
 pub struct KeepAliveConfig {
     /// Most requests one connection may carry before the server closes it
     /// (announced via `Connection: close` on the final response). Bounds how
-    /// long one client can monopolise a pool worker.
+    /// much state one client session can accumulate.
     pub max_requests: usize,
-    /// How long a connection may sit idle between requests before the server
-    /// closes it. Also bounds how long a shutdown waits on an idle client.
+    /// How long a connection may sit idle (no bytes moving in either
+    /// direction) before the timer wheel evicts it. Also bounds how long a
+    /// non-draining client can hold buffered responses.
     pub idle_timeout: Duration,
 }
 
@@ -96,10 +115,15 @@ impl Default for KeepAliveConfig {
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Fixed worker-pool size. Each worker serves one connection at a time
-    /// (for its whole keep-alive session), so this is also the concurrent
-    /// connection ceiling.
-    pub workers: usize,
+    /// Poller threads. Each owns a share of the connections and multiplexes
+    /// them with readiness polling; two is plenty below tens of thousands of
+    /// clients, since pollers do no model work.
+    pub pollers: usize,
+    /// Handler threads: the request-level concurrency ceiling. Handlers run
+    /// the routes and may block (batch queues, LIME, reload validation);
+    /// connections are *not* pinned to handlers, so a handful serve
+    /// thousands of keep-alive clients.
+    pub handlers: usize,
     /// Base micro-batching knobs. Each registered scorer's queue derives its
     /// own window from this and the scorer's
     /// [`cost_hint`](holistix::Scorer::cost_hint)
@@ -116,7 +140,8 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
-            workers: 8,
+            pollers: 2,
+            handlers: 8,
             batch: BatchConfig::default(),
             keep_alive: KeepAliveConfig::default(),
             lime: LimeConfig::default(),
@@ -129,6 +154,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     running: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
+    wakers: Vec<Waker>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -143,7 +169,7 @@ impl ServerHandle {
         Arc::clone(&self.metrics)
     }
 
-    /// Stop accepting, drain the pool, join every thread.
+    /// Stop accepting, drop every connection, join every thread.
     pub fn shutdown(mut self) {
         self.stop();
     }
@@ -151,8 +177,10 @@ impl ServerHandle {
     fn stop(&mut self) {
         if let Some(thread) = self.thread.take() {
             self.running.store(false, Ordering::SeqCst);
-            // Poke the blocking accept so the loop observes the flag.
-            let _ = TcpStream::connect(self.addr);
+            // Wake every poller so each observes the flag immediately.
+            for waker in &self.wakers {
+                waker.wake();
+            }
             let _ = thread.join();
         }
     }
@@ -174,32 +202,68 @@ pub fn serve(
     config: ServeConfig,
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
     let local_addr = listener.local_addr()?;
     let running = Arc::new(AtomicBool::new(true));
     let metrics = Arc::new(ServeMetrics::new());
     let registry = SharedRegistry::new(registry);
+    let mut wakers = Vec::new();
+    let mut readers = Vec::new();
+    for _ in 0..config.pollers.max(1) {
+        let (waker, reader) = waker_pair()?;
+        wakers.push(waker);
+        readers.push(reader);
+    }
     let thread = {
         let running = Arc::clone(&running);
         let metrics = Arc::clone(&metrics);
-        std::thread::spawn(move || serve_loop(listener, registry, config, running, metrics))
+        let wakers = wakers.clone();
+        std::thread::spawn(move || {
+            serve_loop(
+                listener, registry, config, running, metrics, readers, wakers,
+            )
+        })
     };
     Ok(ServerHandle {
         addr: local_addr,
         running,
         metrics,
+        wakers,
         thread: Some(thread),
     })
 }
 
-/// Everything a worker needs to answer requests.
+/// A parsed request on its way from a poller to the handler pool.
+struct HandlerJob {
+    poller: usize,
+    slot: usize,
+    generation: u64,
+    seq: u64,
+    request: Request,
+}
+
+/// A finished response on its way back to the owning poller.
+struct Completion {
+    slot: usize,
+    generation: u64,
+    seq: u64,
+    response: Response,
+}
+
+/// The handler-facing side of one poller: where completions are pushed, and
+/// the waker that tells the poller to collect them.
+struct PollerShared {
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+/// Everything a handler needs to answer requests.
 struct RequestContext<'a> {
     registry: &'a SharedRegistry,
     batcher: BatcherHandle,
     lime: &'a LimeConfig,
-    keep_alive: &'a KeepAliveConfig,
     metrics: &'a Arc<ServeMetrics>,
     reloading: &'a Arc<AtomicBool>,
-    running: &'a AtomicBool,
 }
 
 fn serve_loop(
@@ -208,135 +272,368 @@ fn serve_loop(
     config: ServeConfig,
     running: Arc<AtomicBool>,
     metrics: Arc<ServeMetrics>,
+    readers: Vec<WakeReader>,
+    wakers: Vec<Waker>,
 ) {
-    // Bounded connection queue: each queued TcpStream holds an open file
-    // descriptor, so an unbounded queue would let a connection burst exhaust
-    // the fd limit. When the queue is full the accept thread blocks on send,
-    // which pushes backpressure into the kernel's listen backlog.
-    let (conn_sender, conn_receiver) = mpsc::sync_channel::<TcpStream>(config.workers.max(1) * 32);
-    let conn_receiver = Mutex::new(conn_receiver);
     let reloading = Arc::new(AtomicBool::new(false));
     // One batch queue per scorer registered at startup. `/reload` refits keep
     // the kind set, so the queue set never needs to change at runtime.
     let (batcher, queues) = build_queues(&registry, &config.batch, &metrics);
+    let n_handlers = config.handlers.max(1);
+    metrics.set_thread_plan(readers.len(), n_handlers, queues.len());
+
+    let (job_sender, job_receiver) = mpsc::channel::<HandlerJob>();
+    let job_receiver = Mutex::new(job_receiver);
+    let poller_shared: Vec<Arc<PollerShared>> = wakers
+        .iter()
+        .map(|waker| {
+            Arc::new(PollerShared {
+                completions: Mutex::new(Vec::new()),
+                waker: waker.clone(),
+            })
+        })
+        .collect();
 
     let registry = &registry;
     let keep_alive = &config.keep_alive;
     let lime_config = &config.lime;
     let metrics = &metrics;
-    let conn_receiver = &conn_receiver;
     let reloading = &reloading;
     let running = &running;
+    let listener = &listener;
+    let job_receiver = &job_receiver;
+    let poller_shared = &poller_shared;
 
     crossbeam::thread::scope(|scope| {
         for queue in queues {
             scope.spawn(move |_| queue.run(registry, metrics));
         }
 
-        for _ in 0..config.workers.max(1) {
+        for _ in 0..n_handlers {
             let batcher = batcher.clone();
             scope.spawn(move |_| {
                 let context = RequestContext {
                     registry,
                     batcher,
                     lime: lime_config,
-                    keep_alive,
                     metrics,
                     reloading,
-                    running,
                 };
-                loop {
-                    // Take the lock only to pop; handling runs unlocked so the
-                    // rest of the pool keeps accepting work.
-                    let conn = { conn_receiver.lock().unwrap().recv() };
-                    match conn {
-                        Ok(stream) => handle_connection(stream, &context),
-                        Err(_) => break,
-                    }
-                }
+                handler_loop(&context, job_receiver, poller_shared);
             });
         }
-        // The workers hold clones; drop the original so the pool's exit
-        // (below) is what disconnects the batch queues.
+        // The handlers hold clones; drop the original so the handlers' exit
+        // is what disconnects the batch queues.
         drop(batcher);
 
-        for stream in listener.incoming() {
-            if !running.load(Ordering::SeqCst) {
-                break;
-            }
-            match stream {
-                Ok(stream) => {
-                    if conn_sender.send(stream).is_err() {
-                        break;
-                    }
-                }
-                // Transient accept failures (EMFILE, aborted handshakes):
-                // back off briefly instead of busy-spinning on the error.
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
-            }
+        for (index, reader) in readers.into_iter().enumerate() {
+            let job_sender = job_sender.clone();
+            let shared = Arc::clone(&poller_shared[index]);
+            scope.spawn(move |_| {
+                Poller::new(
+                    index, reader, shared, listener, job_sender, running, keep_alive, metrics,
+                )
+                .run();
+            });
         }
-        drop(conn_sender);
+        // The pollers hold clones; when the last poller exits, the job
+        // channel disconnects and the handlers drain out.
+        drop(job_sender);
     })
     .expect("server thread scope failed");
 }
 
-/// Serve one connection for its whole keep-alive session: up to
-/// `max_requests` request/response round-trips, ending on `Connection: close`,
-/// clean client EOF, idle timeout, a malformed request, or server shutdown.
-fn handle_connection(stream: TcpStream, context: &RequestContext<'_>) {
-    // The read timeout doubles as the keep-alive idle timeout: it bounds both
-    // a trickling request and the silence between requests.
-    let _ = stream.set_read_timeout(Some(context.keep_alive.idle_timeout));
-    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-    let mut reader = BufReader::new(&stream);
-    let max_requests = context.keep_alive.max_requests.max(1);
-    let mut served = 0usize;
-    while served < max_requests {
-        let request = match read_request(&mut reader) {
-            // Clean client close between requests: the normal end of a session.
-            Ok(None) => break,
-            // Idle timeout (WouldBlock on Unix, TimedOut elsewhere): close
-            // quietly — silence is not a protocol error.
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                break
-            }
-            Ok(Some(request)) => Ok(request),
-            Err(e) => Err(e),
-        };
-        let started = Instant::now();
-        served += 1;
-        if served > 1 {
-            context.metrics.record_keepalive_reuse();
-        }
-        // Whether the *server* wants to keep going after this response.
-        let mut keep = served < max_requests && context.running.load(Ordering::SeqCst);
-        let response = match &request {
-            Ok(request) => {
-                keep &= !request.close;
-                route(request, context)
-            }
-            Err(e) => {
-                // A malformed request desynchronises the framing; answer 400
-                // and close rather than guess where the next request starts.
-                keep = false;
-                context.metrics.record_request(Endpoint::Other);
-                Response::error(400, &format!("malformed request: {e}"))
-            }
-        };
+/// Pop parsed requests, run the route, push the response back to the owning
+/// poller. Exits when every poller (job sender) is gone.
+fn handler_loop(
+    context: &RequestContext<'_>,
+    receiver: &Mutex<mpsc::Receiver<HandlerJob>>,
+    pollers: &[Arc<PollerShared>],
+) {
+    loop {
+        // Take the lock only to pop; handling runs unlocked so the rest of
+        // the pool keeps draining jobs.
+        let job = { receiver.lock().unwrap().recv() };
+        let Ok(job) = job else { break };
+        let response = route(&job.request, context);
         if response.status >= 400 {
             context.metrics.record_error();
         }
-        let write_failed = write_response(&mut (&stream), &response, keep).is_err();
-        context
-            .metrics
-            .record_latency_us(started.elapsed().as_micros() as u64);
-        if !keep || write_failed {
-            break;
+        let shared = &pollers[job.poller];
+        shared.completions.lock().unwrap().push(Completion {
+            slot: job.slot,
+            generation: job.generation,
+            seq: job.seq,
+            response,
+        });
+        shared.waker.wake();
+    }
+}
+
+/// One poller thread: a readiness loop over its share of the connections,
+/// the shared listener, and its waker pipe.
+struct Poller<'a> {
+    index: usize,
+    reader: WakeReader,
+    shared: Arc<PollerShared>,
+    listener: &'a TcpListener,
+    job_sender: mpsc::Sender<HandlerJob>,
+    running: &'a AtomicBool,
+    keep_alive: &'a KeepAliveConfig,
+    metrics: &'a Arc<ServeMetrics>,
+    conns: Vec<Option<Connection>>,
+    free: Vec<usize>,
+    next_generation: u64,
+    wheel: TimerWheel,
+    granularity: Duration,
+    set: PollSet,
+}
+
+impl<'a> Poller<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        index: usize,
+        reader: WakeReader,
+        shared: Arc<PollerShared>,
+        listener: &'a TcpListener,
+        job_sender: mpsc::Sender<HandlerJob>,
+        running: &'a AtomicBool,
+        keep_alive: &'a KeepAliveConfig,
+        metrics: &'a Arc<ServeMetrics>,
+    ) -> Self {
+        // Wheel granularity: fine enough that evictions land near the
+        // deadline, coarse enough that an idle server barely ticks.
+        let granularity =
+            (keep_alive.idle_timeout / 8).clamp(Duration::from_millis(10), Duration::from_secs(1));
+        Self {
+            index,
+            reader,
+            shared,
+            listener,
+            job_sender,
+            running,
+            keep_alive,
+            metrics,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+            wheel: TimerWheel::new(granularity, WHEEL_BUCKETS, Instant::now()),
+            granularity,
+            set: PollSet::new(),
+        }
+    }
+
+    fn run(mut self) {
+        let idle_timeout = self.keep_alive.idle_timeout.max(Duration::from_millis(1));
+        while self.running.load(Ordering::SeqCst) {
+            self.build_set();
+            let now = Instant::now();
+            let timeout = self
+                .wheel
+                .next_timeout(now)
+                .unwrap_or(FALLBACK_POLL)
+                .min(FALLBACK_POLL);
+            let n_ready = match self.set.wait(timeout) {
+                Ok(n) => n,
+                Err(_) => {
+                    // A failed poll is unrecoverable per-call but transient
+                    // per-process; back off instead of spinning.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            };
+            let now = Instant::now();
+            if n_ready > 0 {
+                self.metrics.connections().record_wakeup();
+            }
+
+            let events: Vec<ReadyEvent> = self.set.ready().collect();
+            let mut touched: Vec<usize> = Vec::new();
+            for event in &events {
+                if event.token == TOKEN_WAKER {
+                    self.reader.drain();
+                } else if event.token == TOKEN_LISTENER {
+                    self.accept_new(now, idle_timeout, &mut touched);
+                }
+            }
+            for event in &events {
+                if event.token >= TOKEN_LISTENER || !event.readable {
+                    continue;
+                }
+                let slot = event.token;
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    if conn.on_readable(now).is_err() {
+                        self.close(slot);
+                        continue;
+                    }
+                }
+                touched.push(slot);
+            }
+            for event in &events {
+                if event.token < TOKEN_LISTENER && event.writable && !event.readable {
+                    touched.push(event.token);
+                }
+            }
+
+            // Collect completions every round, not only on waker events: the
+            // wake and the push are not atomic together, and a spurious
+            // collection is one cheap lock.
+            let completed: Vec<Completion> =
+                std::mem::take(&mut self.shared.completions.lock().unwrap());
+            for completion in completed {
+                if let Some(conn) = self.conns[completion.slot].as_mut() {
+                    if conn.generation == completion.generation {
+                        conn.complete(completion.seq, completion.response);
+                        touched.push(completion.slot);
+                    }
+                }
+            }
+
+            touched.sort_unstable();
+            touched.dedup();
+            for slot in touched {
+                self.pump(slot, now);
+            }
+            self.expire_timers(now, idle_timeout);
+        }
+        // Shutdown: drop every connection (close the sockets, settle the
+        // open-connection gauge).
+        for slot in 0..self.conns.len() {
+            self.close(slot);
+        }
+    }
+
+    /// Rebuild the poll set from the live connection table. O(connections)
+    /// per wait, but a single FFI call and trivially correct under churn — a
+    /// closed fd is simply never submitted again.
+    fn build_set(&mut self) {
+        self.set.clear();
+        self.set.push(self.reader.fd(), Interest::READ, TOKEN_WAKER);
+        self.set
+            .push(self.listener.as_raw_fd(), Interest::READ, TOKEN_LISTENER);
+        for (slot, conn) in self.conns.iter().enumerate() {
+            if let Some(conn) = conn {
+                // A connection at the pipelining cap (or past its final
+                // request) withdraws read interest: backpressure lands in the
+                // kernel's receive buffer. Hangups still surface — poll
+                // reports them regardless of the requested events.
+                let interest = Interest {
+                    read: conn.wants_read(),
+                    write: conn.wants_write(),
+                };
+                self.set.push(conn.fd(), interest, slot);
+            }
+        }
+    }
+
+    /// Drain the listener's accept queue. Every poller races on the same
+    /// listener; losers see `WouldBlock` immediately.
+    fn accept_new(&mut self, now: Instant, idle_timeout: Duration, touched: &mut Vec<usize>) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.next_generation += 1;
+                    let generation = self.next_generation;
+                    let Ok(conn) = Connection::new(stream, generation, now) else {
+                        continue;
+                    };
+                    let slot = match self.free.pop() {
+                        Some(slot) => {
+                            self.conns[slot] = Some(conn);
+                            slot
+                        }
+                        None => {
+                            self.conns.push(Some(conn));
+                            self.conns.len() - 1
+                        }
+                    };
+                    self.metrics.connections().record_accepted();
+                    self.wheel.schedule(now + idle_timeout, slot, generation);
+                    touched.push(slot);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                // Transient accept failures (EMFILE, aborted handshakes):
+                // back off briefly instead of busy-spinning on the error.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drive one connection as far as it will go without blocking: parse and
+    /// dispatch new requests, serialize completed responses in order, flush,
+    /// and close if the session is over.
+    fn pump(&mut self, slot: usize, now: Instant) {
+        let mut broken = false;
+        {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            let generation = conn.generation;
+            let requests = conn.take_requests(now, self.keep_alive.max_requests, self.metrics);
+            for (seq, request) in requests {
+                let job = HandlerJob {
+                    poller: self.index,
+                    slot,
+                    generation,
+                    seq,
+                    request,
+                };
+                if self.job_sender.send(job).is_err() {
+                    // Shutting down: the response will never come, and the
+                    // poller is about to drop the connection anyway.
+                    break;
+                }
+            }
+            let conn = self.conns[slot].as_mut().expect("connection still live");
+            conn.serialize_ready(self.running.load(Ordering::SeqCst), self.metrics);
+            if conn.wants_write() {
+                broken = conn.on_writable(now).is_err();
+            }
+        }
+        if broken
+            || self.conns[slot]
+                .as_ref()
+                .is_some_and(|conn| conn.should_close())
+        {
+            self.close(slot);
+        }
+    }
+
+    /// Fire due timers with lazy revalidation: evict only connections that
+    /// are genuinely idle (or wedged mid-write) past the timeout; reschedule
+    /// everything else for its remaining lifetime.
+    fn expire_timers(&mut self, now: Instant, idle_timeout: Duration) {
+        for (slot, generation) in self.wheel.expire(now) {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                continue;
+            };
+            if conn.generation != generation {
+                continue; // the slot was reused; the old connection is gone
+            }
+            let idle_for = now.duration_since(conn.last_activity);
+            // `wants_write` past the timeout means the client stopped
+            // draining its responses — evict it just like an idle one. A
+            // connection merely waiting on a slow model batch has in-flight
+            // work and no stuck output, so it is rescheduled, not evicted.
+            if idle_for >= idle_timeout && (conn.is_idle() || conn.wants_write()) {
+                self.metrics.connections().record_idle_eviction();
+                self.close(slot);
+            } else {
+                let deadline = (conn.last_activity + idle_timeout).max(now + self.granularity);
+                self.wheel.schedule(deadline, slot, generation);
+            }
+        }
+    }
+
+    /// Drop the connection in `slot` (closing its socket) and recycle the
+    /// slot.
+    fn close(&mut self, slot: usize) {
+        if self.conns[slot].take().is_some() {
+            self.free.push(slot);
+            self.metrics.connections().record_closed();
         }
     }
 }
@@ -395,6 +692,10 @@ fn handle_healthz(context: &RequestContext<'_>) -> Response {
             (
                 "reloading",
                 JsonValue::Bool(context.reloading.load(Ordering::SeqCst)),
+            ),
+            (
+                "open_connections",
+                JsonValue::Number(context.metrics.connections().open() as f64),
             ),
         ])
         .to_string(),
@@ -551,13 +852,13 @@ fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
 }
 
 /// `POST /reload`: the body is a JSONL corpus in the `corpus::io` schema. The
-/// worker thread only parses and validates; the fit of the fresh registry runs
-/// on its own dedicated thread — never on an HTTP worker or a batch queue —
-/// and the new registry is atomically swapped in when ready, so `/predict`
-/// keeps answering (from the old models) for the whole duration. Responds
-/// `202` with the accepted post count, `400` on a malformed or empty corpus,
-/// `409` if a reload is already in flight. Completion is observable in
-/// `GET /metrics` (`registry.reloads_total`, `registry.corpus_size`) and
+/// handler thread only parses and validates; the fit of the fresh registry
+/// runs on its own dedicated thread — never on an HTTP handler or a batch
+/// queue — and the new registry is atomically swapped in when ready, so
+/// `/predict` keeps answering (from the old models) for the whole duration.
+/// Responds `202` with the accepted post count, `400` on a malformed or empty
+/// corpus, `409` if a reload is already in flight. Completion is observable
+/// in `GET /metrics` (`registry.reloads_total`, `registry.corpus_size`) and
 /// `GET /healthz` (`reloading`).
 fn handle_reload(body: &str, context: &RequestContext<'_>) -> Response {
     let posts = match holistix_corpus::io::from_jsonl(body) {
@@ -592,7 +893,7 @@ fn handle_reload(body: &str, context: &RequestContext<'_>) -> Response {
         let _clear = ClearOnExit(reloading);
         let texts: Vec<&str> = posts.iter().map(|p| p.post.text.as_str()).collect();
         let labels: Vec<usize> = posts.iter().map(|p| p.label.index()).collect();
-        // Half the machine: the fit must not starve the worker pool and the
+        // Half the machine: the fit must not starve the handler pool and the
         // batch queues, which are serving live traffic off the old registry.
         let fresh = shared.current().refit_budgeted(
             &texts,
@@ -627,7 +928,7 @@ mod tests {
             seed: 3,
         });
         let config = ServeConfig {
-            workers: 4,
+            handlers: 4,
             batch: BatchConfig {
                 max_batch: 8,
                 max_wait: Duration::from_millis(1),
@@ -728,7 +1029,7 @@ mod tests {
             seed: 3,
         });
         let config = ServeConfig {
-            workers: 2,
+            handlers: 2,
             keep_alive: KeepAliveConfig {
                 max_requests: 2,
                 idle_timeout: Duration::from_secs(5),
@@ -765,7 +1066,7 @@ mod tests {
             seed: 3,
         });
         let config = ServeConfig {
-            workers: 2,
+            handlers: 2,
             keep_alive: KeepAliveConfig {
                 max_requests: 100,
                 idle_timeout: Duration::from_millis(100),
@@ -782,6 +1083,8 @@ mod tests {
         std::thread::sleep(Duration::from_millis(400));
         assert!(client.request("GET", "/healthz", None).is_err());
         drop(client);
+        // The eviction is visible in the connection counters.
+        assert!(server.metrics().connections().idle_evictions_total() >= 1);
         server.shutdown();
     }
 
@@ -836,7 +1139,7 @@ mod tests {
         let server = tiny_server();
         let addr = server.addr();
 
-        // Malformed and empty corpora are rejected on the worker thread.
+        // Malformed and empty corpora are rejected on the handler thread.
         let (status, body) = http_request(addr, "POST", "/reload", Some("not jsonl")).unwrap();
         assert_eq!(status, 400, "{body}");
         assert!(body.contains("invalid JSONL"));

@@ -1,0 +1,110 @@
+//! Per-fit token interning.
+//!
+//! The vectoriser fit path used to allocate one `String` per token
+//! *occurrence* — the carried ROADMAP allocation-churn item. An [`Interner`]
+//! turns that into one allocation per *distinct* term: each term string is
+//! stored once and every later occurrence resolves to a dense `u32` symbol via
+//! a hash lookup on the borrowed slice. Symbols are dense (`0..len`), so
+//! per-term statistics (term/document frequencies, vocabulary-column lookups)
+//! become plain `Vec` indexing instead of `HashMap<String, _>` probes.
+//!
+//! The interner is deliberately *per fit* (one per shard of the map-reduce
+//! fit), not global: symbols from different interners are incomparable, and a
+//! fit-scoped lifetime means the arena is freed with the fit instead of
+//! growing for the life of the process.
+
+use std::collections::HashMap;
+
+/// A dense symbol for an interned term. Valid only with the [`Interner`] that
+/// produced it.
+pub type Sym = u32;
+
+/// A string arena with `&str → Sym` lookup. See the module docs.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    ids: HashMap<String, Sym>,
+    terms: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty interner with room for `capacity` distinct terms.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            ids: HashMap::with_capacity(capacity),
+            terms: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The symbol for `term`, interning it on first sight. Only the first
+    /// occurrence of a term allocates; every later call is a borrow-keyed
+    /// lookup.
+    pub fn intern(&mut self, term: &str) -> Sym {
+        if let Some(&sym) = self.ids.get(term) {
+            return sym;
+        }
+        let sym = self.terms.len() as Sym;
+        self.ids.insert(term.to_string(), sym);
+        self.terms.push(term.to_string());
+        sym
+    }
+
+    /// The symbol for `term` if it is already interned.
+    pub fn get(&self, term: &str) -> Option<Sym> {
+        self.ids.get(term).copied()
+    }
+
+    /// The term behind `sym`.
+    ///
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.terms[sym as usize]
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// All interned terms in symbol order.
+    pub fn terms(&self) -> &[String] {
+        &self.terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut interner = Interner::new();
+        let a = interner.intern("alone");
+        let b = interner.intern("tired");
+        assert_eq!(interner.intern("alone"), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(a), "alone");
+        assert_eq!(interner.resolve(b), "tired");
+        assert_eq!(interner.get("alone"), Some(a));
+        assert_eq!(interner.get("absent"), None);
+    }
+
+    #[test]
+    fn symbol_order_is_first_sight_order() {
+        let mut interner = Interner::new();
+        for term in ["c", "a", "b", "a", "c"] {
+            interner.intern(term);
+        }
+        assert_eq!(interner.terms(), &["c", "a", "b"]);
+    }
+}

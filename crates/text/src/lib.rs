@@ -13,6 +13,8 @@
 //! * [`stopwords`] — an English stop-word list tuned for social-media text,
 //! * [`stem`] — a light Porter-style suffix stripper,
 //! * [`vocab`] — frequency-counted vocabularies with id mapping,
+//! * [`intern`] — per-fit string interning so hot loops allocate once per
+//!   distinct term instead of once per token occurrence,
 //! * [`ngrams`] — n-gram extraction used by the BLEU metric and feature ablations,
 //! * [`subword`] — a WordPiece-style subword tokeniser used by the transformer
 //!   baselines (greedy longest-match with `##` continuation pieces).
@@ -21,6 +23,7 @@
 //! inner loop of corpus generation and vectorisation, so they avoid per-token regex
 //! work and operate on `char` boundaries directly.
 
+pub mod intern;
 pub mod ngrams;
 pub mod normalize;
 pub mod stem;
@@ -29,12 +32,13 @@ pub mod subword;
 pub mod tokenize;
 pub mod vocab;
 
+pub use intern::{Interner, Sym};
 pub use ngrams::{char_ngrams, ngrams, NGram};
 pub use normalize::{normalize, NormalizeOptions};
 pub use stem::stem;
 pub use stopwords::{is_stopword, StopwordFilter};
 pub use subword::{SubwordTokenizer, SubwordVocabBuilder};
-pub use tokenize::{sentences, tokenize, tokenize_with_spans, Token, TokenKind};
+pub use tokenize::{sentences, token_spans, tokenize, tokenize_with_spans, Token, TokenKind};
 pub use vocab::{Vocabulary, VocabularyBuilder};
 
 /// Convenience: lower-cased word tokens with stop-words removed — the

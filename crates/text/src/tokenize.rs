@@ -47,13 +47,14 @@ fn is_word_continuation(c: char) -> bool {
     c.is_alphanumeric() || c == '\'' || c == '’' || c == '-'
 }
 
-/// Tokenise `text` into [`Token`]s with byte offsets.
-///
-/// Words keep internal apostrophes and hyphens; trailing apostrophes/hyphens are
-/// trimmed. Digit runs become [`TokenKind::Number`]; any other non-whitespace
-/// character becomes a one-character [`TokenKind::Punctuation`] token.
-pub fn tokenize_with_spans(text: &str) -> Vec<Token> {
-    let mut tokens = Vec::new();
+/// Tokenise `text` into `(start, end, kind)` byte spans **without allocating
+/// per token**. This is the single tokeniser implementation:
+/// [`tokenize_with_spans`] materialises owned [`Token`]s from these spans, and
+/// the vectoriser's interned fit path consumes the spans directly (borrowing
+/// `&text[start..end]`) so fitting a corpus no longer allocates one `String`
+/// per token occurrence.
+pub fn token_spans(text: &str) -> Vec<(usize, usize, TokenKind)> {
+    let mut spans = Vec::new();
     let mut chars = text.char_indices().peekable();
 
     while let Some(&(start, c)) = chars.peek() {
@@ -84,12 +85,7 @@ pub fn tokenize_with_spans(text: &str) -> Vec<Token> {
             }
             let end = start + slice.len();
             if !slice.is_empty() {
-                tokens.push(Token {
-                    text: slice.to_string(),
-                    start,
-                    end,
-                    kind: TokenKind::Word,
-                });
+                spans.push((start, end, TokenKind::Word));
             }
             continue;
         }
@@ -106,25 +102,32 @@ pub fn tokenize_with_spans(text: &str) -> Vec<Token> {
                     break;
                 }
             }
-            tokens.push(Token {
-                text: text[start..end].to_string(),
-                start,
-                end,
-                kind: TokenKind::Number,
-            });
+            spans.push((start, end, TokenKind::Number));
             continue;
         }
         // punctuation / symbol
         let end = start + c.len_utf8();
         chars.next();
-        tokens.push(Token {
+        spans.push((start, end, TokenKind::Punctuation));
+    }
+    spans
+}
+
+/// Tokenise `text` into [`Token`]s with byte offsets.
+///
+/// Words keep internal apostrophes and hyphens; trailing apostrophes/hyphens are
+/// trimmed. Digit runs become [`TokenKind::Number`]; any other non-whitespace
+/// character becomes a one-character [`TokenKind::Punctuation`] token.
+pub fn tokenize_with_spans(text: &str) -> Vec<Token> {
+    token_spans(text)
+        .into_iter()
+        .map(|(start, end, kind)| Token {
             text: text[start..end].to_string(),
             start,
             end,
-            kind: TokenKind::Punctuation,
-        });
-    }
-    tokens
+            kind,
+        })
+        .collect()
 }
 
 /// Tokenise `text`, returning tokens without caring about spans.

@@ -47,6 +47,28 @@ impl VocabularyBuilder {
         }
     }
 
+    /// Record pre-aggregated counts for one term: `term_count` total
+    /// occurrences and `doc_count` containing documents. This is how the
+    /// interned fit path (which counts by dense symbol into plain vectors)
+    /// folds its totals into a builder; the result is exactly what
+    /// [`add_document`](Self::add_document)-ing the same corpus would have
+    /// produced, because both are the same integer sums.
+    pub fn record_term(&mut self, term: &str, term_count: u64, doc_count: u64) {
+        if term_count == 0 && doc_count == 0 {
+            return;
+        }
+        *self.term_counts.entry(term.to_string()).or_insert(0) += term_count;
+        if doc_count > 0 {
+            *self.doc_counts.entry(term.to_string()).or_insert(0) += doc_count;
+        }
+    }
+
+    /// Record `n` documents counted externally (the companion of
+    /// [`record_term`](Self::record_term)).
+    pub fn record_documents(&mut self, n: u64) {
+        self.n_docs += n;
+    }
+
     /// Merge another builder into this one, summing term frequencies, document
     /// frequencies and document counts.
     ///

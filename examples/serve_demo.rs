@@ -4,7 +4,7 @@
 //!
 //! ```bash
 //! cargo run --release --example serve_demo            # load generator + metrics report
-//! cargo run --release --example serve_demo -- --smoke # CI smoke: keep-alive + predict + /reload
+//! cargo run --release --example serve_demo -- --smoke # CI smoke: keep-alive + 256 idle conns + /reload
 //! ```
 //!
 //! The default mode fits a registry, starts the server on an ephemeral
@@ -24,6 +24,22 @@ use std::time::Duration;
 fn fail(message: &str) -> ! {
     eprintln!("serve_demo: {message}");
     std::process::exit(1);
+}
+
+/// Pull `threads.os_threads` out of a `/metrics` document.
+fn os_threads_from(metrics_body: &str) -> u64 {
+    let document = match holistix::corpus::JsonValue::parse(metrics_body) {
+        Ok(document) => document,
+        Err(e) => fail(&format!("metrics response is not JSON: {e}")),
+    };
+    match document
+        .get("threads")
+        .and_then(|t| t.get("os_threads"))
+        .and_then(|v| v.as_f64())
+    {
+        Some(n) => n as u64,
+        None => fail("metrics missing threads.os_threads"),
+    }
 }
 
 fn request_ok(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> String {
@@ -51,7 +67,8 @@ fn main() {
     });
 
     let config = ServeConfig {
-        workers: 8,
+        pollers: 2,
+        handlers: 8,
         batch: BatchConfig {
             max_batch: 32,
             max_wait: Duration::from_millis(5),
@@ -100,6 +117,59 @@ fn main() {
             ));
         }
         println!("keep-alive ok ({reuses} reuses over one connection)");
+
+        // Connection-multiplexer smoke: park 256 idle keep-alive connections
+        // and assert via /metrics that the OS thread count is a function of
+        // the configured pollers + handlers + queues, not of the client count.
+        // This runs BEFORE the /reload check because /reload legitimately
+        // spawns a detached fit thread and would move the baseline.
+        let threads_before = os_threads_from(&request_ok(addr, "GET", "/metrics", None));
+        let mut parked = Vec::with_capacity(256);
+        for i in 0..256 {
+            let mut attempts = 0;
+            loop {
+                match std::net::TcpStream::connect(addr) {
+                    Ok(stream) => {
+                        parked.push(stream);
+                        break;
+                    }
+                    Err(e) => {
+                        attempts += 1;
+                        if attempts >= 200 {
+                            fail(&format!("idle connection {i} could not connect: {e}"));
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            if server.metrics().connections().open() >= 256 {
+                break;
+            }
+            if std::time::Instant::now() >= deadline {
+                fail(&format!(
+                    "only {} of 256 idle connections were accepted within 30s",
+                    server.metrics().connections().open()
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let during_idle = request_ok(addr, "POST", "/predict", Some(body));
+        if !during_idle.contains("probabilities") {
+            fail("predict with 256 idle connections parked carries no probabilities");
+        }
+        let threads_after = os_threads_from(&request_ok(addr, "GET", "/metrics", None));
+        if threads_after != threads_before {
+            fail(&format!(
+                "OS thread count moved with idle connections: {threads_before} -> {threads_after}"
+            ));
+        }
+        drop(parked);
+        println!(
+            "multiplexer ok (256 idle connections parked, {threads_before} OS threads before and after)"
+        );
 
         // /reload round-trip: upload a fresh JSONL corpus, confirm 202, keep
         // predicting while the off-thread fit runs, wait for the atomic swap.

@@ -28,7 +28,7 @@ fn start_server() -> (holistix_serve::ServerHandle, Arc<dyn Scorer>) {
     });
     let model = registry.get(BaselineKind::LogisticRegression).unwrap();
     let config = ServeConfig {
-        workers: 8,
+        handlers: 8,
         batch: BatchConfig {
             max_batch: 8,
             // Generous window so concurrent clients reliably land in one batch
@@ -350,7 +350,7 @@ fn classical_predicts_complete_while_slow_scorer_batch_is_in_flight() {
         "127.0.0.1:0",
         registry,
         ServeConfig {
-            workers: 4,
+            handlers: 4,
             batch: BatchConfig {
                 max_batch: 8,
                 max_wait: Duration::from_millis(1),
