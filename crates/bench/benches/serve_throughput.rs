@@ -25,7 +25,10 @@
 //! under the multiplexer they cost poll-set entries, so throughput and thread
 //! count must both stay flat. The sweep's trajectory is written to
 //! `BENCH_serve.json` at the repository root so successive runs can be
-//! compared.
+//! compared. Each step also records p50/p99/p999 request latency, read from
+//! the server's own log-bucketed histogram and snapshot-subtracted so every
+//! step reports only its own requests — the same instrumentation `/metrics`
+//! exposes, exercised here as the regression gate for its overhead.
 //!
 //! Correctness is pinned elsewhere (the loopback integration tests assert
 //! bit-identical answers over keep-alive connections and batches); this bench
@@ -194,7 +197,12 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let mut idle_pool: Vec<TcpStream> = Vec::new();
     for &target in &idle_counts {
         idle_pool.extend(open_idle_clients(addr, target - idle_pool.len()));
+        // Snapshot the cumulative latency histogram around the drive so each
+        // sweep step reports the percentiles of *its own* requests only
+        // (histogram subtraction is exact — the buckets are atomic counters).
+        let latency_before = server.metrics().latency_snapshot();
         let elapsed = drive(addr, &pool);
+        let latency = server.metrics().latency_snapshot().minus(&latency_before);
         let req_per_s = total_requests / elapsed.as_secs_f64();
         let os_threads = os_thread_count().unwrap_or(0);
         let open = server.metrics().connections().open();
@@ -203,12 +211,18 @@ fn bench_serve_throughput(c: &mut Criterion) {
             "only {open} connections open with {target} idle clients parked"
         );
         thread_counts.push(os_threads);
+        let pct = |q: f64| latency.percentile(q).unwrap_or(0);
+        let (p50, p99, p999) = (pct(0.50), pct(0.99), pct(0.999));
         println!(
-            "idle {target:>4}: {req_per_s:>7.0} req/s  ({os_threads} OS threads, {open} open connections)"
+            "idle {target:>4}: {req_per_s:>7.0} req/s  p50 {p50} us  p99 {p99} us  p999 {p999} us  \
+             ({os_threads} OS threads, {open} open connections)"
         );
         trajectory.push(JsonValue::object(vec![
             ("idle_clients", JsonValue::Number(target as f64)),
             ("req_per_s", JsonValue::Number(req_per_s)),
+            ("latency_p50_us", JsonValue::Number(p50 as f64)),
+            ("latency_p99_us", JsonValue::Number(p99 as f64)),
+            ("latency_p999_us", JsonValue::Number(p999 as f64)),
             ("os_threads", JsonValue::Number(os_threads as f64)),
             ("open_connections", JsonValue::Number(open as f64)),
         ]));

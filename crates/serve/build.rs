@@ -1,0 +1,24 @@
+//! Bake the repository's `git describe` into the crate so `/healthz` and the
+//! `holistix_build_info` Prometheus gauge can report exactly which source
+//! built the running server. When git (or the repository) is unavailable —
+//! e.g. building from a source tarball — no env var is emitted and
+//! `option_env!` in `metrics::build_info` falls back to `"unknown"`.
+
+use std::process::Command;
+
+fn main() {
+    // Re-run when HEAD moves so the describe string stays current.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    let output = Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output();
+    if let Ok(output) = output {
+        if output.status.success() {
+            let describe = String::from_utf8_lossy(&output.stdout);
+            let describe = describe.trim();
+            if !describe.is_empty() {
+                println!("cargo:rustc-env=HOLISTIX_GIT_DESCRIBE={describe}");
+            }
+        }
+    }
+}

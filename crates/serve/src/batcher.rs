@@ -71,9 +71,33 @@ impl BatchConfig {
 /// One text awaiting scoring, with the channel its probabilities go back on.
 pub(crate) struct Job {
     pub text: String,
-    pub reply: Sender<Vec<f64>>,
+    pub reply: Sender<JobReply>,
     /// When the job entered its queue, for per-queue latency percentiles.
     pub enqueued: Instant,
+}
+
+/// One scored row on its way back to the waiting worker, carrying the batch
+/// timing the worker stamps into its request trace.
+pub(crate) struct JobReply {
+    /// The probability row (empty = the model was not loaded).
+    pub row: Vec<f64>,
+    /// When the drain loop pulled the batch out of the queue.
+    pub drained: Instant,
+    /// When the batch's `probabilities` call returned.
+    pub scored: Instant,
+}
+
+/// Batch-stage timing for one `predict_many` call: when its texts left the
+/// queue and when scoring finished. A multi-text request may span several
+/// batches; this is the envelope (earliest drain, latest score), which is
+/// what the request trace wants — the request's queue wait ends at the first
+/// drain and its scoring ends at the last row.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchTiming {
+    /// Earliest batch drain among the request's texts.
+    pub drained: Instant,
+    /// Latest scoring completion among the request's texts.
+    pub scored: Instant,
 }
 
 /// The sending half of one kind's queue.
@@ -97,14 +121,17 @@ impl BatcherHandle {
 
     /// Score `texts` with the warm model for `kind` via its batch queue. All
     /// jobs are enqueued before the first reply is awaited, so a multi-text
-    /// request forms (or joins) a batch as a whole. Errors when `kind` has no
-    /// queue (no scorer was registered for it at startup), when the server is
-    /// shutting down, or when the queue's drain loop died mid-request.
+    /// request forms (or joins) a batch as a whole. Returns the probability
+    /// rows plus the batch timing envelope for the caller's request trace
+    /// (`None` when `texts` was empty — nothing was ever queued). Errors when
+    /// `kind` has no queue (no scorer was registered for it at startup), when
+    /// the server is shutting down, or when the queue's drain loop died
+    /// mid-request.
     pub fn predict_many(
         &self,
         kind: BaselineKind,
         texts: Vec<String>,
-    ) -> Result<Vec<Vec<f64>>, String> {
+    ) -> Result<(Vec<Vec<f64>>, Option<BatchTiming>), String> {
         let queue = self
             .queue(kind)
             .ok_or_else(|| format!("model {:?} is not loaded", kind.name()))?;
@@ -129,14 +156,26 @@ impl BatcherHandle {
             }
             receivers.push(receiver);
         }
-        receivers
-            .into_iter()
-            .map(|rx| match rx.recv() {
-                Ok(row) if row.is_empty() => Err(format!("model {:?} is not loaded", kind.name())),
-                Ok(row) => Ok(row),
-                Err(_) => Err("scoring failed".to_string()),
-            })
-            .collect()
+        let mut timing: Option<BatchTiming> = None;
+        let mut rows = Vec::with_capacity(receivers.len());
+        for rx in receivers {
+            let reply = rx.recv().map_err(|_| "scoring failed".to_string())?;
+            if reply.row.is_empty() {
+                return Err(format!("model {:?} is not loaded", kind.name()));
+            }
+            timing = Some(match timing {
+                None => BatchTiming {
+                    drained: reply.drained,
+                    scored: reply.scored,
+                },
+                Some(t) => BatchTiming {
+                    drained: t.drained.min(reply.drained),
+                    scored: t.scored.max(reply.scored),
+                },
+            });
+            rows.push(reply.row);
+        }
+        Ok((rows, timing))
     }
 }
 
@@ -175,18 +214,22 @@ impl BatchQueue {
     }
 
     /// Score one assembled batch with this queue's scorer (one batched
-    /// `probabilities` call) and reply to every job.
+    /// `probabilities` call) and reply to every job, carrying the batch's
+    /// drain and score instants so each waiting worker can stamp its trace.
     fn score_batch(&self, jobs: &[Job], registry: &SharedRegistry, serve_metrics: &ServeMetrics) {
-        let rows = match registry.current().get(self.kind) {
+        let drained = Instant::now();
+        let (rows, scored) = match registry.current().get(self.kind) {
             Some(scorer) => {
                 let rows = score_jobs(scorer.as_ref(), jobs);
-                let latencies: Vec<u64> = jobs
+                let scored = Instant::now();
+                let waits: Vec<u64> = jobs
                     .iter()
-                    .map(|j| j.enqueued.elapsed().as_micros() as u64)
+                    .map(|j| drained.duration_since(j.enqueued).as_micros() as u64)
                     .collect();
-                self.metrics.record_batch(jobs.len(), &latencies);
+                let score_us = scored.duration_since(drained).as_micros() as u64;
+                self.metrics.record_batch(jobs.len(), &waits, score_us);
                 serve_metrics.record_batch(jobs.len());
-                rows
+                (rows, scored)
             }
             // The queue exists because the startup registry had this kind, and
             // refits keep kinds — so this only happens if a swapped-in registry
@@ -195,12 +238,16 @@ impl BatchQueue {
             // and record no batch — no model scored these texts.
             None => {
                 self.metrics.record_dropped(jobs.len());
-                vec![Vec::new(); jobs.len()]
+                (vec![Vec::new(); jobs.len()], drained)
             }
         };
         for (job, row) in jobs.iter().zip(rows) {
             // A dropped receiver just means the client went away mid-request.
-            let _ = job.reply.send(row);
+            let _ = job.reply.send(JobReply {
+                row,
+                drained,
+                scored,
+            });
         }
     }
 }
@@ -299,10 +346,13 @@ mod tests {
         let expected: Vec<Vec<f64>> = texts.iter().map(|t| model.probabilities_one(t)).collect();
 
         with_queues(&registry, &config, &metrics, |handle| {
-            let got = handle
+            let (got, timing) = handle
                 .predict_many(BaselineKind::LogisticRegression, texts.clone())
                 .unwrap();
             assert_eq!(got, expected);
+            // One batch: its timing envelope is ordered and after enqueue.
+            let timing = timing.expect("scored at least one text");
+            assert!(timing.drained <= timing.scored);
         });
 
         // All three jobs were enqueued before any reply was awaited, so they

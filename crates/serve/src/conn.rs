@@ -33,7 +33,8 @@
 
 use crate::http::{write_response, Request, RequestParser, Response};
 use crate::metrics::{Endpoint, ServeMetrics};
-use std::collections::BTreeMap;
+use crate::obs::{RequestTrace, TraceStamp};
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -57,10 +58,18 @@ pub(crate) struct Connection {
     /// resume point.
     out: Vec<u8>,
     out_pos: usize,
-    /// Completed responses waiting for their turn in sequence order.
-    pending: BTreeMap<u64, Response>,
-    /// Dispatch times of in-flight sequences, for request latency metrics.
-    starts: BTreeMap<u64, Instant>,
+    /// Completed responses (with their traces) waiting for their turn in
+    /// sequence order.
+    pending: BTreeMap<u64, (Response, RequestTrace)>,
+    /// Cumulative bytes this connection has written to the socket.
+    written_total: u64,
+    /// Serialized responses not yet fully on the wire: `(due, trace)` where
+    /// `due` is the cumulative write offset of the response's last byte. When
+    /// `written_total` reaches `due`, the response's final byte has hit the
+    /// socket and its trace finalizes (the `write` stage ends there, so a
+    /// slow-draining client shows up in the tail). Front-to-back in sequence
+    /// order because serialization is.
+    inflight_writes: VecDeque<(u64, RequestTrace)>,
     /// Next sequence number to assign to a parsed request.
     next_seq: u64,
     /// Next sequence number to serialize (all below it are on the wire or in
@@ -90,7 +99,8 @@ impl Connection {
             out: Vec::new(),
             out_pos: 0,
             pending: BTreeMap::new(),
-            starts: BTreeMap::new(),
+            written_total: 0,
+            inflight_writes: VecDeque::new(),
             next_seq: 0,
             next_write_seq: 0,
             last_seq: None,
@@ -170,10 +180,9 @@ impl Connection {
 
     /// Assign the next sequence number, recording keep-alive reuse for every
     /// request after a connection's first.
-    fn assign_seq(&mut self, now: Instant, metrics: &ServeMetrics) -> u64 {
+    fn assign_seq(&mut self, metrics: &ServeMetrics) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.starts.insert(seq, now);
         if seq > 0 {
             metrics.record_keepalive_reuse();
         }
@@ -181,20 +190,24 @@ impl Connection {
     }
 
     /// Pull every parseable request out of the buffer, up to the pipelining
-    /// cap, assigning sequence numbers and applying keep-alive policy.
-    /// Returns the requests to hand to handler threads; a malformed request
-    /// is answered locally (400, close) and ends parsing — framing is lost.
+    /// cap, assigning sequence numbers and applying keep-alive policy. Each
+    /// parsed request is born with a [`RequestTrace`] — the trace id is
+    /// minted here, at parse completion, and every later stage stamps the
+    /// same record. Returns the requests to hand to handler threads; a
+    /// malformed request is answered locally (400, close) and ends parsing —
+    /// framing is lost.
     pub(crate) fn take_requests(
         &mut self,
         now: Instant,
         max_requests: usize,
         metrics: &ServeMetrics,
-    ) -> Vec<(u64, Request)> {
+    ) -> Vec<(u64, Request, RequestTrace)> {
         let mut dispatches = Vec::new();
         while !self.closing && self.last_seq.is_none() && self.outstanding() < MAX_PIPELINED {
             match self.parser.poll_request() {
                 Ok(Some(request)) => {
-                    let seq = self.assign_seq(now, metrics);
+                    let seq = self.assign_seq(metrics);
+                    let trace = metrics.obs().begin_trace(now);
                     if seq != self.next_write_seq {
                         // An earlier request is still in flight: this one is
                         // being parsed ahead of its turn.
@@ -203,20 +216,23 @@ impl Connection {
                     if request.close || seq + 1 >= max_requests.max(1) as u64 {
                         self.last_seq = Some(seq);
                     }
-                    dispatches.push((seq, request));
+                    dispatches.push((seq, request, trace));
                 }
                 Ok(None) => break,
                 Err(e) => {
                     // A malformed request desynchronises the framing; answer
                     // 400 and close rather than guess where the next request
                     // starts. No handler round-trip — the poller owns this.
-                    let seq = self.assign_seq(now, metrics);
+                    let seq = self.assign_seq(metrics);
                     self.last_seq = Some(seq);
                     metrics.record_request(Endpoint::Other);
                     metrics.record_error();
+                    let mut trace = metrics.obs().begin_trace(now);
+                    trace.stamp_at(TraceStamp::ResponseQueued, Instant::now());
                     self.complete(
                         seq,
                         Response::error(400, &format!("malformed request: {e}")),
+                        trace,
                     );
                     break;
                 }
@@ -225,57 +241,81 @@ impl Connection {
         dispatches
     }
 
-    /// Accept a completed response for `seq`. Responses arrive in any order;
+    /// Accept a completed response for `seq`, with the trace that followed
+    /// the request through the stack. Responses arrive in any order;
     /// serialization happens in sequence order via
     /// [`serialize_ready`](Self::serialize_ready).
-    pub(crate) fn complete(&mut self, seq: u64, response: Response) {
+    pub(crate) fn complete(&mut self, seq: u64, response: Response, trace: RequestTrace) {
         if self.closing || seq < self.next_write_seq {
             return; // response for a sequence this connection already gave up on
         }
-        self.pending.insert(seq, response);
+        self.pending.insert(seq, (response, trace));
     }
 
     /// Move every response whose turn has come from the reorder map into the
-    /// output buffer, in sequence order, recording request latency. When the
-    /// final (close-announcing) response serializes, the connection stops
-    /// accepting further work.
-    pub(crate) fn serialize_ready(&mut self, running: bool, metrics: &ServeMetrics) {
-        while let Some(response) = self.pending.remove(&self.next_write_seq) {
+    /// output buffer, in sequence order, stamping the response's trace id
+    /// into an `X-Trace-Id` header. When the final (close-announcing)
+    /// response serializes, the connection stops accepting further work.
+    pub(crate) fn serialize_ready(&mut self, running: bool) {
+        while let Some((response, trace)) = self.pending.remove(&self.next_write_seq) {
             let seq = self.next_write_seq;
             let keep = running && self.last_seq != Some(seq);
             // Writing into the Vec cannot fail.
-            let _ = write_response(&mut self.out, &response, keep);
-            if let Some(started) = self.starts.remove(&seq) {
-                metrics.record_latency_us(started.elapsed().as_micros() as u64);
-            }
+            let _ = write_response(&mut self.out, &response, keep, Some(&trace.id_hex()));
+            // The response's last byte will be the connection's
+            // `due`-th cumulative byte; its trace finalizes when
+            // `written_total` gets there.
+            let due = self.written_total + (self.out.len() - self.out_pos) as u64;
+            self.inflight_writes.push_back((due, trace));
             self.next_write_seq = seq + 1;
             if !keep {
                 self.closing = true;
+                // Abandoned pipelined responses never reach the wire; their
+                // traces drop unfinalized.
                 self.pending.clear();
-                self.starts.clear();
                 break;
             }
         }
     }
 
+    /// Finalize every trace whose response is now fully on the wire: stamp
+    /// the last-byte-written boundary and fold the trace into the latency
+    /// and stage histograms.
+    fn finalize_written(&mut self, now: Instant, metrics: &ServeMetrics) {
+        while let Some((due, _)) = self.inflight_writes.front() {
+            if *due > self.written_total {
+                break;
+            }
+            let (_, mut trace) = self.inflight_writes.pop_front().expect("checked front");
+            trace.stamp_at(TraceStamp::WriteDone, now);
+            metrics.finalize_trace(&trace);
+        }
+    }
+
     /// Write buffered response bytes until the socket would block or the
-    /// buffer drains, resuming mid-response across calls. Returns `Err` on a
-    /// broken socket.
-    pub(crate) fn on_writable(&mut self, now: Instant) -> io::Result<()> {
+    /// buffer drains, resuming mid-response across calls, finalizing the
+    /// trace of every response whose last byte reaches the socket. Returns
+    /// `Err` on a broken socket.
+    pub(crate) fn on_writable(&mut self, now: Instant, metrics: &ServeMetrics) -> io::Result<()> {
         while self.out_pos < self.out.len() {
             match self.stream.write(&self.out[self.out_pos..]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => {
                     self.out_pos += n;
+                    self.written_total += n as u64;
                     self.last_activity = now;
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.finalize_written(now, metrics);
+                    return Ok(());
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
             }
         }
         self.out.clear();
         self.out_pos = 0;
+        self.finalize_written(now, metrics);
         Ok(())
     }
 }

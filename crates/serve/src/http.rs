@@ -38,8 +38,13 @@ pub const MAX_HEAD_BYTES: u64 = 16 << 10;
 pub struct Request {
     /// Request method (`GET`, `POST`, …), upper-case as received.
     pub method: String,
-    /// Request path, e.g. `/predict`.
+    /// Request path without the query string, e.g. `/predict`.
     pub path: String,
+    /// The raw query string after `?` (empty when none), e.g. `trace=1`.
+    pub query: String,
+    /// The `Accept` header value as received (empty when absent) — `/metrics`
+    /// content negotiation reads this.
+    pub accept: String,
     /// Decoded UTF-8 body (empty when no `Content-Length`).
     pub body: String,
     /// Whether the client asked to close the connection after this response
@@ -47,13 +52,37 @@ pub struct Request {
     pub close: bool,
 }
 
-/// An HTTP response about to be written; the body is always JSON.
+impl Request {
+    /// Look up a query parameter by name: `/metrics?format=prometheus` →
+    /// `query_param("format") == Some("prometheus")`. A bare key with no `=`
+    /// yields `Some("")`. No percent-decoding — the API's parameter values
+    /// (`1`, `prometheus`) never need it.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            (key == name && !key.is_empty()).then_some(value)
+        })
+    }
+}
+
+/// Split a request target into `(path, query)` at the first `?`.
+fn split_target(target: &str) -> (String, String) {
+    match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    }
+}
+
+/// An HTTP response about to be written; the body is JSON unless built with
+/// [`Response::text`] (the Prometheus exposition).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// JSON body.
+    /// Response body.
     pub body: String,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -62,6 +91,17 @@ impl Response {
         Self {
             status,
             body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A plain-text response — the Prometheus exposition content type
+    /// (version 0.0.4 of the text format).
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4",
         }
     }
 
@@ -118,13 +158,15 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
         .next()
         .ok_or_else(|| invalid("empty request line"))?
         .to_string();
-    let path = parts
-        .next()
-        .ok_or_else(|| invalid("request line missing path"))?
-        .to_string();
+    let (path, query) = split_target(
+        parts
+            .next()
+            .ok_or_else(|| invalid("request line missing path"))?,
+    );
 
     let mut content_length = 0usize;
     let mut close = false;
+    let mut accept = String::new();
     loop {
         let header = read_line_limited(reader, &mut head_budget)?;
         if header.is_empty() {
@@ -146,6 +188,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
                     .map_err(|_| invalid(format!("bad Content-Length {value:?}")))?;
             } else if name.eq_ignore_ascii_case("connection") {
                 close = value.trim().eq_ignore_ascii_case("close");
+            } else if name.eq_ignore_ascii_case("accept") {
+                accept = value.trim().to_string();
             }
         }
     }
@@ -160,6 +204,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
     Ok(Some(Request {
         method,
         path,
+        query,
+        accept,
         body,
         close,
     }))
@@ -170,6 +216,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> io::Result<Option<Request>> {
 struct PendingHead {
     method: String,
     path: String,
+    query: String,
+    accept: String,
     close: bool,
     /// Bytes the head occupies in the buffer (through the blank line).
     head_len: usize,
@@ -243,6 +291,8 @@ impl RequestParser {
         Ok(Some(Request {
             method: pending.method,
             path: pending.path,
+            query: pending.query,
+            accept: pending.accept,
             body,
             close: pending.close,
         }))
@@ -291,12 +341,14 @@ impl RequestParser {
             .next()
             .ok_or_else(|| invalid("empty request line"))?
             .to_string();
-        let path = parts
-            .next()
-            .ok_or_else(|| invalid("request line missing path"))?
-            .to_string();
+        let (path, query) = split_target(
+            parts
+                .next()
+                .ok_or_else(|| invalid("request line missing path"))?,
+        );
         let mut content_length = 0usize;
         let mut close = false;
+        let mut accept = String::new();
         for line in lines {
             let header = line.trim_end();
             if header.is_empty() {
@@ -311,6 +363,8 @@ impl RequestParser {
                         .map_err(|_| invalid(format!("bad Content-Length {value:?}")))?;
                 } else if name.eq_ignore_ascii_case("connection") {
                     close = value.trim().eq_ignore_ascii_case("close");
+                } else if name.eq_ignore_ascii_case("accept") {
+                    accept = value.trim().to_string();
                 }
             }
         }
@@ -322,6 +376,8 @@ impl RequestParser {
         Ok(PendingHead {
             method,
             path,
+            query,
+            accept,
             close,
             head_len,
             content_length,
@@ -345,26 +401,35 @@ fn reason(status: u16) -> &'static str {
 
 /// Write a complete response. `Content-Length` frames the body either way;
 /// the `Connection` header tells the client whether the server will keep the
-/// connection open for the next request.
+/// connection open for the next request. `trace_id`, when present, is emitted
+/// as an `X-Trace-Id` header — the handle that correlates a client-observed
+/// response with its server-side trace in `/debug/slow`.
 pub fn write_response<W: Write>(
     writer: &mut W,
     response: &Response,
     keep_alive: bool,
+    trace_id: Option<&str>,
 ) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         reason(response.status),
+        response.content_type,
         response.body.len(),
         connection,
-        response.body
     )?;
+    if let Some(id) = trace_id {
+        write!(writer, "X-Trace-Id: {id}\r\n")?;
+    }
+    write!(writer, "\r\n{}", response.body)?;
     writer.flush()
 }
 
 /// Write one request to `writer`. The client half of [`write_response`].
+/// `extra_headers` are emitted verbatim as `Name: value` lines (e.g. an
+/// `Accept` for `/metrics` content negotiation).
 fn write_request<W: Write>(
     writer: &mut W,
     addr: SocketAddr,
@@ -372,21 +437,34 @@ fn write_request<W: Write>(
     path: &str,
     body: &str,
     close: bool,
+    extra_headers: &[(&str, &str)],
 ) -> io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    write!(writer, "\r\n{body}")?;
     writer.flush()
 }
 
+/// A client-side parsed response: status, body, every header as received,
+/// and whether the server announced it will close the connection.
+struct ClientResponse {
+    status: u16,
+    body: String,
+    headers: Vec<(String, String)>,
+    server_closes: bool,
+}
+
 /// Read one response from `reader`: status line, headers, `Content-Length`
-/// body. Returns `(status, body, server_closes)` — the last is true when the
-/// server announced `Connection: close` (or sent no length, framing the body
-/// by EOF).
-fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String, bool)> {
+/// body. `server_closes` is true when the server announced
+/// `Connection: close` (or sent no length, framing the body by EOF).
+fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
     let status: u16 = status_line
@@ -396,6 +474,7 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String, bool)> 
         .ok_or_else(|| invalid(format!("bad status line {status_line:?}")))?;
     let mut content_length: Option<usize> = None;
     let mut server_closes = false;
+    let mut headers = Vec::new();
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -407,11 +486,13 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String, bool)> 
         }
         if let Some((name, value)) = header.split_once(':') {
             let name = name.trim();
+            let value = value.trim();
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
+                content_length = value.parse().ok();
             } else if name.eq_ignore_ascii_case("connection") {
-                server_closes = value.trim().eq_ignore_ascii_case("close");
+                server_closes = value.eq_ignore_ascii_case("close");
             }
+            headers.push((name.to_string(), value.to_string()));
         }
     }
     let body = match content_length {
@@ -428,7 +509,12 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(u16, String, bool)> 
             buf
         }
     };
-    Ok((status, body, server_closes))
+    Ok(ClientResponse {
+        status,
+        body,
+        headers,
+        server_closes,
+    })
 }
 
 /// One-shot blocking HTTP client: connect, send one `Connection: close`
@@ -443,11 +529,23 @@ pub fn http_request(
     body: Option<&str>,
 ) -> io::Result<(u16, String)> {
     let stream = TcpStream::connect(addr)?;
-    write_request(&mut (&stream), addr, method, path, body.unwrap_or(""), true)?;
+    write_request(
+        &mut (&stream),
+        addr,
+        method,
+        path,
+        body.unwrap_or(""),
+        true,
+        &[],
+    )?;
     let mut reader = BufReader::new(&stream);
-    let (status, body, _) = read_response(&mut reader)?;
-    Ok((status, body))
+    let response = read_response(&mut reader)?;
+    Ok((response.status, response.body))
 }
+
+/// What [`HttpClient::request_full`] returns: `(status, body, headers)`.
+/// Header names keep their wire casing; match them case-insensitively.
+pub type FullResponse = (u16, String, Vec<(String, String)>);
 
 /// A blocking keep-alive HTTP client: one TCP connection, any number of
 /// request/response round-trips. This is what makes connection reuse
@@ -484,6 +582,21 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<(u16, String)> {
+        let (status, body, _) = self.request_full(method, path, body, &[])?;
+        Ok((status, body))
+    }
+
+    /// Like [`request`](Self::request), but with caller-supplied request
+    /// headers and the response headers returned as [`FullResponse`]. This is
+    /// how the observability tests read `X-Trace-Id` and ask `/metrics` for
+    /// Prometheus via `Accept`.
+    pub fn request_full(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<FullResponse> {
         if self.closed {
             return Err(io::Error::new(
                 io::ErrorKind::NotConnected,
@@ -497,12 +610,13 @@ impl HttpClient {
             path,
             body.unwrap_or(""),
             false,
+            extra_headers,
         )?;
-        let (status, body, server_closes) = read_response(&mut self.reader)?;
-        if server_closes {
+        let response = read_response(&mut self.reader)?;
+        if response.server_closes {
             self.closed = true;
         }
-        Ok((status, body))
+        Ok((response.status, response.body, response.headers))
     }
 }
 
@@ -699,34 +813,99 @@ mod tests {
     #[test]
     fn writes_a_well_formed_keep_alive_response() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::ok("{\"a\":1}"), true).unwrap();
+        write_response(&mut out, &Response::ok("{\"a\":1}"), true, None).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("X-Trace-Id"));
         assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
     }
 
     #[test]
     fn writes_a_close_response_when_asked() {
         let mut out = Vec::new();
-        write_response(&mut out, &Response::ok("{}"), false).unwrap();
+        write_response(&mut out, &Response::ok("{}"), false, None).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: close\r\n"));
     }
 
     #[test]
-    fn read_response_parses_status_body_and_close() {
-        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}";
-        let (status, body, closes) = read_response(&mut Cursor::new(raw)).unwrap();
-        assert_eq!((status, body.as_str(), closes), (200, "{}", false));
+    fn writes_trace_id_and_content_type() {
+        let mut out = Vec::new();
+        let response = Response::text(200, "holistix_up 1\n");
+        write_response(&mut out, &response, true, Some("00000000deadbeef")).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(text.contains("X-Trace-Id: 00000000deadbeef\r\n"));
+        assert!(text.ends_with("\r\n\r\nholistix_up 1\n"));
+    }
+
+    #[test]
+    fn read_response_parses_status_body_headers_and_close() {
+        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nX-Trace-Id: abc\r\nConnection: keep-alive\r\n\r\n{}";
+        let response = read_response(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(
+            (
+                response.status,
+                response.body.as_str(),
+                response.server_closes
+            ),
+            (200, "{}", false)
+        );
+        let trace = response
+            .headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("x-trace-id"));
+        assert_eq!(trace.map(|(_, v)| v.as_str()), Some("abc"));
         let raw = "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
-        let (status, body, closes) = read_response(&mut Cursor::new(raw)).unwrap();
-        assert_eq!((status, body.as_str(), closes), (400, "", true));
+        let response = read_response(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(
+            (
+                response.status,
+                response.body.as_str(),
+                response.server_closes
+            ),
+            (400, "", true)
+        );
         // No Content-Length: EOF frames the body and implies close.
         let raw = "HTTP/1.1 200 OK\r\n\r\nrest";
-        let (_, body, closes) = read_response(&mut Cursor::new(raw)).unwrap();
-        assert_eq!((body.as_str(), closes), ("rest", true));
+        let response = read_response(&mut Cursor::new(raw)).unwrap();
+        assert_eq!(
+            (response.body.as_str(), response.server_closes),
+            ("rest", true)
+        );
+    }
+
+    #[test]
+    fn query_strings_split_off_the_path() {
+        let raw = "GET /metrics?format=prometheus&trace=1 HTTP/1.1\r\n\r\n";
+        let request = parse_one(raw).unwrap();
+        assert_eq!(request.path, "/metrics");
+        assert_eq!(request.query, "format=prometheus&trace=1");
+        assert_eq!(request.query_param("format"), Some("prometheus"));
+        assert_eq!(request.query_param("trace"), Some("1"));
+        assert_eq!(request.query_param("absent"), None);
+        // The incremental parser agrees.
+        let mut parser = RequestParser::new();
+        parser.feed(raw.as_bytes());
+        let incremental = parser.poll_request().unwrap().unwrap();
+        assert_eq!(incremental.path, request.path);
+        assert_eq!(incremental.query, request.query);
+        // No query string: path is untouched and lookups miss.
+        let bare = parse_one("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(bare.query, "");
+        assert_eq!(bare.query_param("trace"), None);
+    }
+
+    #[test]
+    fn accept_header_is_captured() {
+        let raw = "GET /metrics HTTP/1.1\r\nAccept: text/plain\r\n\r\n";
+        assert_eq!(parse_one(raw).unwrap().accept, "text/plain");
+        let mut parser = RequestParser::new();
+        parser.feed(raw.as_bytes());
+        assert_eq!(parser.poll_request().unwrap().unwrap().accept, "text/plain");
     }
 
     #[test]

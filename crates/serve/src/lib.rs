@@ -96,26 +96,93 @@
 //!   one connection open across any number of requests (what the
 //!   `serve_throughput` bench and the CI smoke drive).
 //! * **[`metrics`]** — request counters, per-kind queue sections (depth,
-//!   batch-size histogram, per-job p50/p99), `keepalive_reuses_total`, the
-//!   connection section (open gauge, accept/close totals, readiness wakeups,
-//!   pipelined requests, idle evictions), the configured thread plan next to
-//!   the live OS thread count, the cross-queue batch histogram and request
-//!   latency percentiles, served by `GET /metrics`.
+//!   batch-size histogram, queue-wait and scoring-time percentiles),
+//!   `keepalive_reuses_total`, the connection section (open gauge,
+//!   accept/close totals, readiness wakeups, pipelined requests, idle
+//!   evictions), the configured thread plan next to the live OS thread
+//!   count, the cross-queue batch histogram and end-to-end request latency
+//!   percentiles — served by `GET /metrics` as JSON *and* Prometheus text.
+//! * **[`obs`]** — the observability layer: lock-free log2-bucketed
+//!   histograms, per-request traces, the slow-trace ring, and the Prometheus
+//!   exposition helpers. See **Observability** below.
 //!
 //! ## Endpoints
 //!
-//! | Endpoint        | Body                                          | Answer |
-//! |-----------------|-----------------------------------------------|--------|
-//! | `POST /predict` | `{"texts": […], "model"?: "LR"}`             | per-text 6-dimension probabilities + label |
-//! | `POST /explain` | `{"text": "…", "top_k"?, "n_samples"?}`      | LIME token attributions via the batched perturbation path |
-//! | `POST /reload`  | JSONL corpus (the `corpus::io` schema)        | `202` + post count; fits off-thread, swaps atomically (`409` if already reloading) |
-//! | `GET /healthz`  | —                                             | status + loaded models + `reloading` flag + open connection count |
-//! | `GET /metrics`  | —                                             | counters, per-kind queue sections, connection + thread sections, keep-alive reuses, batch histogram, latency percentiles, registry fit stats |
+//! | Endpoint          | Body                                          | Answer |
+//! |-------------------|-----------------------------------------------|--------|
+//! | `POST /predict`   | `{"texts": […], "model"?: "LR"}`             | per-text 6-dimension probabilities + label; `?trace=1` adds the stage breakdown |
+//! | `POST /explain`   | `{"text": "…", "top_k"?, "n_samples"?}`      | LIME token attributions via the batched perturbation path; `?trace=1` as above |
+//! | `POST /reload`    | JSONL corpus (the `corpus::io` schema)        | `202` + post count; fits off-thread, swaps atomically (`409` if already reloading) |
+//! | `GET /healthz`    | —                                             | status + loaded models + `reloading` flag + open connections + `uptime_s` + `build` (version, git describe) |
+//! | `GET /metrics`    | —                                             | JSON by default; Prometheus text via `Accept: text/plain` or `?format=prometheus` |
+//! | `GET /debug/slow` | —                                             | the N slowest completed request traces with per-stage timings |
+//!
+//! Every response carries an `X-Trace-Id` header.
 //!
 //! JSON parsing and serialisation are shared with the corpus crate's
 //! [`holistix_corpus::json`] module (hoisted out of its JSONL reader), whose
 //! `f64` formatting round-trips bit-for-bit — so probabilities survive the
 //! HTTP boundary exactly.
+//!
+//! ## Observability
+//!
+//! Every request is traced from parse completion to the last byte written,
+//! and every duration lands in a lock-free histogram — nothing on the hot
+//! path takes a mutex or allocates per stamp.
+//!
+//! ```text
+//!  trace lifecycle (one request; ── is a stage, │ a stamped boundary):
+//!
+//!  poller             handler              batch queue          poller
+//!  ──────             ───────              ───────────          ──────
+//!  parse done ───────► picked off queue ─► texts enqueued ─►    response
+//!  │ id minted        │ HandlerStart      │ QueueEnqueue        serialized,
+//!  │ (conn.rs)        │                   │ batch drained ─►    written out
+//!  │                  │                   │ BatchDrain          │ WriteDone
+//!  │                  │                   │ rows returned       │ finalize:
+//!  │                  │                   │ Scored              │ histograms
+//!  │                  │ response built    │                     │ + slow ring
+//!  │                  │ ResponseQueued ───┴──────────────────►  │
+//!  └── dispatch ──────┴── prepare ── queue_wait ── score ── respond ── write
+//! ```
+//!
+//! **Stage glossary** (each stage ends at its stamp; together they partition
+//! the end-to-end latency): `dispatch` = parse completion → a handler picks
+//! the job up (queueing in the handler pool); `prepare` = request parsing /
+//! validation / model resolution in the handler; `queue_wait` = batch-queue
+//! residency until the drain loop takes the batch; `score` = the batched
+//! `probabilities` call (or the LIME run for `/explain`); `respond` =
+//! fan-out and response building until the completion is queued back to the
+//! poller; `write` = reorder-buffer wait plus socket write-out until the
+//! last byte is on the wire.
+//!
+//! **Histogram error bounds**: [`obs::LogHistogram`] buckets values at 16
+//! sub-buckets per power of two, so any reported percentile is within one
+//! bucket of the exact nearest-rank value — a relative error of at most
+//! 1/16 (6.25%); values below 32 are exact. Recording is two relaxed
+//! `fetch_add`s and a `fetch_max`; scrapes read the buckets without stopping
+//! writers (a test records under sustained concurrent scraping and loses
+//! nothing).
+//!
+//! **Prometheus naming** (`/metrics?format=prometheus` or
+//! `Accept: text/plain`):
+//!
+//! | Prometheus family                        | JSON counterpart |
+//! |------------------------------------------|------------------|
+//! | `holistix_build_info{version,git}`       | `/healthz` `build` section |
+//! | `holistix_uptime_seconds`                | `uptime_s` |
+//! | `holistix_requests_total{endpoint}`      | `requests.<endpoint>` |
+//! | `holistix_error_responses_total`         | `requests.errors` |
+//! | `holistix_keepalive_reuses_total`        | `keepalive_reuses_total` |
+//! | `holistix_texts_scored_total`            | `texts_scored` |
+//! | `holistix_reloads_total`                 | `registry.reloads_total` |
+//! | `holistix_connections_*`, `holistix_poll_wakeups_total`, `holistix_pipelined_requests_total`, `holistix_idle_timeout_evictions_total` | `connections` section |
+//! | `holistix_os_threads`                    | `threads.os_threads` |
+//! | `holistix_batch_size` (histogram)        | `batches` |
+//! | `holistix_request_latency_us` (histogram)| `latency_us` |
+//! | `holistix_queue_depth{kind}`, `holistix_queue_texts_scored_total{kind}`, `holistix_queue_batch_size{kind}`, `holistix_queue_wait_us{kind}`, `holistix_queue_score_us{kind}` | `queues.<kind>` |
+//! | `holistix_stage_duration_us{endpoint,stage}` | `stages` section |
+//! | `holistix_registry_*`                    | `registry` section |
 //!
 //! ## Quick start
 //!
@@ -132,13 +199,17 @@ pub mod batcher;
 pub mod conn;
 pub mod http;
 pub mod metrics;
+pub mod obs;
 pub mod poller;
 pub mod registry;
 pub mod server;
 
-pub use batcher::{BatchConfig, BatcherHandle};
+pub use batcher::{BatchConfig, BatchTiming, BatcherHandle};
 pub use http::{http_request, HttpClient, Request, Response};
-pub use metrics::{os_thread_count, ConnectionMetrics, Endpoint, QueueMetrics, ServeMetrics};
+pub use metrics::{
+    build_info, os_thread_count, ConnectionMetrics, Endpoint, QueueMetrics, ServeMetrics,
+};
+pub use obs::{validate_exposition, HistogramSnapshot, LogHistogram, RequestTrace, TraceStamp};
 pub use registry::{parse_kind, FitStats, ModelRegistry, RegistryConfig, SharedRegistry};
 pub use server::{
     serve, KeepAliveConfig, ServeConfig, ServerHandle, MAX_RELOAD_POSTS, MAX_TEXTS_PER_REQUEST,

@@ -1,27 +1,46 @@
-//! Serving metrics: request counters, per-kind queue statistics, the global
-//! batch-size histogram, keep-alive reuse and request latency percentiles,
-//! all exposed as JSON by `GET /metrics`.
+//! Serving metrics: request counters, per-kind queue statistics, batch-size
+//! and latency histograms, per-endpoint stage histograms and the slow-trace
+//! ring — exposed as JSON *and* Prometheus text by `GET /metrics`.
 //!
-//! Counters are lock-free atomics; histograms and latency reservoirs sit
-//! behind mutexes that are touched once per batch / request (never per text),
-//! so the metrics path stays off the scoring hot path.
+//! Everything on the recording path is lock-free: counters are atomics and
+//! every histogram is a [`LogHistogram`] (one atomic counter per log2
+//! bucket), so a `/metrics` scrape can never block a recording thread and
+//! recording threads never block each other. The only mutexes left guard
+//! registration-time state (the queue list, the thread plan), touched once
+//! per server start and once per scrape — never per request or per text.
 //!
 //! Since the per-kind batch-queue redesign, every registered scorer owns a
-//! [`QueueMetrics`]: its live queue depth, its own batch-size histogram and a
-//! p50/p99 window over per-job latency (enqueue → scored), so a saturated
-//! transformer queue is visible *next to* a healthy classical one instead of
-//! smeared into one global histogram. The global batch histogram and
+//! [`QueueMetrics`]: its live queue depth, its own batch-size histogram, and
+//! — since the observability layer — separate `queue_wait` (enqueue → batch
+//! drain) and `score` (one batched `probabilities` call) histograms, so a
+//! saturated transformer queue is visible *next to* a healthy classical one
+//! instead of smeared into one global number. The global batch histogram and
 //! `texts_scored` remain as cross-queue aggregates.
+//!
+//! End-to-end request latency is recorded when a response's **last byte
+//! reaches the socket** (trace finalization in the poller), not when the
+//! handler finishes — so a client that drains slowly shows up in the tail.
 
+use crate::obs::{append_histogram, HistogramSnapshot, LogHistogram, Obs, RequestTrace};
 use crate::registry::FitStats;
 use holistix_corpus::json::JsonValue;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-/// How many of the most recent latencies each percentile window keeps.
-const LATENCY_WINDOW: usize = 4096;
+/// Crate version and git describe (the latter baked in by `build.rs` when
+/// the repository is available at compile time). Served by `/healthz`'s
+/// `build` section and mirrored as the `holistix_build_info` gauge.
+pub fn build_info() -> (&'static str, &'static str) {
+    (
+        env!("CARGO_PKG_VERSION"),
+        option_env!("HOLISTIX_GIT_DESCRIBE").unwrap_or("unknown"),
+    )
+}
 
-/// Which endpoint a request hit, for per-endpoint counters.
+/// Which endpoint a request hit, for per-endpoint counters and stage
+/// histograms. [`Endpoint::name`] values double as the `endpoint` label in
+/// the Prometheus exposition.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Endpoint {
     /// `POST /predict`.
@@ -34,83 +53,74 @@ pub enum Endpoint {
     Health,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /debug/slow`.
+    DebugSlow,
     /// Anything else: unknown paths, wrong methods, unparseable requests.
     Other,
 }
 
-/// A bounded reservoir of recent latencies with nearest-rank percentiles.
-#[derive(Debug, Default)]
-struct LatencyWindow {
-    values_us: Mutex<Vec<u64>>,
-    cursor: AtomicU64,
-}
+impl Endpoint {
+    /// Every endpoint, in [`index`](Self::index) order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Predict,
+        Endpoint::Explain,
+        Endpoint::Reload,
+        Endpoint::Health,
+        Endpoint::Metrics,
+        Endpoint::DebugSlow,
+        Endpoint::Other,
+    ];
 
-impl LatencyWindow {
-    fn record(&self, micros: u64) {
-        let mut window = self.values_us.lock().unwrap();
-        if window.len() < LATENCY_WINDOW {
-            window.push(micros);
-        } else {
-            let slot = self.cursor.fetch_add(1, Ordering::Relaxed) as usize;
-            window[slot % LATENCY_WINDOW] = micros;
+    /// Stable index into the per-endpoint counter array — aligned with
+    /// [`crate::obs::ENDPOINT_NAMES`].
+    pub fn index(self) -> usize {
+        match self {
+            Endpoint::Predict => 0,
+            Endpoint::Explain => 1,
+            Endpoint::Reload => 2,
+            Endpoint::Health => 3,
+            Endpoint::Metrics => 4,
+            Endpoint::DebugSlow => 5,
+            Endpoint::Other => 6,
         }
     }
 
-    /// `{"window": n, "p50": …, "p99": …}` (percentiles `null` when empty).
-    fn snapshot(&self) -> JsonValue {
-        let mut values = self.values_us.lock().unwrap().clone();
-        values.sort_unstable();
-        let percentile = |q: f64| -> JsonValue {
-            if values.is_empty() {
-                return JsonValue::Null;
-            }
-            // Nearest-rank on the sorted window.
-            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
-            JsonValue::Number(values[rank - 1] as f64)
-        };
-        JsonValue::object(vec![
-            ("window", JsonValue::Number(values.len() as f64)),
-            ("p50", percentile(0.50)),
-            ("p99", percentile(0.99)),
-        ])
+    /// The endpoint's name: JSON key in the `requests` section and
+    /// `endpoint` label value in Prometheus.
+    pub fn name(self) -> &'static str {
+        crate::obs::ENDPOINT_NAMES[self.index()]
     }
 }
 
-/// A size-indexed batch histogram (`histogram[s]` counts batches of exactly
-/// `s` texts; index 0 unused).
+/// A batch-size histogram over a lock-free [`LogHistogram`]. Real batches are
+/// small (≤ `max_batch`, default 32–64), so most sizes land in the exact
+/// sub-32 buckets; larger ones coalesce into log2 buckets. The exact maximum
+/// is tracked separately either way.
 #[derive(Debug, Default)]
-struct BatchHistogram {
-    counts: Mutex<Vec<u64>>,
+struct BatchSizes {
+    histogram: LogHistogram,
 }
 
-impl BatchHistogram {
+impl BatchSizes {
     fn record(&self, size: usize) {
-        let mut histogram = self.counts.lock().unwrap();
-        if histogram.len() <= size {
-            histogram.resize(size + 1, 0);
-        }
-        histogram[size] += 1;
+        self.histogram.record(size as u64);
     }
 
     fn max_size(&self) -> usize {
-        let histogram = self.counts.lock().unwrap();
-        histogram.iter().rposition(|&count| count > 0).unwrap_or(0)
+        self.histogram.max() as usize
     }
 
-    /// `{"count": n, "max_size": m, "histogram": {"<size>": count, …}}`.
-    fn snapshot(&self) -> JsonValue {
-        let histogram = self.counts.lock().unwrap().clone();
-        let batch_count: u64 = histogram.iter().sum();
-        let max_batch = histogram.iter().rposition(|&c| c > 0).unwrap_or(0);
-        let fields: Vec<(String, JsonValue)> = histogram
-            .iter()
-            .enumerate()
-            .filter(|(_, &count)| count > 0)
-            .map(|(size, &count)| (size.to_string(), JsonValue::Number(count as f64)))
+    /// `{"count": n, "max_size": m, "histogram": {"<size>": count, …}}` —
+    /// keys are bucket upper bounds (exact sizes below 32).
+    fn snapshot_json(&self) -> JsonValue {
+        let snapshot = self.histogram.snapshot();
+        let fields: Vec<(String, JsonValue)> = snapshot
+            .nonzero_buckets()
+            .map(|(upper, count)| (upper.to_string(), JsonValue::Number(count as f64)))
             .collect();
         JsonValue::object(vec![
-            ("count", JsonValue::Number(batch_count as f64)),
-            ("max_size", JsonValue::Number(max_batch as f64)),
+            ("count", JsonValue::Number(snapshot.count() as f64)),
+            ("max_size", JsonValue::Number(snapshot.max() as f64)),
             ("histogram", JsonValue::Object(fields)),
         ])
     }
@@ -215,14 +225,17 @@ pub fn os_thread_count() -> Option<u64> {
 
 /// Per-queue statistics: one instance per registered scorer kind, shared
 /// between that kind's [`BatcherHandle`](crate::batcher::BatcherHandle) side
-/// (depth increments) and its drain loop (depth decrements, batch sizes, job
-/// latencies).
+/// (depth increments) and its drain loop (depth decrements, batch sizes,
+/// per-job queue wait and per-batch scoring time).
 #[derive(Debug, Default)]
 pub struct QueueMetrics {
     depth: AtomicU64,
     texts_scored: AtomicU64,
-    batches: BatchHistogram,
-    job_latency: LatencyWindow,
+    batches: BatchSizes,
+    /// Per-job enqueue → batch-drain wait (µs).
+    queue_wait: LogHistogram,
+    /// Per-batch `probabilities` call duration (µs).
+    score: LogHistogram,
 }
 
 impl QueueMetrics {
@@ -236,18 +249,20 @@ impl QueueMetrics {
         self.depth.fetch_sub(jobs as u64, Ordering::Relaxed);
     }
 
-    /// Record one scored batch of `size` jobs with the given per-job latencies
-    /// (enqueue → scored, µs). Decrements the queue depth by the batch size.
-    pub fn record_batch(&self, size: usize, job_latencies_us: &[u64]) {
+    /// Record one scored batch of `size` jobs: each job's queue wait
+    /// (enqueue → drain, µs) and the batch's single scoring call duration.
+    /// Decrements the queue depth by the batch size.
+    pub fn record_batch(&self, size: usize, job_wait_us: &[u64], score_us: u64) {
         if size == 0 {
             return;
         }
         self.depth.fetch_sub(size as u64, Ordering::Relaxed);
         self.texts_scored.fetch_add(size as u64, Ordering::Relaxed);
         self.batches.record(size);
-        for &micros in job_latencies_us {
-            self.job_latency.record(micros);
+        for &micros in job_wait_us {
+            self.queue_wait.record(micros);
         }
+        self.score.record(score_us);
     }
 
     /// Jobs currently waiting in (or being scored from) this queue.
@@ -267,22 +282,21 @@ impl QueueMetrics {
                 "texts_scored",
                 JsonValue::Number(self.texts_scored.load(Ordering::Relaxed) as f64),
             ),
-            ("batches", self.batches.snapshot()),
-            ("job_latency_us", self.job_latency.snapshot()),
+            ("batches", self.batches.snapshot_json()),
+            ("queue_wait_us", self.queue_wait.snapshot().to_json()),
+            ("score_us", self.score.snapshot().to_json()),
         ])
     }
 }
 
-/// Shared metrics sink. One instance per server, shared by workers and the
-/// per-kind batch queues.
-#[derive(Debug, Default)]
+/// Shared metrics sink. One instance per server, shared by pollers, handlers
+/// and the per-kind batch queues. Also owns the [`Obs`] observability state
+/// (trace-id mint, per-endpoint stage histograms, slow-trace ring).
+#[derive(Debug)]
 pub struct ServeMetrics {
-    predict_requests: AtomicU64,
-    explain_requests: AtomicU64,
-    reload_requests: AtomicU64,
-    health_requests: AtomicU64,
-    metrics_requests: AtomicU64,
-    other_requests: AtomicU64,
+    started: Instant,
+    /// Per-endpoint request counters, indexed by [`Endpoint::index`].
+    requests: [AtomicU64; 7],
     error_responses: AtomicU64,
     texts_scored: AtomicU64,
     /// Requests served on an already-used connection (the 2nd, 3rd, … request
@@ -295,9 +309,10 @@ pub struct ServeMetrics {
     /// at snapshot time.
     reloads_total: AtomicU64,
     /// Cross-queue aggregate batch histogram.
-    batches: BatchHistogram,
-    /// End-to-end request latency window.
-    request_latency: LatencyWindow,
+    batches: BatchSizes,
+    /// End-to-end request latency (parse done → last byte written), recorded
+    /// at trace finalization.
+    request_latency: LogHistogram,
     /// Per-kind queue sections, in registration order.
     queues: Mutex<Vec<(String, Arc<QueueMetrics>)>>,
     /// Connection-layer counters for the nonblocking multiplexer.
@@ -306,25 +321,38 @@ pub struct ServeMetrics {
     /// server start; the point of the multiplexer is that this plan — not the
     /// connection count — determines the process's thread count.
     thread_plan: Mutex<Option<(usize, usize, usize)>>,
+    /// Trace-id mint, per-endpoint × per-stage histograms, slow-trace ring.
+    obs: Obs,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServeMetrics {
-    /// A fresh, all-zero sink.
+    /// A fresh, all-zero sink. `started` anchors the uptime gauge.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            started: Instant::now(),
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            error_responses: AtomicU64::new(0),
+            texts_scored: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
+            reloads_total: AtomicU64::new(0),
+            batches: BatchSizes::default(),
+            request_latency: LogHistogram::new(),
+            queues: Mutex::new(Vec::new()),
+            connections: ConnectionMetrics::default(),
+            thread_plan: Mutex::new(None),
+            obs: Obs::new(),
+        }
     }
 
     /// Count a request against its endpoint.
     pub fn record_request(&self, endpoint: Endpoint) {
-        let counter = match endpoint {
-            Endpoint::Predict => &self.predict_requests,
-            Endpoint::Explain => &self.explain_requests,
-            Endpoint::Reload => &self.reload_requests,
-            Endpoint::Health => &self.health_requests,
-            Endpoint::Metrics => &self.metrics_requests,
-            Endpoint::Other => &self.other_requests,
-        };
-        counter.fetch_add(1, Ordering::Relaxed);
+        self.requests[endpoint.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Count an error (4xx/5xx) response.
@@ -345,6 +373,32 @@ impl ServeMetrics {
     /// The connection-layer counters (shared with pollers).
     pub fn connections(&self) -> &ConnectionMetrics {
         &self.connections
+    }
+
+    /// The observability state: trace-id mint, stage histograms, slow ring.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Time since this sink (the server) was created.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Fold a completed request trace into the latency and stage histograms
+    /// and offer it to the slow-trace ring. Called by the poller when the
+    /// last byte of the response reaches the socket.
+    pub fn finalize_trace(&self, trace: &RequestTrace) {
+        self.request_latency
+            .record(trace.total().as_micros() as u64);
+        self.obs.finalize(trace);
+    }
+
+    /// A snapshot of the end-to-end request-latency histogram (µs). The
+    /// `serve_throughput` bench diffs successive snapshots
+    /// ([`HistogramSnapshot::minus`]) for per-sweep-stage percentiles.
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.request_latency.snapshot()
     }
 
     /// Record the configured thread plan: how many poller, handler and
@@ -387,11 +441,6 @@ impl ServeMetrics {
         self.batches.record(size);
     }
 
-    /// Record one request's end-to-end latency.
-    pub fn record_latency_us(&self, micros: u64) {
-        self.request_latency.record(micros);
-    }
-
     /// The largest batch scored so far across all queues (0 before the first
     /// batch).
     pub fn max_batch_size(&self) -> usize {
@@ -401,12 +450,10 @@ impl ServeMetrics {
     /// Total requests across all endpoints (including unroutable ones, so
     /// `total` is always ≥ `errors`).
     pub fn total_requests(&self) -> u64 {
-        self.predict_requests.load(Ordering::Relaxed)
-            + self.explain_requests.load(Ordering::Relaxed)
-            + self.reload_requests.load(Ordering::Relaxed)
-            + self.health_requests.load(Ordering::Relaxed)
-            + self.metrics_requests.load(Ordering::Relaxed)
-            + self.other_requests.load(Ordering::Relaxed)
+        self.requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// The metrics document without registry fit stats (counters only in the
@@ -458,41 +505,25 @@ impl ServeMetrics {
             },
         ));
 
+        let request_fields: Vec<(&str, JsonValue)> =
+            std::iter::once(("total", JsonValue::Number(self.total_requests() as f64)))
+                .chain(Endpoint::ALL.iter().map(|&endpoint| {
+                    (
+                        endpoint.name(),
+                        JsonValue::Number(
+                            self.requests[endpoint.index()].load(Ordering::Relaxed) as f64
+                        ),
+                    )
+                }))
+                .chain(std::iter::once((
+                    "errors",
+                    JsonValue::Number(self.error_responses.load(Ordering::Relaxed) as f64),
+                )))
+                .collect();
+
         JsonValue::object(vec![
-            (
-                "requests",
-                JsonValue::object(vec![
-                    ("total", JsonValue::Number(self.total_requests() as f64)),
-                    (
-                        "predict",
-                        JsonValue::Number(self.predict_requests.load(Ordering::Relaxed) as f64),
-                    ),
-                    (
-                        "explain",
-                        JsonValue::Number(self.explain_requests.load(Ordering::Relaxed) as f64),
-                    ),
-                    (
-                        "reload",
-                        JsonValue::Number(self.reload_requests.load(Ordering::Relaxed) as f64),
-                    ),
-                    (
-                        "healthz",
-                        JsonValue::Number(self.health_requests.load(Ordering::Relaxed) as f64),
-                    ),
-                    (
-                        "metrics",
-                        JsonValue::Number(self.metrics_requests.load(Ordering::Relaxed) as f64),
-                    ),
-                    (
-                        "other",
-                        JsonValue::Number(self.other_requests.load(Ordering::Relaxed) as f64),
-                    ),
-                    (
-                        "errors",
-                        JsonValue::Number(self.error_responses.load(Ordering::Relaxed) as f64),
-                    ),
-                ]),
-            ),
+            ("uptime_s", JsonValue::Number(self.uptime().as_secs_f64())),
+            ("requests", JsonValue::object(request_fields)),
             (
                 "keepalive_reuses_total",
                 JsonValue::Number(self.keepalive_reuses.load(Ordering::Relaxed) as f64),
@@ -501,19 +532,224 @@ impl ServeMetrics {
                 "texts_scored",
                 JsonValue::Number(self.texts_scored.load(Ordering::Relaxed) as f64),
             ),
-            ("batches", self.batches.snapshot()),
-            ("latency_us", self.request_latency.snapshot()),
+            ("batches", self.batches.snapshot_json()),
+            ("latency_us", self.request_latency.snapshot().to_json()),
+            ("stages", self.obs.stages_json()),
             ("connections", self.connections.snapshot()),
             ("threads", JsonValue::object(thread_fields)),
             ("queues", JsonValue::Object(queue_fields)),
             ("registry", JsonValue::object(registry_fields)),
         ])
     }
+
+    /// The same data as [`snapshot_with_fit`](Self::snapshot_with_fit), in
+    /// Prometheus text exposition format (version 0.0.4): counters, gauges
+    /// and cumulative-bucket histograms. Families with no samples are
+    /// omitted entirely, so every emitted `# TYPE` line has samples — the
+    /// invariant [`crate::obs::validate_exposition`] checks.
+    pub fn render_prometheus(&self, fit: Option<&FitStats>) -> String {
+        let mut out = String::with_capacity(4096);
+        let (version, git) = build_info();
+        out.push_str("# HELP holistix_build_info Build metadata as labels; value is always 1.\n# TYPE holistix_build_info gauge\n");
+        out.push_str(&format!(
+            "holistix_build_info{{version=\"{version}\",git=\"{git}\"}} 1\n"
+        ));
+        out.push_str("# HELP holistix_uptime_seconds Seconds since the server started.\n# TYPE holistix_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "holistix_uptime_seconds {}\n",
+            self.uptime().as_secs_f64()
+        ));
+
+        out.push_str("# HELP holistix_requests_total Requests received, by endpoint.\n# TYPE holistix_requests_total counter\n");
+        for &endpoint in &Endpoint::ALL {
+            out.push_str(&format!(
+                "holistix_requests_total{{endpoint=\"{}\"}} {}\n",
+                endpoint.name(),
+                self.requests[endpoint.index()].load(Ordering::Relaxed)
+            ));
+        }
+        let scalar_counters: [(&str, &str, u64); 4] = [
+            (
+                "holistix_error_responses_total",
+                "Responses with a 4xx/5xx status.",
+                self.error_responses.load(Ordering::Relaxed),
+            ),
+            (
+                "holistix_keepalive_reuses_total",
+                "Requests served on a reused keep-alive connection.",
+                self.keepalive_reuses.load(Ordering::Relaxed),
+            ),
+            (
+                "holistix_texts_scored_total",
+                "Texts scored across all batch queues.",
+                self.texts_scored.load(Ordering::Relaxed),
+            ),
+            (
+                "holistix_reloads_total",
+                "Completed registry reloads.",
+                self.reloads_total.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in scalar_counters {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+
+        out.push_str("# HELP holistix_connections_open Connections currently open.\n# TYPE holistix_connections_open gauge\n");
+        out.push_str(&format!(
+            "holistix_connections_open {}\n",
+            self.connections.open()
+        ));
+        let connection_counters: [(&str, &str, u64); 5] = [
+            (
+                "holistix_connections_accepted_total",
+                "Connections accepted.",
+                self.connections.accepted_total.load(Ordering::Relaxed),
+            ),
+            (
+                "holistix_connections_closed_total",
+                "Connections closed.",
+                self.connections.closed_total.load(Ordering::Relaxed),
+            ),
+            (
+                "holistix_poll_wakeups_total",
+                "poll(2) returns reporting at least one ready fd.",
+                self.connections.wakeups_total.load(Ordering::Relaxed),
+            ),
+            (
+                "holistix_pipelined_requests_total",
+                "Requests parsed while an earlier one was in flight.",
+                self.connections.pipelined_total(),
+            ),
+            (
+                "holistix_idle_timeout_evictions_total",
+                "Connections evicted by the idle-timeout wheel.",
+                self.connections.idle_evictions_total(),
+            ),
+        ];
+        for (name, help, value) in connection_counters {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        if let Some(threads) = os_thread_count() {
+            out.push_str("# HELP holistix_os_threads Live OS threads in this process.\n# TYPE holistix_os_threads gauge\n");
+            out.push_str(&format!("holistix_os_threads {threads}\n"));
+        }
+
+        let batch_snapshot = self.batches.histogram.snapshot();
+        if batch_snapshot.count() > 0 {
+            out.push_str("# HELP holistix_batch_size Scored micro-batch sizes (texts per batch), all queues.\n# TYPE holistix_batch_size histogram\n");
+            append_histogram(&mut out, "holistix_batch_size", "", &batch_snapshot);
+        }
+        let latency_snapshot = self.request_latency.snapshot();
+        if latency_snapshot.count() > 0 {
+            out.push_str("# HELP holistix_request_latency_us End-to-end request latency (parse done to last byte written), microseconds.\n# TYPE holistix_request_latency_us histogram\n");
+            append_histogram(
+                &mut out,
+                "holistix_request_latency_us",
+                "",
+                &latency_snapshot,
+            );
+        }
+
+        let queues = self.queues.lock().unwrap();
+        if !queues.is_empty() {
+            out.push_str("# HELP holistix_queue_depth Jobs waiting in (or being scored from) the queue.\n# TYPE holistix_queue_depth gauge\n");
+            for (kind, queue) in queues.iter() {
+                out.push_str(&format!(
+                    "holistix_queue_depth{{kind=\"{kind}\"}} {}\n",
+                    queue.depth()
+                ));
+            }
+            out.push_str("# HELP holistix_queue_texts_scored_total Texts this queue has scored.\n# TYPE holistix_queue_texts_scored_total counter\n");
+            for (kind, queue) in queues.iter() {
+                out.push_str(&format!(
+                    "holistix_queue_texts_scored_total{{kind=\"{kind}\"}} {}\n",
+                    queue.texts_scored.load(Ordering::Relaxed)
+                ));
+            }
+            // Per-kind histograms: only kinds with samples, and the TYPE line
+            // only when at least one kind has any.
+            type Selector = fn(&QueueMetrics) -> &LogHistogram;
+            let families: [(&str, &str, Selector); 3] = [
+                (
+                    "holistix_queue_batch_size",
+                    "Scored batch sizes for this queue.",
+                    |q| &q.batches.histogram,
+                ),
+                (
+                    "holistix_queue_wait_us",
+                    "Per-job wait from enqueue to batch drain, microseconds.",
+                    |q| &q.queue_wait,
+                ),
+                (
+                    "holistix_queue_score_us",
+                    "Per-batch scoring call duration, microseconds.",
+                    |q| &q.score,
+                ),
+            ];
+            for (name, help, select) in families {
+                let snapshots: Vec<(&str, HistogramSnapshot)> = queues
+                    .iter()
+                    .map(|(kind, queue)| (kind.as_str(), select(queue).snapshot()))
+                    .filter(|(_, s)| s.count() > 0)
+                    .collect();
+                if snapshots.is_empty() {
+                    continue;
+                }
+                out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+                for (kind, snapshot) in snapshots {
+                    append_histogram(&mut out, name, &format!("kind=\"{kind}\""), &snapshot);
+                }
+            }
+        }
+        drop(queues);
+
+        self.obs.render_prometheus_into(&mut out);
+
+        if let Some(fit) = fit {
+            let fit_gauges: [(&str, &str, f64); 3] = [
+                (
+                    "holistix_registry_last_fit_us",
+                    "Duration of the registry's most recent fit, microseconds.",
+                    fit.duration.as_micros() as f64,
+                ),
+                (
+                    "holistix_registry_fit_shards",
+                    "Shards the most recent fit ran across.",
+                    fit.shards as f64,
+                ),
+                (
+                    "holistix_registry_corpus_size",
+                    "Posts in the corpus behind the serving registry.",
+                    fit.corpus_size as f64,
+                ),
+            ];
+            for (name, help, value) in fit_gauges {
+                out.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+                ));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::{validate_exposition, TraceStamp};
+
+    /// A finalized trace with the given endpoint and end-to-end total.
+    fn finalize_total(metrics: &ServeMetrics, endpoint: Endpoint, total: Duration) {
+        let started = Instant::now();
+        let mut trace = metrics.obs().begin_trace(started);
+        trace.endpoint = endpoint.name();
+        trace.stamp_at(TraceStamp::WriteDone, started + total);
+        metrics.finalize_trace(&trace);
+    }
 
     #[test]
     fn batch_histogram_tracks_sizes_and_texts() {
@@ -535,39 +771,36 @@ mod tests {
     }
 
     #[test]
-    fn latency_percentiles_use_nearest_rank() {
+    fn latency_percentiles_come_from_finalized_traces() {
         let metrics = ServeMetrics::new();
         for micros in 1..=100u64 {
-            metrics.record_latency_us(micros);
+            finalize_total(&metrics, Endpoint::Predict, Duration::from_micros(micros));
         }
         let snapshot = metrics.snapshot();
         let latency = snapshot.get("latency_us").unwrap();
-        assert_eq!(latency.get("p50").unwrap().as_f64(), Some(50.0));
-        assert_eq!(latency.get("p99").unwrap().as_f64(), Some(99.0));
+        assert_eq!(latency.get("count").unwrap().as_f64(), Some(100.0));
+        // Values ≥ 32 land in log2 buckets: the estimate may overshoot the
+        // exact nearest-rank value by at most one bucket width.
+        let p50 = latency.get("p50").unwrap().as_f64().unwrap();
+        let (_, p50_upper) = crate::obs::bucket_bounds(50);
+        assert!((50.0..=p50_upper as f64).contains(&p50), "p50 {p50}");
+        let p99 = latency.get("p99").unwrap().as_f64().unwrap();
+        let (_, p99_upper) = crate::obs::bucket_bounds(99);
+        assert!((99.0..=p99_upper as f64).contains(&p99), "p99 {p99}");
+        assert_eq!(latency.get("max").unwrap().as_f64(), Some(100.0));
+        // The stage histogram for the endpoint saw the same traces.
+        let write = metrics
+            .obs()
+            .stage_snapshot("predict", TraceStamp::WriteDone as usize);
+        assert_eq!(write.count(), 100);
     }
 
     #[test]
-    fn empty_latency_window_reports_null() {
+    fn empty_latency_histogram_reports_null() {
         let snapshot = ServeMetrics::new().snapshot();
         let latency = snapshot.get("latency_us").unwrap();
         assert_eq!(latency.get("p50"), Some(&JsonValue::Null));
-    }
-
-    #[test]
-    fn latency_window_is_bounded() {
-        let metrics = ServeMetrics::new();
-        for micros in 0..(LATENCY_WINDOW as u64 + 500) {
-            metrics.record_latency_us(micros);
-        }
-        let snapshot = metrics.snapshot();
-        let window = snapshot
-            .get("latency_us")
-            .unwrap()
-            .get("window")
-            .unwrap()
-            .as_usize()
-            .unwrap();
-        assert_eq!(window, LATENCY_WINDOW);
+        assert_eq!(latency.get("count").unwrap().as_f64(), Some(0.0));
     }
 
     #[test]
@@ -577,12 +810,14 @@ mod tests {
         metrics.record_request(Endpoint::Predict);
         metrics.record_request(Endpoint::Health);
         metrics.record_request(Endpoint::Reload);
+        metrics.record_request(Endpoint::DebugSlow);
         metrics.record_error();
-        assert_eq!(metrics.total_requests(), 4);
+        assert_eq!(metrics.total_requests(), 5);
         let snapshot = metrics.snapshot();
         let requests = snapshot.get("requests").unwrap();
         assert_eq!(requests.get("predict").unwrap().as_f64(), Some(2.0));
         assert_eq!(requests.get("reload").unwrap().as_f64(), Some(1.0));
+        assert_eq!(requests.get("debug_slow").unwrap().as_f64(), Some(1.0));
         assert_eq!(requests.get("errors").unwrap().as_f64(), Some(1.0));
     }
 
@@ -601,7 +836,7 @@ mod tests {
     }
 
     #[test]
-    fn queue_sections_track_depth_batches_and_latency() {
+    fn queue_sections_track_depth_batches_wait_and_score() {
         let metrics = ServeMetrics::new();
         let lr = metrics.queue("LR");
         let bert = metrics.queue("BERT");
@@ -612,7 +847,7 @@ mod tests {
             lr.record_enqueued();
         }
         assert_eq!(lr.depth(), 5);
-        lr.record_batch(3, &[10, 20, 30]);
+        lr.record_batch(3, &[10, 20, 30], 250);
         assert_eq!(lr.depth(), 2);
         assert_eq!(lr.max_batch_size(), 3);
         bert.record_enqueued();
@@ -626,12 +861,17 @@ mod tests {
         assert_eq!(lr_section.get("texts_scored").unwrap().as_f64(), Some(3.0));
         let lr_batches = lr_section.get("batches").unwrap();
         assert_eq!(lr_batches.get("max_size").unwrap().as_f64(), Some(3.0));
-        let lr_latency = lr_section.get("job_latency_us").unwrap();
-        assert_eq!(lr_latency.get("p50").unwrap().as_f64(), Some(20.0));
+        let lr_wait = lr_section.get("queue_wait_us").unwrap();
+        // Waits below 32 µs land in exact buckets: p50 of {10,20,30} is 20.
+        assert_eq!(lr_wait.get("p50").unwrap().as_f64(), Some(20.0));
+        assert_eq!(lr_wait.get("count").unwrap().as_f64(), Some(3.0));
+        let lr_score = lr_section.get("score_us").unwrap();
+        assert_eq!(lr_score.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(lr_score.get("max").unwrap().as_f64(), Some(250.0));
         let bert_section = queues.get("BERT").unwrap();
         assert_eq!(bert_section.get("depth").unwrap().as_f64(), Some(0.0));
         assert_eq!(
-            bert_section.get("job_latency_us").unwrap().get("p50"),
+            bert_section.get("queue_wait_us").unwrap().get("p50"),
             Some(&JsonValue::Null)
         );
     }
@@ -699,5 +939,69 @@ mod tests {
         assert_eq!(section.get("last_fit_us").unwrap().as_f64(), Some(12_500.0));
         assert_eq!(section.get("fit_shards").unwrap().as_f64(), Some(4.0));
         assert_eq!(section.get("corpus_size").unwrap().as_f64(), Some(2_000.0));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_valid_and_matches_json() {
+        let metrics = ServeMetrics::new();
+        metrics.record_request(Endpoint::Predict);
+        metrics.record_request(Endpoint::Predict);
+        metrics.record_request(Endpoint::Metrics);
+        metrics.record_error();
+        metrics.record_keepalive_reuse();
+        metrics.record_batch(3);
+        metrics.record_batch(40); // a log2-bucketed size
+        let lr = metrics.queue("LR");
+        for _ in 0..3 {
+            lr.record_enqueued();
+        }
+        lr.record_batch(3, &[15, 40, 1000], 900);
+        finalize_total(&metrics, Endpoint::Predict, Duration::from_micros(480));
+        metrics.set_thread_plan(2, 4, 1);
+        let fit = FitStats {
+            duration: Duration::from_micros(7_000),
+            shards: 2,
+            corpus_size: 90,
+        };
+
+        let text = metrics.render_prometheus(Some(&fit));
+        validate_exposition(&text).expect("valid exposition");
+
+        // Counters agree with the JSON snapshot.
+        let json = metrics.snapshot_with_fit(&fit);
+        let predict_json = json
+            .get("requests")
+            .unwrap()
+            .get("predict")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(text.contains(&format!(
+            "holistix_requests_total{{endpoint=\"predict\"}} {predict_json}"
+        )));
+        let scored_json = json.get("texts_scored").unwrap().as_f64().unwrap();
+        assert!(text.contains(&format!("holistix_texts_scored_total {scored_json}")));
+        // Histogram series exist with cumulative buckets ending in +Inf.
+        assert!(text.contains("holistix_request_latency_us_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("holistix_queue_wait_us_bucket{kind=\"LR\""));
+        assert!(text.contains("holistix_batch_size_count 2"));
+        // Build info and fit gauges are present.
+        assert!(text.contains("holistix_build_info{version=\""));
+        assert!(text.contains("holistix_registry_corpus_size 90"));
+        // The per-endpoint stage histogram from the finalized trace.
+        assert!(
+            text.contains("holistix_stage_duration_us_bucket{endpoint=\"predict\",stage=\"write\"")
+        );
+    }
+
+    #[test]
+    fn empty_sink_renders_valid_prometheus() {
+        // No traffic at all: histograms are omitted, counters are zero, and
+        // the exposition still validates (no TYPE line without samples).
+        let metrics = ServeMetrics::new();
+        let text = metrics.render_prometheus(None);
+        validate_exposition(&text).expect("valid empty exposition");
+        assert!(!text.contains("holistix_request_latency_us"));
+        assert!(text.contains("holistix_requests_total{endpoint=\"predict\"} 0"));
     }
 }

@@ -37,7 +37,8 @@
 use crate::batcher::{build_queues, BatchConfig, BatcherHandle};
 use crate::conn::{Connection, TimerWheel};
 use crate::http::{Request, Response};
-use crate::metrics::{Endpoint, ServeMetrics};
+use crate::metrics::{build_info, Endpoint, ServeMetrics};
+use crate::obs::{RequestTrace, TraceStamp};
 use crate::poller::{waker_pair, Interest, PollSet, ReadyEvent, WakeReader, Waker};
 use crate::registry::{ModelRegistry, SharedRegistry};
 use holistix::corpus::WellnessDimension;
@@ -233,21 +234,26 @@ pub fn serve(
     })
 }
 
-/// A parsed request on its way from a poller to the handler pool.
+/// A parsed request on its way from a poller to the handler pool, carrying
+/// the trace minted at parse completion.
 struct HandlerJob {
     poller: usize,
     slot: usize,
     generation: u64,
     seq: u64,
     request: Request,
+    trace: RequestTrace,
 }
 
-/// A finished response on its way back to the owning poller.
+/// A finished response on its way back to the owning poller, with the trace
+/// the handler stamped along the way (the poller stamps the final
+/// last-byte-written boundary and finalizes it).
 struct Completion {
     slot: usize,
     generation: u64,
     seq: u64,
     response: Response,
+    trace: RequestTrace,
 }
 
 /// The handler-facing side of one poller: where completions are pushed, and
@@ -354,17 +360,20 @@ fn handler_loop(
         // Take the lock only to pop; handling runs unlocked so the rest of
         // the pool keeps draining jobs.
         let job = { receiver.lock().unwrap().recv() };
-        let Ok(job) = job else { break };
-        let response = route(&job.request, context);
+        let Ok(mut job) = job else { break };
+        job.trace.stamp(TraceStamp::HandlerStart);
+        let response = route(&job.request, context, &mut job.trace);
         if response.status >= 400 {
             context.metrics.record_error();
         }
+        job.trace.stamp(TraceStamp::ResponseQueued);
         let shared = &pollers[job.poller];
         shared.completions.lock().unwrap().push(Completion {
             slot: job.slot,
             generation: job.generation,
             seq: job.seq,
             response,
+            trace: job.trace,
         });
         shared.waker.wake();
     }
@@ -483,7 +492,7 @@ impl<'a> Poller<'a> {
             for completion in completed {
                 if let Some(conn) = self.conns[completion.slot].as_mut() {
                     if conn.generation == completion.generation {
-                        conn.complete(completion.seq, completion.response);
+                        conn.complete(completion.seq, completion.response, completion.trace);
                         touched.push(completion.slot);
                     }
                 }
@@ -573,13 +582,14 @@ impl<'a> Poller<'a> {
             };
             let generation = conn.generation;
             let requests = conn.take_requests(now, self.keep_alive.max_requests, self.metrics);
-            for (seq, request) in requests {
+            for (seq, request, trace) in requests {
                 let job = HandlerJob {
                     poller: self.index,
                     slot,
                     generation,
                     seq,
                     request,
+                    trace,
                 };
                 if self.job_sender.send(job).is_err() {
                     // Shutting down: the response will never come, and the
@@ -588,9 +598,9 @@ impl<'a> Poller<'a> {
                 }
             }
             let conn = self.conns[slot].as_mut().expect("connection still live");
-            conn.serialize_ready(self.running.load(Ordering::SeqCst), self.metrics);
+            conn.serialize_ready(self.running.load(Ordering::SeqCst));
             if conn.wants_write() {
-                broken = conn.on_writable(now).is_err();
+                broken = conn.on_writable(now, self.metrics).is_err();
             }
         }
         if broken
@@ -638,40 +648,65 @@ impl<'a> Poller<'a> {
     }
 }
 
-fn route(request: &Request, context: &RequestContext<'_>) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            context.metrics.record_request(Endpoint::Health);
-            handle_healthz(context)
-        }
-        ("GET", "/metrics") => {
-            context.metrics.record_request(Endpoint::Metrics);
+fn route(request: &Request, context: &RequestContext<'_>, trace: &mut RequestTrace) -> Response {
+    let endpoint = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Endpoint::Health,
+        ("GET", "/metrics") => Endpoint::Metrics,
+        ("GET", "/debug/slow") => Endpoint::DebugSlow,
+        ("POST", "/predict") => Endpoint::Predict,
+        ("POST", "/explain") => Endpoint::Explain,
+        ("POST", "/reload") => Endpoint::Reload,
+        _ => Endpoint::Other,
+    };
+    trace.endpoint = endpoint.name();
+    context.metrics.record_request(endpoint);
+    match endpoint {
+        Endpoint::Health => handle_healthz(context),
+        Endpoint::Metrics => {
             // Fit stats come straight off the live registry, so this can never
             // disagree with the models actually serving.
             let fit = context.registry.current().fit_stats();
-            Response::ok(context.metrics.snapshot_with_fit(&fit).to_string())
+            // Content negotiation: Prometheus text when asked for via
+            // `?format=prometheus` or an `Accept` admitting text/plain; the
+            // JSON document otherwise (shape unchanged since PR 4).
+            if request.query_param("format") == Some("prometheus")
+                || request.accept.to_ascii_lowercase().contains("text/plain")
+            {
+                Response::text(200, context.metrics.render_prometheus(Some(&fit)))
+            } else {
+                Response::ok(context.metrics.snapshot_with_fit(&fit).to_string())
+            }
         }
-        ("POST", "/predict") => {
-            context.metrics.record_request(Endpoint::Predict);
-            handle_predict(&request.body, context)
+        Endpoint::DebugSlow => {
+            Response::ok(context.metrics.obs().slow_traces().to_json().to_string())
         }
-        ("POST", "/explain") => {
-            context.metrics.record_request(Endpoint::Explain);
-            handle_explain(&request.body, context)
-        }
-        ("POST", "/reload") => {
-            context.metrics.record_request(Endpoint::Reload);
-            handle_reload(&request.body, context)
-        }
-        (_, "/healthz" | "/metrics" | "/predict" | "/explain" | "/reload") => {
-            context.metrics.record_request(Endpoint::Other);
-            Response::error(405, "method not allowed")
-        }
-        _ => {
-            context.metrics.record_request(Endpoint::Other);
-            Response::error(404, "no such endpoint")
-        }
+        Endpoint::Predict => handle_predict(request, context, trace),
+        Endpoint::Explain => handle_explain(request, context, trace),
+        Endpoint::Reload => handle_reload(&request.body, context),
+        Endpoint::Other => match request.path.as_str() {
+            "/healthz" | "/metrics" | "/predict" | "/explain" | "/reload" | "/debug/slow" => {
+                Response::error(405, "method not allowed")
+            }
+            _ => Response::error(404, "no such endpoint"),
+        },
     }
+}
+
+/// Inline the trace's stage breakdown into a response body when the client
+/// opted in with `?trace=1`: the body's top-level object gains a `trace`
+/// section with the id and the stages stamped so far (the write stage is
+/// still ahead — it can only appear in `/debug/slow`).
+fn inline_trace(request: &Request, trace: &RequestTrace, fields: &mut Vec<(&str, JsonValue)>) {
+    if request.query_param("trace") != Some("1") {
+        return;
+    }
+    fields.push((
+        "trace",
+        JsonValue::object(vec![
+            ("trace_id", JsonValue::string(trace.id_hex())),
+            ("stages", trace.stages_json()),
+        ]),
+    ));
 }
 
 fn handle_healthz(context: &RequestContext<'_>) -> Response {
@@ -681,6 +716,7 @@ fn handle_healthz(context: &RequestContext<'_>) -> Response {
         .iter()
         .map(|k| JsonValue::string(k.name()))
         .collect();
+    let (version, git) = build_info();
     Response::ok(
         JsonValue::object(vec![
             ("status", JsonValue::string("ok")),
@@ -697,6 +733,17 @@ fn handle_healthz(context: &RequestContext<'_>) -> Response {
                 "open_connections",
                 JsonValue::Number(context.metrics.connections().open() as f64),
             ),
+            (
+                "uptime_s",
+                JsonValue::Number(context.metrics.uptime().as_secs_f64()),
+            ),
+            (
+                "build",
+                JsonValue::object(vec![
+                    ("version", JsonValue::string(version)),
+                    ("git", JsonValue::string(git)),
+                ]),
+            ),
         ])
         .to_string(),
     )
@@ -705,9 +752,14 @@ fn handle_healthz(context: &RequestContext<'_>) -> Response {
 /// `POST /predict`: `{"texts": ["…", …]}` (or `{"text": "…"}`), optional
 /// `"model"`. Every text goes through its model's batch queue, so concurrent
 /// requests for the same kind share scoring batches — and requests for
-/// different kinds never wait on each other.
-fn handle_predict(body: &str, context: &RequestContext<'_>) -> Response {
-    let document = match JsonValue::parse(body) {
+/// different kinds never wait on each other. Stamps the trace's enqueue /
+/// batch-drain / scored boundaries; `?trace=1` inlines the breakdown.
+fn handle_predict(
+    request: &Request,
+    context: &RequestContext<'_>,
+    trace: &mut RequestTrace,
+) -> Response {
+    let document = match JsonValue::parse(&request.body) {
         Ok(v) => v,
         Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
     };
@@ -740,11 +792,17 @@ fn handle_predict(body: &str, context: &RequestContext<'_>) -> Response {
         Ok(resolved) => resolved,
         Err(e) => return Response::error(400, &e),
     };
+    trace.kind = Some(kind.name());
 
-    let rows = match context.batcher.predict_many(kind, texts) {
-        Ok(rows) => rows,
+    trace.stamp(TraceStamp::QueueEnqueue);
+    let (rows, timing) = match context.batcher.predict_many(kind, texts) {
+        Ok(scored) => scored,
         Err(e) => return Response::error(500, &e),
     };
+    if let Some(timing) = timing {
+        trace.stamp_at(TraceStamp::BatchDrain, timing.drained);
+        trace.stamp_at(TraceStamp::Scored, timing.scored);
+    }
 
     let results: Vec<JsonValue> = rows
         .into_iter()
@@ -763,21 +821,26 @@ fn handle_predict(body: &str, context: &RequestContext<'_>) -> Response {
             ])
         })
         .collect();
-    Response::ok(
-        JsonValue::object(vec![
-            ("model", JsonValue::string(kind.name())),
-            ("results", JsonValue::Array(results)),
-        ])
-        .to_string(),
-    )
+    let mut fields = vec![
+        ("model", JsonValue::string(kind.name())),
+        ("results", JsonValue::Array(results)),
+    ];
+    inline_trace(request, trace, &mut fields);
+    Response::ok(JsonValue::object(fields).to_string())
 }
 
 /// `POST /explain`: `{"text": "…"}`, optional `"model"`, `"top_k"`,
 /// `"n_samples"`. Runs LIME against the warm scorer (any backend — the
 /// explainer sees only `dyn Scorer`); the perturbation set is scored through
 /// the batched `predict_proba` path in [`LimeConfig::batch_size`] chunks.
-fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
-    let document = match JsonValue::parse(body) {
+/// The LIME run is the `score` stage of the request's trace (it bypasses the
+/// batch queues, so there are no enqueue/drain boundaries).
+fn handle_explain(
+    request: &Request,
+    context: &RequestContext<'_>,
+    trace: &mut RequestTrace,
+) -> Response {
+    let document = match JsonValue::parse(&request.body) {
         Ok(v) => v,
         Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
     };
@@ -807,6 +870,7 @@ fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
         Ok(resolved) => resolved,
         Err(e) => return Response::error(400, &e),
     };
+    trace.kind = Some(kind.name());
 
     let mut lime = context.lime.clone();
     if let Some(n_samples) = document.get("n_samples").and_then(|v| v.as_usize()) {
@@ -818,6 +882,7 @@ fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
     let top_k = lime.top_k;
     let model: &dyn Scorer = &*model;
     let explanation = LimeExplainer::new(lime).explain(model, text, None);
+    trace.stamp(TraceStamp::Scored);
 
     let tokens: Vec<JsonValue> = explanation
         .token_weights
@@ -830,25 +895,24 @@ fn handle_explain(body: &str, context: &RequestContext<'_>) -> Response {
             ])
         })
         .collect();
-    Response::ok(
-        JsonValue::object(vec![
-            ("model", JsonValue::string(kind.name())),
-            (
-                "label",
-                JsonValue::string(WellnessDimension::from_index(explanation.target_class).code()),
-            ),
-            (
-                "target_class",
-                JsonValue::Number(explanation.target_class as f64),
-            ),
-            (
-                "target_probability",
-                JsonValue::Number(explanation.target_probability),
-            ),
-            ("tokens", JsonValue::Array(tokens)),
-        ])
-        .to_string(),
-    )
+    let mut fields = vec![
+        ("model", JsonValue::string(kind.name())),
+        (
+            "label",
+            JsonValue::string(WellnessDimension::from_index(explanation.target_class).code()),
+        ),
+        (
+            "target_class",
+            JsonValue::Number(explanation.target_class as f64),
+        ),
+        (
+            "target_probability",
+            JsonValue::Number(explanation.target_probability),
+        ),
+        ("tokens", JsonValue::Array(tokens)),
+    ];
+    inline_trace(request, trace, &mut fields);
+    Response::ok(JsonValue::object(fields).to_string())
 }
 
 /// `POST /reload`: the body is a JSONL corpus in the `corpus::io` schema. The

@@ -1,0 +1,96 @@
+//! Property-based tests for the log2-bucketed histogram: percentile
+//! estimates must stay within one bucket width of the exact nearest-rank
+//! answer for arbitrary value sets, and snapshot algebra (merge/minus)
+//! must be exact regardless of how values are split across shards.
+
+use holistix_serve::{HistogramSnapshot, LogHistogram};
+use proptest::prelude::*;
+
+/// Exact nearest-rank percentile over the raw values.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// The inclusive bucket the histogram files `value` under.
+fn bucket_of(value: u64) -> (u64, u64) {
+    holistix_serve::obs::bucket_bounds(value)
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let histogram = LogHistogram::new();
+    for &v in values {
+        histogram.record(v);
+    }
+    histogram.snapshot()
+}
+
+proptest! {
+    /// The histogram percentile never undershoots the exact nearest-rank
+    /// value's bucket lower bound and never overshoots its upper bound:
+    /// the estimate lands inside the bucket holding the true answer (or,
+    /// equivalently, within one bucket width of it).
+    #[test]
+    fn percentile_within_one_bucket_of_exact(
+        mut values in proptest::collection::vec(0u64..2_000_000_000, 1..200),
+        q in 0.01f64..1.0,
+    ) {
+        let snapshot = snapshot_of(&values);
+        values.sort_unstable();
+        let exact = exact_percentile(&values, q);
+        let (lower, upper) = bucket_of(exact);
+        let estimate = snapshot.percentile(q).expect("non-empty");
+        prop_assert!(
+            estimate >= lower && estimate <= upper,
+            "q={q}: estimate {estimate} outside bucket [{lower}, {upper}] of exact {exact}"
+        );
+    }
+
+    /// Small values (below two octaves) are recorded exactly, so the
+    /// percentile must equal the exact nearest-rank answer — zero error.
+    #[test]
+    fn percentile_is_exact_below_the_first_log_octave(
+        mut values in proptest::collection::vec(0u64..32, 1..100),
+        q in 0.01f64..1.0,
+    ) {
+        let snapshot = snapshot_of(&values);
+        values.sort_unstable();
+        prop_assert_eq!(snapshot.percentile(q), Some(exact_percentile(&values, q)));
+    }
+
+    /// Count, sum, and max survive the bucketing untouched.
+    #[test]
+    fn count_sum_max_are_exact(values in proptest::collection::vec(0u64..2_000_000_000, 0..100)) {
+        let snapshot = snapshot_of(&values);
+        prop_assert_eq!(snapshot.count(), values.len() as u64);
+        prop_assert_eq!(snapshot.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(snapshot.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Recording values across two shards and merging the snapshots gives
+    /// the same histogram as recording everything into one — and `minus`
+    /// recovers the second shard from the merged total.
+    #[test]
+    fn merge_equals_single_shard_and_minus_inverts(
+        left in proptest::collection::vec(0u64..2_000_000_000, 0..60),
+        right in proptest::collection::vec(0u64..2_000_000_000, 0..60),
+    ) {
+        let mut merged = snapshot_of(&left);
+        merged.merge(&snapshot_of(&right));
+
+        let combined: Vec<u64> = left.iter().chain(right.iter()).copied().collect();
+        let whole = snapshot_of(&combined);
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.sum(), whole.sum());
+        prop_assert_eq!(merged.max(), whole.max());
+        if !combined.is_empty() {
+            prop_assert_eq!(merged.percentile(0.5), whole.percentile(0.5));
+            prop_assert_eq!(merged.percentile(0.99), whole.percentile(0.99));
+        }
+
+        let delta = whole.minus(&snapshot_of(&left));
+        prop_assert_eq!(delta.count(), right.len() as u64);
+        prop_assert_eq!(delta.sum(), right.iter().sum::<u64>());
+    }
+}

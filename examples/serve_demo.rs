@@ -16,7 +16,8 @@
 
 use holistix::prelude::*;
 use holistix_serve::{
-    http_request, serve, BatchConfig, HttpClient, ModelRegistry, RegistryConfig, ServeConfig,
+    http_request, serve, validate_exposition, BatchConfig, HttpClient, ModelRegistry,
+    RegistryConfig, ServeConfig,
 };
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -206,6 +207,62 @@ fn main() {
             fail("predict after reload carries no probabilities");
         }
         println!("reload round-trip ok ({n_posts} posts)");
+
+        // Observability round-trip: scrape JSON then Prometheus, validate the
+        // exposition format, and assert the two documents agree on counters
+        // that don't move between scrapes (the scrape itself increments the
+        // metrics endpoint's own request counter, so that one is excluded).
+        let json_metrics = request_ok(addr, "GET", "/metrics", None);
+        let document = match holistix::corpus::JsonValue::parse(&json_metrics) {
+            Ok(document) => document,
+            Err(e) => fail(&format!("metrics response is not JSON: {e}")),
+        };
+        let json_predicts = document
+            .get("requests")
+            .and_then(|r| r.get("predict"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| fail("metrics missing requests.predict"));
+        let prometheus = request_ok(addr, "GET", "/metrics?format=prometheus", None);
+        if let Err(violation) = validate_exposition(&prometheus) {
+            fail(&format!("invalid Prometheus exposition: {violation}"));
+        }
+        let prom_predict_line = format!(
+            "holistix_requests_total{{endpoint=\"predict\"}} {}",
+            json_predicts as u64
+        );
+        if !prometheus.contains(&prom_predict_line) {
+            fail(&format!(
+                "Prometheus scrape disagrees with JSON: wanted {prom_predict_line:?}"
+            ));
+        }
+        println!(
+            "prometheus ok ({} exposition lines, predict counter matches JSON)",
+            prometheus.lines().count()
+        );
+
+        // /debug/slow round-trip: the smoke's own predicts must be retained
+        // with their stage breakdowns. Traces finalize at last-byte-written,
+        // one poller tick after the client reads a response — poll briefly.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let slow_count = loop {
+            let slow = request_ok(addr, "GET", "/debug/slow", None);
+            let document = match holistix::corpus::JsonValue::parse(&slow) {
+                Ok(document) => document,
+                Err(e) => fail(&format!("/debug/slow response is not JSON: {e}")),
+            };
+            let traces = document
+                .get("traces")
+                .and_then(|t| t.as_array().map(<[_]>::len))
+                .unwrap_or_else(|| fail("/debug/slow missing traces array"));
+            if traces > 0 {
+                break traces;
+            }
+            if std::time::Instant::now() >= deadline {
+                fail("/debug/slow never retained a trace");
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        println!("debug/slow ok ({slow_count} retained traces)");
 
         server.shutdown();
         println!("smoke ok");
