@@ -31,8 +31,9 @@
 //! evicted. Stale entries (the slot was reused by a newer connection) are
 //! filtered by generation number.
 
+use crate::admission::{Admission, TokenBucket};
 use crate::http::{write_response, Request, RequestParser, Response};
-use crate::metrics::{Endpoint, ServeMetrics};
+use crate::metrics::{Endpoint, ServeMetrics, ShedReason};
 use crate::obs::{RequestTrace, TraceStamp};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -84,13 +85,22 @@ pub(crate) struct Connection {
     /// A close-announcing response has been serialized: flush `out`, then
     /// close. No further parsing or dispatch.
     closing: bool,
+    /// This client's token bucket — admission keyed on connection identity:
+    /// minted at accept, dies with the connection. `None` when per-client
+    /// rate limiting is off.
+    bucket: Option<TokenBucket>,
     /// Last moment bytes moved on this socket in either direction.
     pub(crate) last_activity: Instant,
 }
 
 impl Connection {
     /// Adopt an accepted stream: switch it nonblocking and start the session.
-    pub(crate) fn new(stream: TcpStream, generation: u64, now: Instant) -> io::Result<Self> {
+    pub(crate) fn new(
+        stream: TcpStream,
+        generation: u64,
+        now: Instant,
+        bucket: Option<TokenBucket>,
+    ) -> io::Result<Self> {
         stream.set_nonblocking(true)?;
         Ok(Self {
             stream,
@@ -106,6 +116,7 @@ impl Connection {
             last_seq: None,
             read_closed: false,
             closing: false,
+            bucket,
             last_activity: now,
         })
     }
@@ -196,25 +207,52 @@ impl Connection {
     /// same record. Returns the requests to hand to handler threads; a
     /// malformed request is answered locally (400, close) and ends parsing —
     /// framing is lost.
+    ///
+    /// A request that finds this client's token bucket empty is also answered
+    /// locally — `429` + `Retry-After` without a handler round-trip — but the
+    /// connection stays open: framing is intact, and the whole point of
+    /// `Retry-After` is that the same client retries on the same connection
+    /// once its bucket refills.
     pub(crate) fn take_requests(
         &mut self,
         now: Instant,
         max_requests: usize,
         metrics: &ServeMetrics,
+        admission: &Admission,
     ) -> Vec<(u64, Request, RequestTrace)> {
         let mut dispatches = Vec::new();
         while !self.closing && self.last_seq.is_none() && self.outstanding() < MAX_PIPELINED {
             match self.parser.poll_request() {
                 Ok(Some(request)) => {
                     let seq = self.assign_seq(metrics);
+                    if request.close || seq + 1 >= max_requests.max(1) as u64 {
+                        self.last_seq = Some(seq);
+                    }
+                    if let Some(bucket) = self.bucket.as_mut() {
+                        if !bucket.try_take(now) {
+                            let endpoint = Endpoint::resolve(&request.method, &request.path);
+                            metrics.record_request(endpoint);
+                            metrics.record_error();
+                            metrics.record_shed(endpoint, ShedReason::RateLimited);
+                            let mut trace = metrics.obs().begin_trace(now);
+                            trace.endpoint = endpoint.name();
+                            trace.stamp_at(TraceStamp::ResponseQueued, Instant::now());
+                            self.complete(
+                                seq,
+                                Response::too_many(
+                                    "client rate limit exceeded",
+                                    admission.retry_after_secs(),
+                                ),
+                                trace,
+                            );
+                            continue;
+                        }
+                    }
                     let trace = metrics.obs().begin_trace(now);
                     if seq != self.next_write_seq {
                         // An earlier request is still in flight: this one is
                         // being parsed ahead of its turn.
                         metrics.connections().record_pipelined();
-                    }
-                    if request.close || seq + 1 >= max_requests.max(1) as u64 {
-                        self.last_seq = Some(seq);
                     }
                     dispatches.push((seq, request, trace));
                 }

@@ -83,6 +83,9 @@ pub struct Response {
     pub body: String,
     /// `Content-Type` header value.
     pub content_type: &'static str,
+    /// `Retry-After` header value (whole seconds), emitted on shed (`429`)
+    /// responses so clients know the suggested back-off.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -92,6 +95,7 @@ impl Response {
             status,
             body: body.into(),
             content_type: "application/json",
+            retry_after: None,
         }
     }
 
@@ -102,6 +106,7 @@ impl Response {
             status,
             body: body.into(),
             content_type: "text/plain; version=0.0.4",
+            retry_after: None,
         }
     }
 
@@ -119,6 +124,15 @@ impl Response {
                 holistix_corpus::json::json_escape(message)
             ),
         )
+    }
+
+    /// A `429 Too Many Requests` load-shed response carrying a `Retry-After`
+    /// hint of `retry_after_s` seconds. The admission layer's answer for
+    /// "healthy but full" — distinct from `503` (model or server unavailable).
+    pub fn too_many(message: &str, retry_after_s: u64) -> Self {
+        let mut response = Self::error(429, message);
+        response.retry_after = Some(retry_after_s);
+        response
     }
 }
 
@@ -394,7 +408,9 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         409 => "Conflict",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -420,6 +436,9 @@ pub fn write_response<W: Write>(
         response.body.len(),
         connection,
     )?;
+    if let Some(secs) = response.retry_after {
+        write!(writer, "Retry-After: {secs}\r\n")?;
+    }
     if let Some(id) = trace_id {
         write!(writer, "X-Trace-Id: {id}\r\n")?;
     }
@@ -829,6 +848,24 @@ mod tests {
         write_response(&mut out, &Response::ok("{}"), false, None).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn too_many_carries_a_retry_after_header() {
+        let mut out = Vec::new();
+        let response = Response::too_many("queue is full", 3);
+        assert_eq!(response.status, 429);
+        write_response(&mut out, &response, true, None).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 3\r\n"));
+        assert!(text.contains("\"error\":\"queue is full\""));
+        // Ordinary responses never emit the header.
+        let mut plain = Vec::new();
+        write_response(&mut plain, &Response::error(503, "down"), true, None).unwrap();
+        let plain = String::from_utf8(plain).unwrap();
+        assert!(plain.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(!plain.contains("Retry-After"));
     }
 
     #[test]

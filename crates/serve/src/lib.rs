@@ -105,6 +105,10 @@
 //! * **[`obs`]** — the observability layer: lock-free log2-bucketed
 //!   histograms, per-request traces, the slow-trace ring, and the Prometheus
 //!   exposition helpers. See **Observability** below.
+//! * **[`admission`]** — the overload-protection layer: per-kind queue-depth
+//!   caps, a per-connection token-bucket rate limiter, the global intake
+//!   valve, and graceful degradation (`/explain` sheds first). See
+//!   **Admission & overload** below.
 //!
 //! ## Endpoints
 //!
@@ -118,6 +122,54 @@
 //! | `GET /debug/slow` | —                                             | the N slowest completed request traces with per-stage timings |
 //!
 //! Every response carries an `X-Trace-Id` header.
+//!
+//! ## Admission & overload
+//!
+//! A server with bounded threads and bounded queues must decide what happens
+//! when offered load exceeds capacity; doing nothing means unbounded queue
+//! growth and latency collapse for everyone. [`AdmissionConfig`] (on
+//! [`ServeConfig`]) configures four nested bounds, outermost first:
+//!
+//! 1. **Global intake valve** (`global_intake_limit`) — when the *aggregate*
+//!    queued-job count across every batch queue reaches this limit, the
+//!    pollers withdraw read interest from the listener and from every
+//!    connection (the same mechanism per-connection pipelining already uses),
+//!    so overload backpressure propagates into kernel socket buffers and TCP
+//!    receive windows instead of server memory. Nothing is rejected — reads
+//!    resume as soon as the backlog drains (bounded by the poll fallback
+//!    timeout).
+//! 2. **Per-connection token bucket** (`rate_limit`:
+//!    [`RateLimitConfig`]) — each accepted connection gets its own
+//!    [`TokenBucket`] holding at most `burst` tokens, refilled continuously
+//!    at `rate_per_s` tokens per second; every parsed request takes one
+//!    token or is answered `429` without ever reaching a handler. Keyed on
+//!    connection identity: a client that reconnects starts a fresh bucket,
+//!    but also pays the connection setup. Off by default (`None`).
+//! 3. **Graceful degradation** (`explain_shed_depth`) — `/explain` costs
+//!    hundreds of batched scoring calls per request, so it is shed *first*:
+//!    once aggregate depth reaches this (lower) threshold, `/explain`
+//!    answers `429` while `/predict` keeps serving until its own per-kind
+//!    cap. An integration test pins the ordering.
+//! 4. **Per-kind queue cap** (`max_queue_depth`) — each `BatchQueue` admits
+//!    a request's texts all-or-nothing via a compare-and-swap reservation on
+//!    its depth gauge; a request that would push the queue past the cap is
+//!    rejected `429` with nothing enqueued, and a full transformer queue
+//!    cannot make the classical queue reject (per-kind isolation).
+//!
+//! **429 vs 503**: `429 Too Many Requests` always means *healthy but full —
+//! retry this same server after `Retry-After` seconds* (every shed response
+//! carries the header, seconds granularity, from
+//! `AdmissionConfig::retry_after`). `503 Service Unavailable` is reserved
+//! for the reload path (model not loaded / shutting down) where retrying
+//! soon won't help. Shed responses count in `requests.errors` and in the
+//! per-endpoint, per-reason `admission.shed` counters (reasons:
+//! `queue_full`, `rate_limited`, `degraded`); the valve exports its state
+//! (`intake_closed`, `intake_closures_total`) and the configured limits.
+//!
+//! Defaults are permissive (caps in the thousands, no rate limit) — the
+//! open-loop `serve_load` bench in `holistix-bench` ramps fixed-TPS clients
+//! against a real server until a p99-latency or shed-rate SLO trips, and
+//! records the last sustainable step in `BENCH_serve.json`.
 //!
 //! JSON parsing and serialisation are shared with the corpus crate's
 //! [`holistix_corpus::json`] module (hoisted out of its JSONL reader), whose
@@ -183,6 +235,10 @@
 //! | `holistix_queue_depth{kind}`, `holistix_queue_texts_scored_total{kind}`, `holistix_queue_batch_size{kind}`, `holistix_queue_wait_us{kind}`, `holistix_queue_score_us{kind}` | `queues.<kind>` |
 //! | `holistix_stage_duration_us{endpoint,stage}` | `stages` section |
 //! | `holistix_registry_*`                    | `registry` section |
+//! | `holistix_shed_total{endpoint,reason}`   | `admission.shed` |
+//! | `holistix_queue_depth_aggregate`         | `admission.aggregate_depth` |
+//! | `holistix_intake_closed`, `holistix_intake_closures_total` | `admission.intake_*` |
+//! | `holistix_admission_*` (limit gauges)    | `admission.limits` |
 //!
 //! ## Quick start
 //!
@@ -195,6 +251,7 @@
 //! // … server.shutdown() when done.
 //! ```
 
+pub mod admission;
 pub mod batcher;
 pub mod conn;
 pub mod http;
@@ -204,10 +261,12 @@ pub mod poller;
 pub mod registry;
 pub mod server;
 
-pub use batcher::{BatchConfig, BatchTiming, BatcherHandle};
+pub use admission::{Admission, AdmissionConfig, RateLimitConfig, TokenBucket};
+pub use batcher::{BatchConfig, BatchTiming, BatcherHandle, PredictError};
 pub use http::{http_request, HttpClient, Request, Response};
 pub use metrics::{
-    build_info, os_thread_count, ConnectionMetrics, Endpoint, QueueMetrics, ServeMetrics,
+    build_info, os_thread_count, AdmissionMetrics, ConnectionMetrics, Endpoint, QueueMetrics,
+    ServeMetrics, ShedReason,
 };
 pub use obs::{validate_exposition, HistogramSnapshot, LogHistogram, RequestTrace, TraceStamp};
 pub use registry::{parse_kind, FitStats, ModelRegistry, RegistryConfig, SharedRegistry};

@@ -90,6 +90,217 @@ impl Endpoint {
     pub fn name(self) -> &'static str {
         crate::obs::ENDPOINT_NAMES[self.index()]
     }
+
+    /// Route a parsed request line to its endpoint. The single source of
+    /// routing truth: the server's dispatch and the poller's rate-limit
+    /// labeling both use this, so a shed `/predict` is counted as `predict`
+    /// even when the handler never sees it.
+    pub fn resolve(method: &str, path: &str) -> Endpoint {
+        match (method, path) {
+            ("POST", "/predict") => Endpoint::Predict,
+            ("POST", "/explain") => Endpoint::Explain,
+            ("POST", "/reload") => Endpoint::Reload,
+            ("GET", "/healthz") => Endpoint::Health,
+            ("GET", "/metrics") => Endpoint::Metrics,
+            ("GET", "/debug/slow") => Endpoint::DebugSlow,
+            _ => Endpoint::Other,
+        }
+    }
+}
+
+/// Why a request was shed with `429 Too Many Requests`. Doubles as the
+/// `reason` label on `holistix_shed_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The target kind's batch queue was at its configured depth cap.
+    QueueFull,
+    /// The connection's token bucket was empty.
+    RateLimited,
+    /// Graceful degradation: `/explain` shed under aggregate queue pressure
+    /// so `/predict` could keep serving.
+    Degraded,
+}
+
+impl ShedReason {
+    /// Every reason, in [`index`](Self::index) order.
+    pub const ALL: [ShedReason; 3] = [
+        ShedReason::QueueFull,
+        ShedReason::RateLimited,
+        ShedReason::Degraded,
+    ];
+
+    /// Stable index into the per-reason counter array.
+    pub fn index(self) -> usize {
+        match self {
+            ShedReason::QueueFull => 0,
+            ShedReason::RateLimited => 1,
+            ShedReason::Degraded => 2,
+        }
+    }
+
+    /// The reason's name: JSON key and Prometheus `reason` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::RateLimited => "rate_limited",
+            ShedReason::Degraded => "degraded",
+        }
+    }
+}
+
+/// The configured admission limits, echoed into `/metrics` so an operator can
+/// read the active policy next to the counters it drives.
+#[derive(Debug, Clone, Copy)]
+struct AdmissionLimits {
+    max_queue_depth: u64,
+    global_intake_limit: u64,
+    explain_shed_depth: u64,
+    /// `(rate_per_s, burst)` when per-client rate limiting is on.
+    rate_limit: Option<(f64, f64)>,
+}
+
+/// Admission-control observability: shed counters per endpoint × reason, the
+/// intake-valve gauge and its open→closed transition counter, and an echo of
+/// the configured limits. Lives in [`ServeMetrics`] so the admission policy
+/// and `/metrics` read the same state.
+#[derive(Debug)]
+pub struct AdmissionMetrics {
+    /// Shed (429) responses, indexed `[Endpoint::index()][ShedReason::index()]`.
+    shed: [[AtomicU64; 3]; 7],
+    /// 1 while the global intake valve is closed (pollers not reading).
+    intake_closed: AtomicU64,
+    /// Open→closed transitions of the intake valve.
+    intake_closures_total: AtomicU64,
+    limits: Mutex<Option<AdmissionLimits>>,
+}
+
+impl Default for AdmissionMetrics {
+    fn default() -> Self {
+        Self {
+            shed: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            intake_closed: AtomicU64::new(0),
+            intake_closures_total: AtomicU64::new(0),
+            limits: Mutex::new(None),
+        }
+    }
+}
+
+impl AdmissionMetrics {
+    /// Count one shed (429) response.
+    pub fn record_shed(&self, endpoint: Endpoint, reason: ShedReason) {
+        self.shed[endpoint.index()][reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Sheds so far for one endpoint × reason cell.
+    pub fn shed_count(&self, endpoint: Endpoint, reason: ShedReason) -> u64 {
+        self.shed[endpoint.index()][reason.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total sheds across every endpoint and reason.
+    pub fn shed_total(&self) -> u64 {
+        self.shed
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Maintain the valve gauge; an open→closed edge bumps the transition
+    /// counter exactly once even when several pollers observe it (the swap
+    /// returns the previous value, so only the first closer sees 0).
+    pub fn set_intake_closed(&self, closed: bool) {
+        let prev = self.intake_closed.swap(closed as u64, Ordering::Relaxed);
+        if closed && prev == 0 {
+            self.intake_closures_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the intake valve is currently closed.
+    pub fn intake_closed(&self) -> bool {
+        self.intake_closed.load(Ordering::Relaxed) != 0
+    }
+
+    /// Open→closed valve transitions so far.
+    pub fn intake_closures_total(&self) -> u64 {
+        self.intake_closures_total.load(Ordering::Relaxed)
+    }
+
+    /// Echo the active admission limits (called once by
+    /// [`Admission::new`](crate::admission::Admission::new)).
+    pub fn set_limits(
+        &self,
+        max_queue_depth: u64,
+        global_intake_limit: u64,
+        explain_shed_depth: u64,
+        rate_limit: Option<(f64, f64)>,
+    ) {
+        *self.limits.lock().unwrap() = Some(AdmissionLimits {
+            max_queue_depth,
+            global_intake_limit,
+            explain_shed_depth,
+            rate_limit,
+        });
+    }
+
+    fn snapshot(&self, aggregate_depth: u64) -> JsonValue {
+        let shed_fields: Vec<(String, JsonValue)> = Endpoint::ALL
+            .iter()
+            .map(|&endpoint| {
+                let reasons: Vec<(&str, JsonValue)> = ShedReason::ALL
+                    .iter()
+                    .map(|&reason| {
+                        (
+                            reason.name(),
+                            JsonValue::Number(self.shed_count(endpoint, reason) as f64),
+                        )
+                    })
+                    .collect();
+                (endpoint.name().to_string(), JsonValue::object(reasons))
+            })
+            .collect();
+        let mut fields = vec![
+            ("aggregate_depth", JsonValue::Number(aggregate_depth as f64)),
+            ("intake_closed", JsonValue::Bool(self.intake_closed())),
+            (
+                "intake_closures_total",
+                JsonValue::Number(self.intake_closures_total() as f64),
+            ),
+            ("shed_total", JsonValue::Number(self.shed_total() as f64)),
+            ("shed", JsonValue::Object(shed_fields)),
+        ];
+        if let Some(limits) = *self.limits.lock().unwrap() {
+            fields.push((
+                "limits",
+                JsonValue::object(vec![
+                    (
+                        "max_queue_depth",
+                        JsonValue::Number(limits.max_queue_depth as f64),
+                    ),
+                    (
+                        "global_intake_limit",
+                        JsonValue::Number(limits.global_intake_limit as f64),
+                    ),
+                    (
+                        "explain_shed_depth",
+                        JsonValue::Number(limits.explain_shed_depth as f64),
+                    ),
+                    (
+                        "rate_per_s",
+                        limits
+                            .rate_limit
+                            .map_or(JsonValue::Null, |(rate, _)| JsonValue::Number(rate)),
+                    ),
+                    (
+                        "burst",
+                        limits
+                            .rate_limit
+                            .map_or(JsonValue::Null, |(_, burst)| JsonValue::Number(burst)),
+                    ),
+                ]),
+            ));
+        }
+        JsonValue::object(fields)
+    }
 }
 
 /// A batch-size histogram over a lock-free [`LogHistogram`]. Real batches are
@@ -227,9 +438,17 @@ pub fn os_thread_count() -> Option<u64> {
 /// between that kind's [`BatcherHandle`](crate::batcher::BatcherHandle) side
 /// (depth increments) and its drain loop (depth decrements, batch sizes,
 /// per-job queue wait and per-batch scoring time).
+///
+/// Every depth change is mirrored into the server-wide `aggregate` counter
+/// (shared across all queues via [`ServeMetrics::queue`]), which the global
+/// intake valve and `/explain` shedding read — so "total jobs queued" is one
+/// atomic load, not a walk over the queue list.
 #[derive(Debug, Default)]
 pub struct QueueMetrics {
     depth: AtomicU64,
+    /// Aggregate depth across every queue of the owning server; a standalone
+    /// `QueueMetrics::default()` (unit tests) gets a private one.
+    aggregate: Arc<AtomicU64>,
     texts_scored: AtomicU64,
     batches: BatchSizes,
     /// Per-job enqueue → batch-drain wait (µs).
@@ -239,14 +458,52 @@ pub struct QueueMetrics {
 }
 
 impl QueueMetrics {
+    /// A fresh section whose depth changes also move the shared `aggregate`.
+    fn with_aggregate(aggregate: Arc<AtomicU64>) -> Self {
+        Self {
+            aggregate,
+            ..Self::default()
+        }
+    }
+
     /// Count one job entering the queue.
     pub fn record_enqueued(&self) {
         self.depth.fetch_add(1, Ordering::Relaxed);
+        self.aggregate.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Count `jobs` leaving the queue unscored (shutdown drain).
+    /// Reserve room for `jobs` more jobs, all or nothing: succeeds (and
+    /// counts them as enqueued) only if the resulting depth stays within
+    /// `cap`. The compare-exchange makes the check-and-increment atomic, so
+    /// two handlers racing for the last slots cannot both win it —
+    /// admission never overshoots the cap.
+    pub fn try_admit(&self, jobs: u64, cap: u64) -> bool {
+        let mut current = self.depth.load(Ordering::Relaxed);
+        loop {
+            let next = match current.checked_add(jobs) {
+                Some(next) if next <= cap => next,
+                _ => return false,
+            };
+            match self.depth.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.aggregate.fetch_add(jobs, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Count `jobs` leaving the queue unscored (shutdown drain, or an
+    /// admitted reservation whose send failed).
     pub fn record_dropped(&self, jobs: usize) {
         self.depth.fetch_sub(jobs as u64, Ordering::Relaxed);
+        self.aggregate.fetch_sub(jobs as u64, Ordering::Relaxed);
     }
 
     /// Record one scored batch of `size` jobs: each job's queue wait
@@ -257,6 +514,7 @@ impl QueueMetrics {
             return;
         }
         self.depth.fetch_sub(size as u64, Ordering::Relaxed);
+        self.aggregate.fetch_sub(size as u64, Ordering::Relaxed);
         self.texts_scored.fetch_add(size as u64, Ordering::Relaxed);
         self.batches.record(size);
         for &micros in job_wait_us {
@@ -315,6 +573,12 @@ pub struct ServeMetrics {
     request_latency: LogHistogram,
     /// Per-kind queue sections, in registration order.
     queues: Mutex<Vec<(String, Arc<QueueMetrics>)>>,
+    /// Jobs queued across every kind, maintained by the [`QueueMetrics`]
+    /// registered through [`queue`](Self::queue). Read by the intake valve
+    /// and `/explain` shedding.
+    aggregate_depth: Arc<AtomicU64>,
+    /// Shed counters, intake-valve state and configured limits.
+    admission: AdmissionMetrics,
     /// Connection-layer counters for the nonblocking multiplexer.
     connections: ConnectionMetrics,
     /// Configured thread plan `(pollers, handlers, queues)`, set once at
@@ -344,6 +608,8 @@ impl ServeMetrics {
             batches: BatchSizes::default(),
             request_latency: LogHistogram::new(),
             queues: Mutex::new(Vec::new()),
+            aggregate_depth: Arc::new(AtomicU64::new(0)),
+            admission: AdmissionMetrics::default(),
             connections: ConnectionMetrics::default(),
             thread_plan: Mutex::new(None),
             obs: Obs::new(),
@@ -373,6 +639,21 @@ impl ServeMetrics {
     /// The connection-layer counters (shared with pollers).
     pub fn connections(&self) -> &ConnectionMetrics {
         &self.connections
+    }
+
+    /// The admission-control counters (shed, intake valve, limits).
+    pub fn admission(&self) -> &AdmissionMetrics {
+        &self.admission
+    }
+
+    /// Count one shed (429) response against its endpoint and reason.
+    pub fn record_shed(&self, endpoint: Endpoint, reason: ShedReason) {
+        self.admission.record_shed(endpoint, reason);
+    }
+
+    /// Jobs currently queued (or being scored) across every kind's queue.
+    pub fn aggregate_queue_depth(&self) -> u64 {
+        self.aggregate_depth.load(Ordering::Relaxed)
     }
 
     /// The observability state: trace-id mint, stage histograms, slow ring.
@@ -426,7 +707,9 @@ impl ServeMetrics {
         if let Some((_, metrics)) = queues.iter().find(|(name, _)| name == kind_name) {
             return Arc::clone(metrics);
         }
-        let metrics = Arc::new(QueueMetrics::default());
+        let metrics = Arc::new(QueueMetrics::with_aggregate(Arc::clone(
+            &self.aggregate_depth,
+        )));
         queues.push((kind_name.to_string(), Arc::clone(&metrics)));
         metrics
     }
@@ -536,6 +819,10 @@ impl ServeMetrics {
             ("latency_us", self.request_latency.snapshot().to_json()),
             ("stages", self.obs.stages_json()),
             ("connections", self.connections.snapshot()),
+            (
+                "admission",
+                self.admission.snapshot(self.aggregate_queue_depth()),
+            ),
             ("threads", JsonValue::object(thread_fields)),
             ("queues", JsonValue::Object(queue_fields)),
             ("registry", JsonValue::object(registry_fields)),
@@ -636,6 +923,69 @@ impl ServeMetrics {
         if let Some(threads) = os_thread_count() {
             out.push_str("# HELP holistix_os_threads Live OS threads in this process.\n# TYPE holistix_os_threads gauge\n");
             out.push_str(&format!("holistix_os_threads {threads}\n"));
+        }
+
+        out.push_str("# HELP holistix_shed_total Requests shed with 429, by endpoint and reason.\n# TYPE holistix_shed_total counter\n");
+        for &endpoint in &Endpoint::ALL {
+            for &reason in &ShedReason::ALL {
+                out.push_str(&format!(
+                    "holistix_shed_total{{endpoint=\"{}\",reason=\"{}\"}} {}\n",
+                    endpoint.name(),
+                    reason.name(),
+                    self.admission.shed_count(endpoint, reason)
+                ));
+            }
+        }
+        out.push_str("# HELP holistix_queue_depth_aggregate Jobs queued across every kind's batch queue.\n# TYPE holistix_queue_depth_aggregate gauge\n");
+        out.push_str(&format!(
+            "holistix_queue_depth_aggregate {}\n",
+            self.aggregate_queue_depth()
+        ));
+        out.push_str("# HELP holistix_intake_closed 1 while the global intake valve is closed (pollers not reading).\n# TYPE holistix_intake_closed gauge\n");
+        out.push_str(&format!(
+            "holistix_intake_closed {}\n",
+            self.admission.intake_closed() as u64
+        ));
+        out.push_str("# HELP holistix_intake_closures_total Open-to-closed transitions of the intake valve.\n# TYPE holistix_intake_closures_total counter\n");
+        out.push_str(&format!(
+            "holistix_intake_closures_total {}\n",
+            self.admission.intake_closures_total()
+        ));
+        if let Some(limits) = *self.admission.limits.lock().unwrap() {
+            let mut limit_gauges: Vec<(&str, &str, f64)> = vec![
+                (
+                    "holistix_admission_queue_depth_limit",
+                    "Configured per-kind queue depth cap.",
+                    limits.max_queue_depth as f64,
+                ),
+                (
+                    "holistix_admission_intake_limit",
+                    "Aggregate depth at which the intake valve closes.",
+                    limits.global_intake_limit as f64,
+                ),
+                (
+                    "holistix_admission_explain_shed_depth",
+                    "Aggregate depth at which /explain sheds.",
+                    limits.explain_shed_depth as f64,
+                ),
+            ];
+            if let Some((rate, burst)) = limits.rate_limit {
+                limit_gauges.push((
+                    "holistix_admission_rate_per_s",
+                    "Per-connection token-bucket refill rate, tokens per second.",
+                    rate,
+                ));
+                limit_gauges.push((
+                    "holistix_admission_burst",
+                    "Per-connection token-bucket capacity, tokens.",
+                    burst,
+                ));
+            }
+            for (name, help, value) in limit_gauges {
+                out.push_str(&format!(
+                    "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+                ));
+            }
         }
 
         let batch_snapshot = self.batches.histogram.snapshot();
@@ -1003,5 +1353,127 @@ mod tests {
         validate_exposition(&text).expect("valid empty exposition");
         assert!(!text.contains("holistix_request_latency_us"));
         assert!(text.contains("holistix_requests_total{endpoint=\"predict\"} 0"));
+        // Shed counters and valve state are always present (zero-valued
+        // counters still carry samples, so the exposition stays valid).
+        assert!(text.contains("holistix_shed_total{endpoint=\"predict\",reason=\"queue_full\"} 0"));
+        assert!(text.contains("holistix_queue_depth_aggregate 0"));
+        assert!(text.contains("holistix_intake_closed 0"));
+        // Limit gauges appear only once an Admission has echoed its config.
+        assert!(!text.contains("holistix_admission_queue_depth_limit"));
+    }
+
+    #[test]
+    fn try_admit_is_all_or_nothing_at_the_cap() {
+        let queue = QueueMetrics::default();
+        assert!(queue.try_admit(3, 4));
+        assert_eq!(queue.depth(), 3);
+        // 3 + 2 > 4: refused without partial admission.
+        assert!(!queue.try_admit(2, 4));
+        assert_eq!(queue.depth(), 3);
+        assert!(queue.try_admit(1, 4));
+        assert!(!queue.try_admit(1, 4));
+        queue.record_batch(2, &[5, 5], 10);
+        assert!(queue.try_admit(2, 4));
+        assert_eq!(queue.depth(), 4);
+        // A huge cap must not overflow the reservation arithmetic.
+        assert!(!queue.try_admit(u64::MAX, u64::MAX));
+    }
+
+    #[test]
+    fn aggregate_depth_sums_across_queues() {
+        let metrics = ServeMetrics::new();
+        let lr = metrics.queue("LR");
+        let bert = metrics.queue("BERT");
+        lr.record_enqueued();
+        lr.record_enqueued();
+        assert!(bert.try_admit(3, 10));
+        assert_eq!(metrics.aggregate_queue_depth(), 5);
+        bert.record_dropped(1);
+        lr.record_batch(2, &[1, 1], 10);
+        assert_eq!(metrics.aggregate_queue_depth(), 2);
+        assert_eq!(lr.depth(), 0);
+        assert_eq!(bert.depth(), 2);
+    }
+
+    #[test]
+    fn shed_counters_and_valve_round_trip_json_and_prometheus() {
+        let metrics = ServeMetrics::new();
+        metrics.record_shed(Endpoint::Predict, ShedReason::QueueFull);
+        metrics.record_shed(Endpoint::Predict, ShedReason::QueueFull);
+        metrics.record_shed(Endpoint::Explain, ShedReason::Degraded);
+        metrics.record_shed(Endpoint::Health, ShedReason::RateLimited);
+        let admission = metrics.admission();
+        admission.set_intake_closed(true);
+        admission.set_intake_closed(true); // no second transition while closed
+        admission.set_intake_closed(false);
+        admission.set_intake_closed(true);
+        admission.set_limits(64, 256, 32, Some((10.0, 4.0)));
+        assert_eq!(
+            admission.shed_count(Endpoint::Predict, ShedReason::QueueFull),
+            2
+        );
+        assert_eq!(admission.shed_total(), 4);
+        assert!(admission.intake_closed());
+        assert_eq!(admission.intake_closures_total(), 2);
+
+        let snapshot = metrics.snapshot();
+        let section = snapshot.get("admission").unwrap();
+        assert_eq!(section.get("aggregate_depth").unwrap().as_f64(), Some(0.0));
+        assert_eq!(section.get("intake_closed").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            section.get("intake_closures_total").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(section.get("shed_total").unwrap().as_f64(), Some(4.0));
+        let shed = section.get("shed").unwrap();
+        assert_eq!(
+            shed.get("predict")
+                .unwrap()
+                .get("queue_full")
+                .unwrap()
+                .as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            shed.get("explain")
+                .unwrap()
+                .get("degraded")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+        assert_eq!(
+            shed.get("explain")
+                .unwrap()
+                .get("queue_full")
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
+        let limits = section.get("limits").unwrap();
+        assert_eq!(limits.get("max_queue_depth").unwrap().as_f64(), Some(64.0));
+        assert_eq!(limits.get("rate_per_s").unwrap().as_f64(), Some(10.0));
+        assert_eq!(limits.get("burst").unwrap().as_f64(), Some(4.0));
+
+        let text = metrics.render_prometheus(None);
+        validate_exposition(&text).expect("valid exposition");
+        assert!(text.contains("holistix_shed_total{endpoint=\"predict\",reason=\"queue_full\"} 2"));
+        assert!(text.contains("holistix_shed_total{endpoint=\"explain\",reason=\"degraded\"} 1"));
+        assert!(text.contains("holistix_intake_closed 1"));
+        assert!(text.contains("holistix_intake_closures_total 2"));
+        assert!(text.contains("holistix_admission_queue_depth_limit 64"));
+        assert!(text.contains("holistix_admission_rate_per_s 10"));
+    }
+
+    #[test]
+    fn endpoint_resolve_matches_every_route() {
+        assert_eq!(Endpoint::resolve("POST", "/predict"), Endpoint::Predict);
+        assert_eq!(Endpoint::resolve("POST", "/explain"), Endpoint::Explain);
+        assert_eq!(Endpoint::resolve("POST", "/reload"), Endpoint::Reload);
+        assert_eq!(Endpoint::resolve("GET", "/healthz"), Endpoint::Health);
+        assert_eq!(Endpoint::resolve("GET", "/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::resolve("GET", "/debug/slow"), Endpoint::DebugSlow);
+        assert_eq!(Endpoint::resolve("GET", "/predict"), Endpoint::Other);
+        assert_eq!(Endpoint::resolve("POST", "/nope"), Endpoint::Other);
     }
 }

@@ -45,6 +45,14 @@ extern "C" {
 }
 
 /// What a poll-set entry wants to be woken for.
+///
+/// Withdrawing `read` interest is the server's only backpressure primitive:
+/// unread bytes stay in the kernel socket buffer and eventually stall the
+/// peer's TCP send window. Per-connection pipelining caps use it, and the
+/// global intake valve (`admission`) applies the same trick set-wide — when
+/// the aggregate queue depth trips the limit, the poller rebuilds its set
+/// with `read: false` everywhere (listener included) until the backlog
+/// drains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interest {
     /// Wake when the fd is readable (or the peer hung up).

@@ -34,10 +34,11 @@
 //! handles drop, and every batch queue drains and exits — the scope then
 //! joins everything.
 
-use crate::batcher::{build_queues, BatchConfig, BatcherHandle};
+use crate::admission::{Admission, AdmissionConfig};
+use crate::batcher::{build_queues, BatchConfig, BatcherHandle, PredictError};
 use crate::conn::{Connection, TimerWheel};
 use crate::http::{Request, Response};
-use crate::metrics::{build_info, Endpoint, ServeMetrics};
+use crate::metrics::{build_info, Endpoint, ServeMetrics, ShedReason};
 use crate::obs::{RequestTrace, TraceStamp};
 use crate::poller::{waker_pair, Interest, PollSet, ReadyEvent, WakeReader, Waker};
 use crate::registry::{ModelRegistry, SharedRegistry};
@@ -136,6 +137,10 @@ pub struct ServeConfig {
     /// overrides apply on top; `batch_size` controls how perturbation sets
     /// chunk through the batched scoring path).
     pub lime: LimeConfig,
+    /// Admission control: per-kind queue caps, the global intake valve,
+    /// `/explain` shedding and per-client rate limiting. The defaults are
+    /// permissive (see [`AdmissionConfig`]).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServeConfig {
@@ -146,6 +151,7 @@ impl Default for ServeConfig {
             batch: BatchConfig::default(),
             keep_alive: KeepAliveConfig::default(),
             lime: LimeConfig::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -270,6 +276,7 @@ struct RequestContext<'a> {
     lime: &'a LimeConfig,
     metrics: &'a Arc<ServeMetrics>,
     reloading: &'a Arc<AtomicBool>,
+    admission: &'a Admission,
 }
 
 fn serve_loop(
@@ -282,9 +289,15 @@ fn serve_loop(
     wakers: Vec<Waker>,
 ) {
     let reloading = Arc::new(AtomicBool::new(false));
+    let admission = Admission::new(config.admission.clone(), Arc::clone(&metrics));
     // One batch queue per scorer registered at startup. `/reload` refits keep
     // the kind set, so the queue set never needs to change at runtime.
-    let (batcher, queues) = build_queues(&registry, &config.batch, &metrics);
+    let (batcher, queues) = build_queues(
+        &registry,
+        &config.batch,
+        &metrics,
+        config.admission.max_queue_depth,
+    );
     let n_handlers = config.handlers.max(1);
     metrics.set_thread_plan(readers.len(), n_handlers, queues.len());
 
@@ -303,6 +316,7 @@ fn serve_loop(
     let registry = &registry;
     let keep_alive = &config.keep_alive;
     let lime_config = &config.lime;
+    let admission = &admission;
     let metrics = &metrics;
     let reloading = &reloading;
     let running = &running;
@@ -324,6 +338,7 @@ fn serve_loop(
                     lime: lime_config,
                     metrics,
                     reloading,
+                    admission,
                 };
                 handler_loop(&context, job_receiver, poller_shared);
             });
@@ -338,6 +353,7 @@ fn serve_loop(
             scope.spawn(move |_| {
                 Poller::new(
                     index, reader, shared, listener, job_sender, running, keep_alive, metrics,
+                    admission,
                 )
                 .run();
             });
@@ -390,6 +406,7 @@ struct Poller<'a> {
     running: &'a AtomicBool,
     keep_alive: &'a KeepAliveConfig,
     metrics: &'a Arc<ServeMetrics>,
+    admission: &'a Admission,
     conns: Vec<Option<Connection>>,
     free: Vec<usize>,
     next_generation: u64,
@@ -409,6 +426,7 @@ impl<'a> Poller<'a> {
         running: &'a AtomicBool,
         keep_alive: &'a KeepAliveConfig,
         metrics: &'a Arc<ServeMetrics>,
+        admission: &'a Admission,
     ) -> Self {
         // Wheel granularity: fine enough that evictions land near the
         // deadline, coarse enough that an idle server barely ticks.
@@ -423,6 +441,7 @@ impl<'a> Poller<'a> {
             running,
             keep_alive,
             metrics,
+            admission,
             conns: Vec::new(),
             free: Vec::new(),
             next_generation: 0,
@@ -516,10 +535,21 @@ impl<'a> Poller<'a> {
     /// per wait, but a single FFI call and trivially correct under churn — a
     /// closed fd is simply never submitted again.
     fn build_set(&mut self) {
+        // The global intake valve: while aggregate queue depth is at or past
+        // the configured limit, this poller neither accepts nor reads — the
+        // same withdraw-read-interest mechanism the per-connection pipelining
+        // cap uses, applied to every socket at once. The endpoint of unread
+        // bytes is unknowable, so the gate is total (a `/metrics` scrape
+        // waits too; in-process readers use `ServerHandle::metrics`).
+        // Reopening is detected on the next build: completions draining the
+        // queues wake the poller, and `FALLBACK_POLL` bounds the worst case.
+        let intake_open = self.admission.intake_open();
         self.set.clear();
         self.set.push(self.reader.fd(), Interest::READ, TOKEN_WAKER);
-        self.set
-            .push(self.listener.as_raw_fd(), Interest::READ, TOKEN_LISTENER);
+        if intake_open {
+            self.set
+                .push(self.listener.as_raw_fd(), Interest::READ, TOKEN_LISTENER);
+        }
         for (slot, conn) in self.conns.iter().enumerate() {
             if let Some(conn) = conn {
                 // A connection at the pipelining cap (or past its final
@@ -527,7 +557,7 @@ impl<'a> Poller<'a> {
                 // kernel's receive buffer. Hangups still surface — poll
                 // reports them regardless of the requested events.
                 let interest = Interest {
-                    read: conn.wants_read(),
+                    read: intake_open && conn.wants_read(),
                     write: conn.wants_write(),
                 };
                 self.set.push(conn.fd(), interest, slot);
@@ -543,7 +573,8 @@ impl<'a> Poller<'a> {
                 Ok((stream, _)) => {
                     self.next_generation += 1;
                     let generation = self.next_generation;
-                    let Ok(conn) = Connection::new(stream, generation, now) else {
+                    let bucket = self.admission.new_bucket(now);
+                    let Ok(conn) = Connection::new(stream, generation, now, bucket) else {
                         continue;
                     };
                     let slot = match self.free.pop() {
@@ -581,7 +612,12 @@ impl<'a> Poller<'a> {
                 return;
             };
             let generation = conn.generation;
-            let requests = conn.take_requests(now, self.keep_alive.max_requests, self.metrics);
+            let requests = conn.take_requests(
+                now,
+                self.keep_alive.max_requests,
+                self.metrics,
+                self.admission,
+            );
             for (seq, request, trace) in requests {
                 let job = HandlerJob {
                     poller: self.index,
@@ -649,15 +685,7 @@ impl<'a> Poller<'a> {
 }
 
 fn route(request: &Request, context: &RequestContext<'_>, trace: &mut RequestTrace) -> Response {
-    let endpoint = match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Endpoint::Health,
-        ("GET", "/metrics") => Endpoint::Metrics,
-        ("GET", "/debug/slow") => Endpoint::DebugSlow,
-        ("POST", "/predict") => Endpoint::Predict,
-        ("POST", "/explain") => Endpoint::Explain,
-        ("POST", "/reload") => Endpoint::Reload,
-        _ => Endpoint::Other,
-    };
+    let endpoint = Endpoint::resolve(&request.method, &request.path);
     trace.endpoint = endpoint.name();
     context.metrics.record_request(endpoint);
     match endpoint {
@@ -797,7 +825,18 @@ fn handle_predict(
     trace.stamp(TraceStamp::QueueEnqueue);
     let (rows, timing) = match context.batcher.predict_many(kind, texts) {
         Ok(scored) => scored,
-        Err(e) => return Response::error(500, &e),
+        // 429 = healthy but full (retry after the hint); 503 = the model or
+        // server is unavailable (the reload/shutdown path); 500 = broke.
+        Err(e @ PredictError::QueueFull { .. }) => {
+            context
+                .metrics
+                .record_shed(Endpoint::Predict, ShedReason::QueueFull);
+            return Response::too_many(&e.to_string(), context.admission.retry_after_secs());
+        }
+        Err(e @ (PredictError::NotLoaded(_) | PredictError::Shutdown)) => {
+            return Response::error(503, &e.to_string())
+        }
+        Err(e @ PredictError::Failed) => return Response::error(500, &e.to_string()),
     };
     if let Some(timing) = timing {
         trace.stamp_at(TraceStamp::BatchDrain, timing.drained);
@@ -840,6 +879,19 @@ fn handle_explain(
     context: &RequestContext<'_>,
     trace: &mut RequestTrace,
 ) -> Response {
+    // Graceful degradation: an explanation costs hundreds of LIME scoring
+    // calls, so it is the first thing to go under queue pressure — checked
+    // before even parsing the body, while `/predict` keeps serving until its
+    // own (higher) per-kind cap.
+    if context.admission.should_shed_explain() {
+        context
+            .metrics
+            .record_shed(Endpoint::Explain, ShedReason::Degraded);
+        return Response::too_many(
+            "explanations are shed under load; retry later",
+            context.admission.retry_after_secs(),
+        );
+    }
     let document = match JsonValue::parse(&request.body) {
         Ok(v) => v,
         Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),

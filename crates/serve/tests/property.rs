@@ -1,10 +1,14 @@
 //! Property-based tests for the log2-bucketed histogram: percentile
 //! estimates must stay within one bucket width of the exact nearest-rank
 //! answer for arbitrary value sets, and snapshot algebra (merge/minus)
-//! must be exact regardless of how values are split across shards.
+//! must be exact regardless of how values are split across shards — and for
+//! the admission token bucket: over any schedule it never admits more than
+//! `burst + rate·elapsed` requests, its token count never leaves
+//! `[0, burst]`, and refill is monotone in time.
 
-use holistix_serve::{HistogramSnapshot, LogHistogram};
+use holistix_serve::{HistogramSnapshot, LogHistogram, TokenBucket};
 use proptest::prelude::*;
+use std::time::{Duration, Instant};
 
 /// Exact nearest-rank percentile over the raw values.
 fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
@@ -92,5 +96,91 @@ proptest! {
         let delta = whole.minus(&snapshot_of(&left));
         prop_assert_eq!(delta.count(), right.len() as u64);
         prop_assert_eq!(delta.sum(), right.iter().sum::<u64>());
+    }
+}
+
+proptest! {
+    /// The rate-limit contract: over any arrival schedule, at most
+    /// `burst + rate·elapsed` requests are ever admitted — the bucket starts
+    /// full (`burst`) and can earn at most `rate` tokens per second, so no
+    /// interleaving of bursts and pauses beats that line. Checked at every
+    /// point of the schedule, not just the end.
+    #[test]
+    fn bucket_never_admits_more_than_burst_plus_rate_times_elapsed(
+        rate in 0.0f64..50.0,
+        burst in 0.0f64..20.0,
+        schedule in collection::vec((0u64..400, 0usize..4), 1..50),
+    ) {
+        let base = Instant::now();
+        let mut bucket = TokenBucket::new(rate, burst, base);
+        let mut now = base;
+        let mut admitted = 0u64;
+        for &(dt_ms, attempts) in &schedule {
+            now += Duration::from_millis(dt_ms);
+            for _ in 0..attempts {
+                if bucket.try_take(now) {
+                    admitted += 1;
+                }
+            }
+            let elapsed = now.duration_since(base).as_secs_f64();
+            let ceiling = burst + rate * elapsed;
+            prop_assert!(
+                admitted as f64 <= ceiling + 1e-6,
+                "admitted {admitted} > burst {burst} + rate {rate} * elapsed {elapsed}"
+            );
+        }
+    }
+
+    /// Refill never overshoots the cap and takes never drive the count
+    /// negative, even when the schedule hands the bucket a non-monotone
+    /// clock (stale `now` values jump backwards between calls).
+    #[test]
+    fn bucket_tokens_stay_within_zero_and_burst(
+        rate in 0.0f64..50.0,
+        burst in 0.0f64..20.0,
+        schedule in collection::vec((0u64..2_000, 0usize..4), 1..50),
+    ) {
+        let base = Instant::now();
+        let mut bucket = TokenBucket::new(rate, burst, base);
+        prop_assert!(bucket.tokens() >= 0.0 && bucket.tokens() <= burst);
+        for &(offset_ms, attempts) in &schedule {
+            // Absolute (not cumulative) offsets: successive entries jump
+            // forwards and backwards arbitrarily.
+            let now = base + Duration::from_millis(offset_ms);
+            for _ in 0..attempts {
+                bucket.try_take(now);
+                prop_assert!(
+                    bucket.tokens() >= 0.0 && bucket.tokens() <= burst,
+                    "tokens {} outside [0, {burst}]",
+                    bucket.tokens()
+                );
+            }
+        }
+    }
+
+    /// Refill is monotone in elapsed time: starting from the same drained
+    /// bucket, a request at a later instant is admitted whenever the same
+    /// request at an earlier instant would have been.
+    #[test]
+    fn bucket_refill_is_monotone_in_time(
+        rate in 0.1f64..50.0,
+        burst in 1.0f64..10.0,
+        t1_ms in 0u64..5_000,
+        extra_ms in 0u64..5_000,
+        drains in 0usize..15,
+    ) {
+        let base = Instant::now();
+        let mut bucket = TokenBucket::new(rate, burst, base);
+        for _ in 0..drains {
+            bucket.try_take(base);
+        }
+        let mut earlier = bucket.clone();
+        let mut later = bucket;
+        let earlier_admits = earlier.try_take(base + Duration::from_millis(t1_ms));
+        let later_admits = later.try_take(base + Duration::from_millis(t1_ms + extra_ms));
+        prop_assert!(
+            !earlier_admits || later_admits,
+            "admitted at {t1_ms}ms but refused {extra_ms}ms later"
+        );
     }
 }

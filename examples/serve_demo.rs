@@ -4,7 +4,7 @@
 //!
 //! ```bash
 //! cargo run --release --example serve_demo            # load generator + metrics report
-//! cargo run --release --example serve_demo -- --smoke # CI smoke: keep-alive + 256 idle conns + /reload
+//! cargo run --release --example serve_demo -- --smoke # CI smoke: keep-alive + 256 idle conns + /reload + admission 429s
 //! ```
 //!
 //! The default mode fits a registry, starts the server on an ephemeral
@@ -16,8 +16,8 @@
 
 use holistix::prelude::*;
 use holistix_serve::{
-    http_request, serve, validate_exposition, BatchConfig, HttpClient, ModelRegistry,
-    RegistryConfig, ServeConfig,
+    http_request, serve, validate_exposition, AdmissionConfig, BatchConfig, HttpClient,
+    ModelRegistry, RateLimitConfig, RegistryConfig, ServeConfig,
 };
 use std::net::SocketAddr;
 use std::time::Duration;
@@ -263,6 +263,99 @@ fn main() {
             std::thread::sleep(Duration::from_millis(10));
         };
         println!("debug/slow ok ({slow_count} retained traces)");
+
+        // Admission round-trip: a second server with a zero-refill token
+        // bucket (rate 0 never refills, so each connection gets exactly
+        // `burst` requests — fully deterministic, no timing). The third
+        // predict over one connection must draw a counted 429 with a
+        // parseable Retry-After, and the shed must show up in both metrics
+        // documents.
+        let shed_registry = ModelRegistry::fit_synthetic(&RegistryConfig {
+            kinds: vec![BaselineKind::LogisticRegression],
+            profile: SpeedProfile::Tiny,
+            training_posts: 90,
+            seed: 7,
+        });
+        let shed_server = match serve(
+            "127.0.0.1:0",
+            shed_registry,
+            ServeConfig {
+                handlers: 2,
+                admission: AdmissionConfig {
+                    rate_limit: Some(RateLimitConfig {
+                        rate_per_s: 0.0,
+                        burst: 2.0,
+                    }),
+                    retry_after: Duration::from_secs(1),
+                    ..AdmissionConfig::default()
+                },
+                ..ServeConfig::default()
+            },
+        ) {
+            Ok(server) => server,
+            Err(e) => fail(&format!("admission server bind failed: {e}")),
+        };
+        let shed_addr = shed_server.addr();
+        let mut client = match HttpClient::connect(shed_addr) {
+            Ok(client) => client,
+            Err(e) => fail(&format!("admission connect failed: {e}")),
+        };
+        let mut rejected = 0u64;
+        for round in 0..3 {
+            match client.request_full("POST", "/predict", Some(body), &[]) {
+                Ok((200, _, _)) => {}
+                Ok((429, _, headers)) => {
+                    let retry_after = headers
+                        .iter()
+                        .find(|(name, _)| name.eq_ignore_ascii_case("retry-after"))
+                        .and_then(|(_, value)| value.trim().parse::<u64>().ok())
+                        .unwrap_or_else(|| fail("429 without a whole-seconds Retry-After header"));
+                    if retry_after == 0 {
+                        fail("Retry-After of 0 tells clients to hammer immediately");
+                    }
+                    rejected += 1;
+                }
+                Ok((status, response, _)) => fail(&format!(
+                    "admission predict {round} -> {status}: {response}"
+                )),
+                Err(e) => fail(&format!("admission predict {round} failed: {e}")),
+            }
+        }
+        drop(client);
+        if rejected == 0 {
+            fail("3 predicts past a burst of 2 produced no 429");
+        }
+        let shed_json = request_ok(shed_addr, "GET", "/metrics", None);
+        let document = match holistix::corpus::JsonValue::parse(&shed_json) {
+            Ok(document) => document,
+            Err(e) => fail(&format!("admission metrics response is not JSON: {e}")),
+        };
+        let json_sheds = document
+            .get("admission")
+            .and_then(|a| a.get("shed"))
+            .and_then(|s| s.get("predict"))
+            .and_then(|p| p.get("rate_limited"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| fail("metrics missing admission.shed.predict.rate_limited"));
+        if json_sheds as u64 != rejected {
+            fail(&format!(
+                "JSON shed counter disagrees with the client: {json_sheds} vs {rejected} 429s"
+            ));
+        }
+        let shed_prometheus = request_ok(shed_addr, "GET", "/metrics?format=prometheus", None);
+        if let Err(violation) = validate_exposition(&shed_prometheus) {
+            fail(&format!("invalid Prometheus exposition: {violation}"));
+        }
+        let shed_line = format!(
+            "holistix_shed_total{{endpoint=\"predict\",reason=\"rate_limited\"}} {rejected}"
+        );
+        if !shed_prometheus.contains(&shed_line) {
+            fail(&format!(
+                "Prometheus scrape disagrees with JSON: wanted {shed_line:?}"
+            ));
+        }
+        shed_server.shutdown();
+        println!("admission ok ({rejected} rate-limit 429s counted in both metrics formats)");
 
         server.shutdown();
         println!("smoke ok");
