@@ -37,11 +37,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use holistix::corpus::JsonValue;
 use holistix::prelude::*;
+use holistix::transformer::ModelKind;
+use holistix_bench::report::merge_section;
 use holistix_serve::{
-    os_thread_count, serve, BatchConfig, HttpClient, KeepAliveConfig, ModelRegistry, ServeConfig,
-    ServerHandle,
+    os_thread_count, serve, AdmissionConfig, BatchConfig, HttpClient, KeepAliveConfig,
+    ModelRegistry, ServeConfig, ServerHandle,
 };
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Synthetic lexicon size: paper-scale vocabulary.
@@ -137,6 +140,228 @@ fn drive(addr: SocketAddr, pool: &[String]) -> Duration {
     started.elapsed()
 }
 
+/// Drive `clients` persistent connections × `requests` single-text predicts
+/// against one named model; returns total wall-clock.
+fn drive_model(
+    addr: SocketAddr,
+    pool: &[String],
+    model: &str,
+    clients: usize,
+    requests: usize,
+) -> Duration {
+    let started = Instant::now();
+    crossbeam::thread::scope(|scope| {
+        for client_id in 0..clients {
+            scope.spawn(move |_| {
+                let mut client = HttpClient::connect(addr).expect("connect");
+                for i in 0..requests {
+                    let text = &pool[(client_id * requests + i) % pool.len()];
+                    let body = format!(
+                        "{{\"text\":{},\"model\":{}}}",
+                        holistix::corpus::json::json_escape(text),
+                        holistix::corpus::json::json_escape(model),
+                    );
+                    let (status, response) = client
+                        .request("POST", "/predict", Some(&body))
+                        .expect("keep-alive predict");
+                    assert_eq!(status, 200, "{response}");
+                }
+            });
+        }
+    })
+    .expect("client scope failed");
+    started.elapsed()
+}
+
+/// The long-promised real-slow-backend sweep: a `Fast`-profile MentalBERT
+/// analogue and its i8-quantized sibling registered beside LR via
+/// [`ModelRegistry::from_scorers`], so per-kind queue isolation,
+/// [`BatchConfig::sized_for`] and `explain_shed_depth` degradation are
+/// measured against a genuinely slow scorer instead of a flag-gated stub.
+/// Returns the sweep's JSON section for the trajectory files.
+fn real_backend_sweep() -> JsonValue {
+    let corpus = HolistixCorpus::generate_small(120, 7);
+    let texts = corpus.texts();
+    let labels = corpus.label_indices();
+    let pool: Vec<String> = texts.iter().map(|t| t.to_string()).collect();
+
+    let lr: Arc<dyn Scorer> = fit_scorer(
+        BaselineKind::LogisticRegression,
+        SpeedProfile::Tiny,
+        &texts,
+        &labels,
+        7,
+        1,
+    );
+    let f64_scorer = TransformerScorer::fit(
+        ModelKind::MentalBert,
+        SpeedProfile::Fast,
+        &texts,
+        &labels,
+        7,
+    );
+    let i8_arc: Arc<dyn Scorer> = Arc::new(QuantizedScorer::from_transformer(&f64_scorer));
+    let f64_arc: Arc<dyn Scorer> = Arc::new(f64_scorer);
+
+    let start = || {
+        let registry = ModelRegistry::from_scorers(vec![
+            Arc::clone(&lr),
+            Arc::clone(&f64_arc),
+            Arc::clone(&i8_arc),
+        ]);
+        let config = ServeConfig {
+            handlers: CLIENTS + 2,
+            batch: BatchConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(1),
+            },
+            admission: AdmissionConfig {
+                max_queue_depth: 512,
+                global_intake_limit: 4096,
+                explain_shed_depth: 8,
+                ..AdmissionConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        serve("127.0.0.1:0", registry, config).expect("bind loopback")
+    };
+
+    // Per-kind throughput, each kind on a fresh server so queue metrics and
+    // warmup effects never bleed across arms. The f64-vs-i8 ratio is the
+    // serving-level quantization speedup, which compounds two effects: the
+    // cheaper i8 kernels, and the i8 scorer's *measured* cost hint keeping
+    // its coalescing window near the base 1 ms while the f64 kind's declared
+    // 50 ms hint stretches its window via `sized_for` (at this client count
+    // the f64 queue is window-bound — exactly how a production registry
+    // would behave with these hints).
+    let requests = 25usize;
+    let total = (CLIENTS * requests) as f64;
+    let mut req_per_s = Vec::new();
+    println!("serve_real_backend: {CLIENTS} keep-alive clients x {requests} requests per kind");
+    for model in ["LR", "MentalBERT", "MentalBERT-i8"] {
+        let server = start();
+        let elapsed = drive_model(server.addr(), &pool, model, CLIENTS, requests);
+        let rps = total / elapsed.as_secs_f64();
+        println!("{model:>13}: {rps:>7.0} req/s");
+        req_per_s.push((model, rps));
+        server.shutdown();
+    }
+    let serve_speedup = req_per_s[2].1 / req_per_s[1].1;
+    println!("serving speedup MentalBERT-i8 vs MentalBERT: {serve_speedup:.2}x");
+
+    // Queue isolation: half the clients hammer the slow f64 transformer while
+    // the other half run LR. LR requests must never wait behind transformer
+    // batches — its queue-wait p99 stays within its own coalescing window,
+    // not the transformer's service time.
+    let server = start();
+    let addr = server.addr();
+    crossbeam::thread::scope(|scope| {
+        let pool = &pool;
+        scope.spawn(move |_| drive_model(addr, pool, "MentalBERT", CLIENTS / 2, requests));
+        scope.spawn(move |_| drive_model(addr, pool, "LR", CLIENTS / 2, requests));
+    })
+    .expect("mixed traffic scope");
+    let snapshot = server.metrics().snapshot();
+    let queues = snapshot.get("queues").unwrap();
+    let wait_p99 = |kind: &str| {
+        queues
+            .get(kind)
+            .unwrap()
+            .get("queue_wait_us")
+            .unwrap()
+            .get("p99")
+            .unwrap()
+            .as_f64()
+            .unwrap_or(0.0)
+    };
+    let lr_p99 = wait_p99("LR");
+    let bert_p99 = wait_p99("MentalBERT");
+    println!("mixed traffic: LR queue-wait p99 {lr_p99:.0} us, MentalBERT p99 {bert_p99:.0} us");
+    assert!(
+        lr_p99 < 10_000.0,
+        "LR waited {lr_p99} us behind the transformer queue — isolation broke"
+    );
+
+    // Degradation: saturate the f64 transformer queue past `explain_shed_depth`
+    // (8) and watch `/explain` shed with 429 while the flood's predicts still
+    // serve. Each flood request carries 100 texts, so the queue holds hundreds
+    // of texts × ~ms-scale scoring — a wide window for the explain probe.
+    let flood_body = {
+        let items: Vec<String> = pool
+            .iter()
+            .cycle()
+            .take(100)
+            .map(|t| holistix::corpus::json::json_escape(t))
+            .collect();
+        format!(
+            "{{\"texts\":[{}],\"model\":\"MentalBERT\"}}",
+            items.join(",")
+        )
+    };
+    let explain_body = format!(
+        "{{\"text\":{},\"model\":\"LR\",\"n_samples\":50,\"top_k\":3}}",
+        holistix::corpus::json::json_escape(&pool[0])
+    );
+    let shed_seen = crossbeam::thread::scope(|scope| {
+        for _ in 0..4 {
+            let flood_body = &flood_body;
+            scope.spawn(move |_| {
+                let mut client = HttpClient::connect(addr).expect("connect flood");
+                for _ in 0..3 {
+                    let (status, response) = client
+                        .request("POST", "/predict", Some(flood_body))
+                        .expect("flood predict");
+                    assert!(status == 200 || status == 429, "{response}");
+                }
+            });
+        }
+        let mut client = HttpClient::connect(addr).expect("connect explain probe");
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut seen = false;
+        while Instant::now() < deadline {
+            let (status, _) = client
+                .request("POST", "/explain", Some(&explain_body))
+                .expect("explain probe");
+            if status == 429 {
+                seen = true;
+                break;
+            }
+        }
+        seen
+    })
+    .expect("flood scope");
+    let shed_total = server
+        .metrics()
+        .snapshot()
+        .get("admission")
+        .unwrap()
+        .get("shed")
+        .unwrap()
+        .get("explain")
+        .unwrap()
+        .get("degraded")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(
+        shed_seen && shed_total >= 1.0,
+        "explain never shed under a saturated transformer queue \
+         (seen={shed_seen}, counter={shed_total})"
+    );
+    println!("explain shed under transformer flood: {shed_total} degraded sheds");
+    server.shutdown();
+
+    JsonValue::object(vec![
+        ("lr_req_per_s", JsonValue::Number(req_per_s[0].1)),
+        ("transformer_req_per_s", JsonValue::Number(req_per_s[1].1)),
+        ("quantized_req_per_s", JsonValue::Number(req_per_s[2].1)),
+        ("serve_speedup_i8_vs_f64", JsonValue::Number(serve_speedup)),
+        ("mixed_lr_wait_p99_us", JsonValue::Number(lr_p99)),
+        ("mixed_transformer_wait_p99_us", JsonValue::Number(bert_p99)),
+        ("explain_degraded_sheds", JsonValue::Number(shed_total)),
+    ])
+}
+
 fn bench_serve_throughput(c: &mut Criterion) {
     let mut corpus = HolistixCorpus::generate_small(TRAIN_POSTS, 42);
     corpus.augment_vocabulary(AUGMENT_TERMS, AUGMENT_WORDS_PER_POST, 42);
@@ -204,7 +429,17 @@ fn bench_serve_throughput(c: &mut Criterion) {
         let elapsed = drive(addr, &pool);
         let latency = server.metrics().latency_snapshot().minus(&latency_before);
         let req_per_s = total_requests / elapsed.as_secs_f64();
-        let os_threads = os_thread_count().unwrap_or(0);
+        // `drive` joins its client threads, but the kernel can still list a
+        // joined thread in /proc for a beat afterwards. Dying threads only
+        // inflate the count, so the minimum over a short window is the
+        // settled value.
+        let os_threads = (0..20)
+            .map(|_| {
+                std::thread::sleep(Duration::from_millis(10));
+                os_thread_count().unwrap_or(0)
+            })
+            .min()
+            .unwrap_or(0);
         let open = server.metrics().connections().open();
         assert!(
             open >= target as u64,
@@ -233,6 +468,8 @@ fn bench_serve_throughput(c: &mut Criterion) {
         thread_counts.windows(2).all(|w| w[0] == w[1]),
         "OS thread count moved with idle connections: {thread_counts:?}"
     );
+    let real_backend = real_backend_sweep();
+
     let report = JsonValue::object(vec![
         ("bench", JsonValue::string("serve_throughput")),
         ("active_clients", JsonValue::Number(CLIENTS as f64)),
@@ -241,10 +478,18 @@ fn bench_serve_throughput(c: &mut Criterion) {
             JsonValue::Number(REQUESTS_PER_CLIENT as f64),
         ),
         ("idle_sweep", JsonValue::Array(trajectory)),
+        ("real_backend", real_backend.clone()),
     ]);
     let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(out_path, report.to_string()).expect("write BENCH_serve.json");
     println!("idle-sweep trajectory written to {out_path}");
+    // The serving-level quantization speedup also belongs in the transformer
+    // trajectory file, next to the kernel-level numbers.
+    merge_section(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transformer.json"),
+        "serve",
+        real_backend,
+    );
 
     let mut group = c.benchmark_group("serve_throughput");
     group.sample_size(10);

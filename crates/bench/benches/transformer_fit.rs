@@ -1,0 +1,114 @@
+//! Fine-tuning throughput: dense vs sparse embedding-gradient accumulation.
+//!
+//! Fine-tunes the same small MentalBERT analogue twice on the same seeded
+//! corpus — once with the dense embedding-gradient scatter (a full
+//! `vocab × hidden` gradient table touched per step) and once with the sparse
+//! one-row-per-token CSR fold (`Graph::gather_param`) — and reports fit
+//! throughput in tokens/s for both. The two runs are bit-identical by
+//! construction (asserted on the per-epoch losses, and property-tested across
+//! random corpora in `holistix-transformer`), so the ratio is a pure
+//! bookkeeping speedup.
+//!
+//! "Tokens" is `posts × max_len × epochs`: every padded position the encoder
+//! processes per pass. Both arms process exactly the same count, so the
+//! headline ratio is exact even though padding inflates the absolute numbers.
+//!
+//! Results are merged into the `fit` section of `BENCH_transformer.json` at
+//! the repository root (`quantized_inference` owns the `inference` section).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use holistix::corpus::JsonValue;
+use holistix::prelude::*;
+use holistix::transformer::{FineTuneConfig, ModelConfig, ModelKind, Trainer};
+use holistix_bench::report::merge_section;
+use std::time::{Duration, Instant};
+
+/// Training corpus size.
+const TRAIN_POSTS: usize = 60;
+/// Fine-tuning epochs per measured fit.
+const EPOCHS: usize = 4;
+
+/// A small but real configuration: big enough that the embedding tables
+/// dominate the parameter count (as in the paper-scale models), small enough
+/// that a two-way fit finishes in a benchmark run.
+fn recipe(seed: u64) -> (ModelConfig, FineTuneConfig) {
+    let mut model = ModelConfig::for_kind(ModelKind::MentalBert, 6);
+    model.hidden_dim = 32;
+    model.n_heads = 2;
+    model.ff_dim = 64;
+    model.max_len = 32;
+    model.n_layers = 2;
+    let finetune = FineTuneConfig {
+        epochs: EPOCHS,
+        subword_vocab_size: 800,
+        learning_rate: 1e-3,
+        pretrain: None,
+        seed,
+        ..FineTuneConfig::default()
+    };
+    (model, finetune)
+}
+
+/// One full fine-tune; returns wall-clock and the per-epoch losses.
+fn fit_once(texts: &[&str], labels: &[usize], sparse: bool) -> (Duration, Vec<f64>) {
+    let (model, finetune) = recipe(42);
+    let mut trainer = Trainer::new(ModelKind::MentalBert, model, finetune);
+    trainer.set_sparse_embedding_grad(sparse);
+    let started = Instant::now();
+    trainer.fit(texts, labels);
+    let elapsed = started.elapsed();
+    (elapsed, trainer.summary().unwrap().epoch_losses.clone())
+}
+
+fn bench_transformer_fit(c: &mut Criterion) {
+    let corpus = HolistixCorpus::generate_small(TRAIN_POSTS, 42);
+    let texts = corpus.texts();
+    let labels = corpus.label_indices();
+    let max_len = recipe(42).0.max_len;
+    let tokens = (texts.len() * max_len * EPOCHS) as f64;
+
+    let (dense_time, dense_losses) = fit_once(&texts, &labels, false);
+    let (sparse_time, sparse_losses) = fit_once(&texts, &labels, true);
+    assert_eq!(
+        dense_losses, sparse_losses,
+        "sparse embedding gradients changed the training trajectory"
+    );
+
+    let dense_tps = tokens / dense_time.as_secs_f64();
+    let sparse_tps = tokens / sparse_time.as_secs_f64();
+    let speedup = dense_time.as_secs_f64() / sparse_time.as_secs_f64();
+    println!(
+        "transformer_fit: {} posts x {EPOCHS} epochs, max_len {max_len} (= {tokens:.0} tokens)",
+        texts.len()
+    );
+    println!("dense  embedding grads: {dense_tps:>8.0} tokens/s  ({dense_time:.2?})");
+    println!("sparse embedding grads: {sparse_tps:>8.0} tokens/s  ({sparse_time:.2?})");
+    println!("speedup: {speedup:.2}x (bit-identical trajectories)");
+
+    let section = JsonValue::object(vec![
+        ("model", JsonValue::string(ModelKind::MentalBert.name())),
+        ("train_posts", JsonValue::Number(texts.len() as f64)),
+        ("epochs", JsonValue::Number(EPOCHS as f64)),
+        ("max_len", JsonValue::Number(max_len as f64)),
+        ("tokens", JsonValue::Number(tokens)),
+        ("dense_tokens_per_s", JsonValue::Number(dense_tps)),
+        ("sparse_tokens_per_s", JsonValue::Number(sparse_tps)),
+        ("speedup", JsonValue::Number(speedup)),
+    ]);
+    let out_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_transformer.json");
+    merge_section(out_path, "fit", section);
+    println!("fit headline merged into {out_path}");
+
+    let mut group = c.benchmark_group("transformer_fit");
+    group.sample_size(10);
+    group.bench_function("dense_embedding_grads", |b| {
+        b.iter(|| fit_once(&texts, &labels, false))
+    });
+    group.bench_function("sparse_embedding_grads", |b| {
+        b.iter(|| fit_once(&texts, &labels, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transformer_fit);
+criterion_main!(benches);

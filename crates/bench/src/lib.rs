@@ -1,3 +1,4 @@
 //! Benchmark harness support library — see `benches/` for the per-table Criterion benches.
 
 pub mod loadgen;
+pub mod report;

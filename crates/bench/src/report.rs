@@ -1,0 +1,87 @@
+//! Read-merge-write support for the committed `BENCH_*.json` trajectory files.
+//!
+//! Several benches share one report file (`BENCH_transformer.json` holds both
+//! the fit-throughput and the quantized-inference headlines), and each bench
+//! must be runnable alone without clobbering the others' sections. So a bench
+//! never writes the whole file: it merges its own top-level key into whatever
+//! is already on disk, preserving every other key and their insertion order.
+
+use holistix::corpus::JsonValue;
+use std::path::Path;
+
+/// Replace (or append) the top-level `key` of the JSON report at `path` with
+/// `section` and write the result back. A missing or unparsable file is
+/// replaced by a fresh single-key object — an earlier run interrupted
+/// mid-write must not wedge every later bench.
+pub fn merge_section(path: impl AsRef<Path>, key: &str, section: JsonValue) {
+    let path = path.as_ref();
+    let mut fields: Vec<(String, JsonValue)> = match std::fs::read_to_string(path) {
+        Ok(existing) => match JsonValue::parse(&existing) {
+            Ok(JsonValue::Object(fields)) => fields,
+            _ => Vec::new(),
+        },
+        Err(_) => Vec::new(),
+    };
+    match fields.iter_mut().find(|(k, _)| k == key) {
+        Some((_, value)) => *value = section,
+        None => fields.push((key.to_string(), section)),
+    }
+    let report = JsonValue::Object(fields);
+    std::fs::write(path, report.to_string())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "holistix_report_{name}_{}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn merge_preserves_other_sections() {
+        let path = temp_path("merge");
+        let _ = std::fs::remove_file(&path);
+        merge_section(
+            &path,
+            "fit",
+            JsonValue::object(vec![("speedup", JsonValue::Number(2.0))]),
+        );
+        merge_section(
+            &path,
+            "inference",
+            JsonValue::object(vec![("speedup", JsonValue::Number(3.0))]),
+        );
+        // Overwriting one section leaves the other untouched.
+        merge_section(
+            &path,
+            "fit",
+            JsonValue::object(vec![("speedup", JsonValue::Number(2.5))]),
+        );
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let fit = report.get("fit").unwrap().get("speedup").unwrap().as_f64();
+        let inference = report
+            .get("inference")
+            .unwrap()
+            .get("speedup")
+            .unwrap()
+            .as_f64();
+        assert_eq!(fit, Some(2.5));
+        assert_eq!(inference, Some(3.0));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_recovers_from_corrupt_file() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "{not json").unwrap();
+        merge_section(&path, "fit", JsonValue::object(vec![]));
+        let report = JsonValue::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(report.get("fit").is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -108,7 +108,7 @@ pub use experiments::{
     EvaluationConfig, Fig1Walkthrough, Table4Result, Table4Row, Table5Config, Table5Result,
 };
 pub use pipeline::{BaselineKind, BaselinePipeline, FittedBaseline, SpeedProfile};
-pub use scorer::{fit_scorer, Scorer, TransformerScorer};
+pub use scorer::{fit_scorer, QuantizedScorer, Scorer, TransformerScorer};
 
 /// The things most applications need.
 pub mod prelude {
@@ -117,7 +117,7 @@ pub mod prelude {
         EvaluationConfig, Table4Result, Table5Config,
     };
     pub use crate::pipeline::{BaselineKind, BaselinePipeline, FittedBaseline, SpeedProfile};
-    pub use crate::scorer::{fit_scorer, Scorer, TransformerScorer};
+    pub use crate::scorer::{fit_scorer, QuantizedScorer, Scorer, TransformerScorer};
     pub use holistix_corpus::{
         AnnotatedPost, CorpusStatistics, HolistixCorpus, Post, Span, WellnessDimension,
         ALL_DIMENSIONS,

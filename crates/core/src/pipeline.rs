@@ -30,6 +30,10 @@ pub enum BaselineKind {
     GaussianNb,
     /// A fine-tuned transformer analogue.
     Transformer(ModelKind),
+    /// A fine-tuned transformer analogue served through weight-only i8
+    /// quantized inference (see `holistix-transformer`'s `quant` module). Not a
+    /// Table IV row — a serving-side sibling of [`BaselineKind::Transformer`].
+    QuantizedTransformer(ModelKind),
 }
 
 impl BaselineKind {
@@ -53,19 +57,46 @@ impl BaselineKind {
         BaselineKind::GaussianNb,
     ];
 
-    /// The paper's row label.
+    /// The six quantized serving siblings of the transformer rows. Not part of
+    /// [`ALL`](Self::ALL): Table IV sweeps stay f64; these exist for serving
+    /// and the inference benches.
+    pub const QUANTIZED: [BaselineKind; 6] = [
+        BaselineKind::QuantizedTransformer(ModelKind::Bert),
+        BaselineKind::QuantizedTransformer(ModelKind::DistilBert),
+        BaselineKind::QuantizedTransformer(ModelKind::MentalBert),
+        BaselineKind::QuantizedTransformer(ModelKind::FlanT5),
+        BaselineKind::QuantizedTransformer(ModelKind::Xlnet),
+        BaselineKind::QuantizedTransformer(ModelKind::Gpt2),
+    ];
+
+    /// The paper's row label (quantized kinds append `-i8`).
     pub fn name(&self) -> String {
         match self {
             BaselineKind::LogisticRegression => "LR".to_string(),
             BaselineKind::LinearSvm => "Linear SVM".to_string(),
             BaselineKind::GaussianNb => "Gaussian NB".to_string(),
             BaselineKind::Transformer(kind) => kind.name().to_string(),
+            BaselineKind::QuantizedTransformer(kind) => format!("{}-i8", kind.name()),
         }
     }
 
-    /// Whether the baseline is a transformer.
+    /// Whether the baseline is a transformer (quantized or not).
     pub fn is_transformer(&self) -> bool {
-        matches!(self, BaselineKind::Transformer(_))
+        matches!(
+            self,
+            BaselineKind::Transformer(_) | BaselineKind::QuantizedTransformer(_)
+        )
+    }
+
+    /// Coarse scorer family, the `scorer_kind` label in the serving metrics.
+    pub fn scorer_family(&self) -> &'static str {
+        match self {
+            BaselineKind::LogisticRegression
+            | BaselineKind::LinearSvm
+            | BaselineKind::GaussianNb => "classical",
+            BaselineKind::Transformer(_) => "transformer",
+            BaselineKind::QuantizedTransformer(_) => "quantized",
+        }
     }
 }
 
@@ -178,19 +209,23 @@ fn classical_predict(
 
 /// A fitted baseline: ready to predict and to be explained with LIME.
 pub enum FittedBaseline {
-    /// TF-IDF features + a classical classifier.
+    /// TF-IDF features + a classical classifier. The vectoriser is boxed for
+    /// the same reason the trainer below is: fitted baselines move through
+    /// registries and CV fold vectors by value, so the enum stays pointer-thin.
     Classical {
         /// Which baseline this is.
         kind: BaselineKind,
         /// The vectoriser fitted on the training split.
-        vectorizer: TfidfVectorizer,
+        vectorizer: Box<TfidfVectorizer>,
         /// The trained classifier.
         classifier: ClassicalClassifier,
     },
-    /// A fine-tuned transformer analogue.
+    /// A fine-tuned transformer analogue. Boxed: the trainer (model, Adam
+    /// state, batch scratch) dwarfs the classical variant, and fitted
+    /// baselines move through registries and CV fold vectors by value.
     Transformer {
         /// The trainer holding the fitted model.
-        trainer: Trainer,
+        trainer: Box<Trainer>,
     },
 }
 
@@ -265,10 +300,15 @@ impl FittedBaseline {
             "cannot fit a baseline on an empty training set"
         );
         match kind {
-            BaselineKind::Transformer(model_kind) => {
+            BaselineKind::Transformer(model_kind)
+            | BaselineKind::QuantizedTransformer(model_kind) => {
+                // The quantized kind trains the same f64 model; quantization is a
+                // serving-time transform (`QuantizedScorer` in `scorer`).
                 let mut trainer = Self::transformer_recipe(model_kind, profile, seed).build();
                 trainer.fit(texts, labels);
-                FittedBaseline::Transformer { trainer }
+                FittedBaseline::Transformer {
+                    trainer: Box::new(trainer),
+                }
             }
             classical => {
                 // CSR end to end: the dense documents × vocabulary grid is never
@@ -305,11 +345,13 @@ impl FittedBaseline {
                         model.fit_features(&features, labels);
                         ClassicalClassifier::GaussianNb(model)
                     }
-                    BaselineKind::Transformer(_) => unreachable!("handled above"),
+                    BaselineKind::Transformer(_) | BaselineKind::QuantizedTransformer(_) => {
+                        unreachable!("handled above")
+                    }
                 };
                 FittedBaseline::Classical {
                     kind: classical,
-                    vectorizer,
+                    vectorizer: Box::new(vectorizer),
                     classifier,
                 }
             }

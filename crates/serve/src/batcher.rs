@@ -323,7 +323,7 @@ pub(crate) fn build_queues(
     let mut queues = Vec::new();
     for (kind, scorer) in current.scorers() {
         let (sender, receiver) = std::sync::mpsc::channel();
-        let queue_metrics = metrics.queue(&kind.name());
+        let queue_metrics = metrics.queue(&kind.name(), kind.scorer_family());
         senders.push(QueueSender {
             kind,
             sender,
@@ -412,7 +412,7 @@ mod tests {
         // All three jobs were enqueued before any reply was awaited, so they
         // were scored as one batch — visible globally and in the LR queue.
         assert_eq!(metrics.max_batch_size(), 3);
-        let lr_queue = metrics.queue("LR");
+        let lr_queue = metrics.queue("LR", "classical");
         assert_eq!(lr_queue.max_batch_size(), 3);
         assert_eq!(lr_queue.depth(), 0);
     }
@@ -449,7 +449,7 @@ mod tests {
             Some(PredictError::Shutdown)
         );
         // The failed send released its reservation: depth is back to zero.
-        assert_eq!(metrics.queue("LR").depth(), 0);
+        assert_eq!(metrics.queue("LR", "classical").depth(), 0);
     }
 
     #[test]
@@ -467,7 +467,7 @@ mod tests {
             .unwrap();
         assert!(matches!(err, PredictError::QueueFull { .. }));
         assert!(err.to_string().contains("full"));
-        assert_eq!(metrics.queue("LR").depth(), 0);
+        assert_eq!(metrics.queue("LR", "classical").depth(), 0);
 
         // Fill the cap exactly by enqueueing without awaiting replies: send
         // the jobs by hand through a second handle thread would block on
@@ -484,7 +484,7 @@ mod tests {
             // Deterministic wait: depth is incremented before send, so poll
             // the gauge (no timing assumption — just a progress deadline).
             let deadline = Instant::now() + Duration::from_secs(20);
-            while metrics.queue("LR").depth() < 3 {
+            while metrics.queue("LR", "classical").depth() < 3 {
                 assert!(Instant::now() < deadline, "queue never filled");
                 std::thread::sleep(Duration::from_millis(2));
             }
@@ -494,7 +494,7 @@ mod tests {
                 .err()
                 .unwrap();
             assert!(matches!(err, PredictError::QueueFull { depth: 3, .. }));
-            assert_eq!(metrics.queue("LR").depth(), 3);
+            assert_eq!(metrics.queue("LR", "classical").depth(), 3);
             drop(queues); // disconnects the channel, unblocking the senders
         })
         .unwrap();

@@ -572,7 +572,7 @@ pub struct ServeMetrics {
     /// at trace finalization.
     request_latency: LogHistogram,
     /// Per-kind queue sections, in registration order.
-    queues: Mutex<Vec<(String, Arc<QueueMetrics>)>>,
+    queues: Mutex<Vec<(String, String, Arc<QueueMetrics>)>>,
     /// Jobs queued across every kind, maintained by the [`QueueMetrics`]
     /// registered through [`queue`](Self::queue). Read by the intake valve
     /// and `/explain` shedding.
@@ -701,16 +701,24 @@ impl ServeMetrics {
 
     /// Register (or fetch) the per-queue section for a scorer kind. Called by
     /// the server when it spawns a kind's drain loop; idempotent so a restart
-    /// of the queue set reuses the existing section.
-    pub fn queue(&self, kind_name: &str) -> Arc<QueueMetrics> {
+    /// of the queue set reuses the existing section (the first registration's
+    /// `scorer_kind` family label wins). `scorer_kind` is the coarse scorer
+    /// family ("classical" / "transformer" / "quantized") exposed as an extra
+    /// Prometheus label on the per-queue series; the JSON snapshot stays keyed
+    /// by kind name alone.
+    pub fn queue(&self, kind_name: &str, scorer_kind: &str) -> Arc<QueueMetrics> {
         let mut queues = self.queues.lock().unwrap();
-        if let Some((_, metrics)) = queues.iter().find(|(name, _)| name == kind_name) {
+        if let Some((_, _, metrics)) = queues.iter().find(|(name, _, _)| name == kind_name) {
             return Arc::clone(metrics);
         }
         let metrics = Arc::new(QueueMetrics::with_aggregate(Arc::clone(
             &self.aggregate_depth,
         )));
-        queues.push((kind_name.to_string(), Arc::clone(&metrics)));
+        queues.push((
+            kind_name.to_string(),
+            scorer_kind.to_string(),
+            Arc::clone(&metrics),
+        ));
         metrics
     }
 
@@ -771,7 +779,7 @@ impl ServeMetrics {
             .lock()
             .unwrap()
             .iter()
-            .map(|(name, metrics)| (name.clone(), metrics.snapshot()))
+            .map(|(name, _, metrics)| (name.clone(), metrics.snapshot()))
             .collect();
 
         let mut thread_fields = Vec::new();
@@ -1007,16 +1015,16 @@ impl ServeMetrics {
         let queues = self.queues.lock().unwrap();
         if !queues.is_empty() {
             out.push_str("# HELP holistix_queue_depth Jobs waiting in (or being scored from) the queue.\n# TYPE holistix_queue_depth gauge\n");
-            for (kind, queue) in queues.iter() {
+            for (kind, family, queue) in queues.iter() {
                 out.push_str(&format!(
-                    "holistix_queue_depth{{kind=\"{kind}\"}} {}\n",
+                    "holistix_queue_depth{{kind=\"{kind}\",scorer_kind=\"{family}\"}} {}\n",
                     queue.depth()
                 ));
             }
             out.push_str("# HELP holistix_queue_texts_scored_total Texts this queue has scored.\n# TYPE holistix_queue_texts_scored_total counter\n");
-            for (kind, queue) in queues.iter() {
+            for (kind, family, queue) in queues.iter() {
                 out.push_str(&format!(
-                    "holistix_queue_texts_scored_total{{kind=\"{kind}\"}} {}\n",
+                    "holistix_queue_texts_scored_total{{kind=\"{kind}\",scorer_kind=\"{family}\"}} {}\n",
                     queue.texts_scored.load(Ordering::Relaxed)
                 ));
             }
@@ -1041,17 +1049,24 @@ impl ServeMetrics {
                 ),
             ];
             for (name, help, select) in families {
-                let snapshots: Vec<(&str, HistogramSnapshot)> = queues
+                let snapshots: Vec<(&str, &str, HistogramSnapshot)> = queues
                     .iter()
-                    .map(|(kind, queue)| (kind.as_str(), select(queue).snapshot()))
-                    .filter(|(_, s)| s.count() > 0)
+                    .map(|(kind, family, queue)| {
+                        (kind.as_str(), family.as_str(), select(queue).snapshot())
+                    })
+                    .filter(|(_, _, s)| s.count() > 0)
                     .collect();
                 if snapshots.is_empty() {
                     continue;
                 }
                 out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
-                for (kind, snapshot) in snapshots {
-                    append_histogram(&mut out, name, &format!("kind=\"{kind}\""), &snapshot);
+                for (kind, family, snapshot) in snapshots {
+                    append_histogram(
+                        &mut out,
+                        name,
+                        &format!("kind=\"{kind}\",scorer_kind=\"{family}\""),
+                        &snapshot,
+                    );
                 }
             }
         }
@@ -1188,10 +1203,10 @@ mod tests {
     #[test]
     fn queue_sections_track_depth_batches_wait_and_score() {
         let metrics = ServeMetrics::new();
-        let lr = metrics.queue("LR");
-        let bert = metrics.queue("BERT");
+        let lr = metrics.queue("LR", "classical");
+        let bert = metrics.queue("BERT", "transformer");
         // Idempotent registration returns the same section.
-        assert!(Arc::ptr_eq(&lr, &metrics.queue("LR")));
+        assert!(Arc::ptr_eq(&lr, &metrics.queue("LR", "classical")));
 
         for _ in 0..5 {
             lr.record_enqueued();
@@ -1301,7 +1316,7 @@ mod tests {
         metrics.record_keepalive_reuse();
         metrics.record_batch(3);
         metrics.record_batch(40); // a log2-bucketed size
-        let lr = metrics.queue("LR");
+        let lr = metrics.queue("LR", "classical");
         for _ in 0..3 {
             lr.record_enqueued();
         }
@@ -1345,6 +1360,65 @@ mod tests {
     }
 
     #[test]
+    fn queue_series_carry_scorer_kind_labels() {
+        // Every per-queue Prometheus series carries both the fine-grained
+        // `kind` label and the coarse `scorer_kind` family, while the JSON
+        // snapshot stays keyed by kind name alone (no shape change).
+        let metrics = ServeMetrics::new();
+        let lr = metrics.queue("LR", "classical");
+        let bert = metrics.queue("BERT", "transformer");
+        let quant = metrics.queue("MentalBERT-i8", "quantized");
+        lr.record_enqueued();
+        lr.record_batch(1, &[25], 400);
+        bert.record_enqueued();
+        bert.record_batch(1, &[900], 48_000);
+        quant.record_enqueued();
+        quant.record_batch(1, &[60], 2_000);
+
+        let text = metrics.render_prometheus(None);
+        validate_exposition(&text).expect("valid exposition with scorer_kind labels");
+        for (kind, family) in [
+            ("LR", "classical"),
+            ("BERT", "transformer"),
+            ("MentalBERT-i8", "quantized"),
+        ] {
+            let labels = format!("kind=\"{kind}\",scorer_kind=\"{family}\"");
+            assert!(
+                text.contains(&format!("holistix_queue_depth{{{labels}}}")),
+                "missing depth series for {kind}"
+            );
+            assert!(
+                text.contains(&format!("holistix_queue_texts_scored_total{{{labels}}}")),
+                "missing scored counter for {kind}"
+            );
+            assert!(
+                text.contains(&format!("holistix_queue_wait_us_bucket{{{labels},le=")),
+                "missing wait histogram for {kind}"
+            );
+            assert!(
+                text.contains(&format!("holistix_queue_score_us_bucket{{{labels},le=")),
+                "missing score histogram for {kind}"
+            );
+        }
+        // Registering the same kind again (even with a different family)
+        // returns the original handle and never forks the series.
+        let again = metrics.queue("LR", "quantized");
+        assert!(Arc::ptr_eq(&lr, &again));
+        let text = metrics.render_prometheus(None);
+        assert!(text.contains("kind=\"LR\",scorer_kind=\"classical\""));
+        assert!(!text.contains("kind=\"LR\",scorer_kind=\"quantized\""));
+
+        // JSON snapshot: still one object per kind name, no scorer_kind key.
+        let snapshot = metrics.snapshot();
+        let queues = snapshot.get("queues").unwrap();
+        for kind in ["LR", "BERT", "MentalBERT-i8"] {
+            let section = queues.get(kind).unwrap();
+            assert!(section.get("scorer_kind").is_none());
+            assert_eq!(section.get("texts_scored").unwrap().as_f64(), Some(1.0));
+        }
+    }
+
+    #[test]
     fn empty_sink_renders_valid_prometheus() {
         // No traffic at all: histograms are omitted, counters are zero, and
         // the exposition still validates (no TYPE line without samples).
@@ -1382,8 +1456,8 @@ mod tests {
     #[test]
     fn aggregate_depth_sums_across_queues() {
         let metrics = ServeMetrics::new();
-        let lr = metrics.queue("LR");
-        let bert = metrics.queue("BERT");
+        let lr = metrics.queue("LR", "classical");
+        let bert = metrics.queue("BERT", "transformer");
         lr.record_enqueued();
         lr.record_enqueued();
         assert!(bert.try_admit(3, 10));

@@ -307,6 +307,7 @@ pub fn parse_kind(name: &str) -> Option<BaselineKind> {
     }
     BaselineKind::ALL
         .into_iter()
+        .chain(BaselineKind::QUANTIZED)
         .find(|kind| kind.name().eq_ignore_ascii_case(&lower))
 }
 

@@ -10,7 +10,8 @@
 //! module's tests for every op.
 
 use crate::params::{ParamId, ParamStore};
-use holistix_linalg::{softmax, Matrix};
+use holistix_linalg::{softmax, CsrBuilder, Matrix};
+use std::collections::BTreeMap;
 
 /// Handle to a node in a [`Graph`].
 pub type NodeId = usize;
@@ -49,6 +50,14 @@ enum Op {
     },
     /// Embedding lookup: select rows of `table` by token id.
     Gather { table: NodeId, indices: Vec<usize> },
+    /// Embedding lookup straight from a parameter table: the table is never
+    /// materialised as a graph node, and the backward pass folds per-position
+    /// row gradients through a sparse (CSR) accumulator before touching the
+    /// store — one row per *distinct* token instead of a dense `vocab × hidden`
+    /// scratch matrix.
+    GatherParam { param: ParamId, indices: Vec<usize> },
+    /// Vertical concatenation of same-width nodes (row-block stacking).
+    ConcatRows(Vec<NodeId>),
     /// Mean over rows, producing a `1 × cols` matrix.
     MeanRows(NodeId),
     /// Select a single row, producing a `1 × cols` matrix.
@@ -241,6 +250,69 @@ impl Graph {
                 indices: indices.to_vec(),
             },
         )
+    }
+
+    /// Embedding lookup straight from a parameter table: output row `i` is row
+    /// `indices[i]` of `store.value(param)`.
+    ///
+    /// Functionally identical to `gather(param(store, id), indices)` but skips both
+    /// the dense table clone on the forward pass and the dense `vocab × hidden`
+    /// gradient scratch on the backward pass; see [`Op::GatherParam`]'s backward rule.
+    /// Gradients accumulate into the store bit-identically to the dense formulation
+    /// (same per-position fold order, see the `gather_param_matches_dense_gather`
+    /// test).
+    pub fn gather_param(
+        &mut self,
+        store: &ParamStore,
+        param: ParamId,
+        indices: &[usize],
+    ) -> NodeId {
+        let t = store.value(param);
+        let mut value = Matrix::zeros(indices.len(), t.cols());
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(
+                idx < t.rows(),
+                "gather_param index {idx} out of range ({} rows)",
+                t.rows()
+            );
+            value.set_row(i, t.row(idx));
+        }
+        self.push(
+            value,
+            Op::GatherParam {
+                param,
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    /// Stack nodes vertically (all must share a column count). Row block `p` of the
+    /// output is `parts[p]`; the backward pass splits the gradient back into the
+    /// corresponding row blocks.
+    pub fn concat_rows(&mut self, parts: &[NodeId]) -> NodeId {
+        assert!(!parts.is_empty(), "concat_rows: empty part list");
+        let cols = self.nodes[parts[0]].value.cols();
+        let total_rows: usize = parts
+            .iter()
+            .map(|&p| {
+                assert_eq!(
+                    self.nodes[p].value.cols(),
+                    cols,
+                    "concat_rows: column count mismatch"
+                );
+                self.nodes[p].value.rows()
+            })
+            .sum();
+        let mut value = Matrix::zeros(total_rows, cols);
+        let mut offset = 0;
+        for &p in parts {
+            let part = &self.nodes[p].value;
+            for r in 0..part.rows() {
+                value.set_row(offset + r, part.row(r));
+            }
+            offset += part.rows();
+        }
+        self.push(value, Op::ConcatRows(parts.to_vec()))
     }
 
     /// Mean over rows (`n × d` → `1 × d`).
@@ -472,6 +544,50 @@ impl Graph {
                         }
                     }
                     self.nodes[table].grad.add_scaled(&dtable, 1.0);
+                }
+                Op::GatherParam { param, indices } => {
+                    // Fold repeated tokens first (in increasing position order, matching
+                    // the dense `Gather` scatter), round the folded rows through a CSR
+                    // matrix, then apply each distinct row to the store exactly once.
+                    let cols = grad.cols();
+                    let mut folded: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+                    for (i, &idx) in indices.iter().enumerate() {
+                        let src = grad.row(i);
+                        let dst = folded.entry(idx).or_insert_with(|| vec![0.0; cols]);
+                        for (d, s) in dst.iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    }
+                    let mut builder = CsrBuilder::new(cols);
+                    let mut rows = Vec::with_capacity(folded.len());
+                    let mut scratch: Vec<(usize, f64)> = Vec::new();
+                    for (row, values) in &folded {
+                        scratch.clear();
+                        scratch.extend(values.iter().copied().enumerate());
+                        builder.push_row(&mut scratch);
+                        rows.push(*row);
+                    }
+                    let sparse = builder.finish();
+                    let table = store.grad_mut(param);
+                    for (i, &row) in rows.iter().enumerate() {
+                        let dst = table.row_mut(row);
+                        for (c, v) in sparse.row_entries(i) {
+                            dst[c] += v;
+                        }
+                    }
+                }
+                Op::ConcatRows(parts) => {
+                    let mut offset = 0;
+                    for &p in &parts {
+                        let rows = self.nodes[p].value.rows();
+                        let cols = grad.cols();
+                        let mut dp = Matrix::zeros(rows, cols);
+                        for r in 0..rows {
+                            dp.set_row(r, grad.row(offset + r));
+                        }
+                        self.nodes[p].grad.add_scaled(&dp, 1.0);
+                        offset += rows;
+                    }
                 }
                 Op::MeanRows(a) => {
                     let rows = self.nodes[a].value.rows().max(1) as f64;
@@ -868,5 +984,125 @@ mod tests {
         let mut g = Graph::new();
         let tp = g.param(&store, t);
         let _ = g.gather(tp, &[5]);
+    }
+
+    #[test]
+    fn gather_param_gradient_matches_finite_differences() {
+        let mut store = ParamStore::new();
+        let table = random_param(&mut store, "emb", 6, 4, 47);
+        finite_difference_check(
+            &mut store,
+            table,
+            |g, s| {
+                // Repeated indices exercise the fold-before-apply path.
+                let seq = g.gather_param(s, table, &[1, 3, 1, 5, 3]);
+                let pooled = g.mean_rows(seq);
+                let sq = g.mul(pooled, pooled);
+                g.sum(sq)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn concat_rows_gradient_matches_finite_differences() {
+        let mut store = ParamStore::new();
+        let a = random_param(&mut store, "a", 2, 3, 53);
+        let b = random_param(&mut store, "b", 3, 3, 59);
+        for target in [a, b] {
+            finite_difference_check(
+                &mut store,
+                target,
+                |g, s| {
+                    let ap = g.param(s, a);
+                    let bp = g.param(s, b);
+                    let stacked = g.concat_rows(&[ap, bp]);
+                    let sq = g.mul(stacked, stacked);
+                    g.sum(sq)
+                },
+                1e-5,
+            );
+        }
+    }
+
+    #[test]
+    fn concat_rows_stacks_values_in_order() {
+        let mut g = Graph::new();
+        let a = g.constant(Matrix::from_rows(&[vec![1.0, 2.0]]));
+        let b = g.constant(Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]));
+        let stacked = g.concat_rows(&[a, b]);
+        assert_eq!(g.value(stacked).shape(), (3, 2));
+        assert_eq!(g.value(stacked).row(0), &[1.0, 2.0]);
+        assert_eq!(g.value(stacked).row(1), &[3.0, 4.0]);
+        assert_eq!(g.value(stacked).row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn gather_param_matches_dense_gather_bitwise() {
+        // The sparse path must leave the store with *bit-identical* gradients to the
+        // dense `param` + `gather` formulation, including across multiple sequences
+        // in one graph and repeated token ids within a sequence.
+        let sequences: [&[usize]; 3] = [&[1, 3, 1, 5], &[0, 0, 2], &[5, 4, 3, 2, 1]];
+        let run = |sparse: bool| -> (Vec<Matrix>, Vec<f64>) {
+            let mut store = ParamStore::new();
+            let table = random_param(&mut store, "emb", 6, 4, 61);
+            let proj = random_param(&mut store, "proj", 4, 2, 67);
+            let mut g = Graph::new();
+            let mut total: Option<NodeId> = None;
+            for seq in sequences {
+                let emb = if sparse {
+                    g.gather_param(&store, table, seq)
+                } else {
+                    let t = g.param(&store, table);
+                    g.gather(t, seq)
+                };
+                let p = g.param(&store, proj);
+                let h = g.matmul(emb, p);
+                let act = g.gelu(h);
+                let pooled = g.mean_rows(act);
+                let sq = g.mul(pooled, pooled);
+                let s = g.sum(sq);
+                total = Some(match total {
+                    None => s,
+                    Some(acc) => g.add(acc, s),
+                });
+            }
+            let loss = total.unwrap();
+            g.backward(loss, &mut store);
+            let grads = vec![store.grad(table).clone(), store.grad(proj).clone()];
+            (grads, vec![g.scalar(loss)])
+        };
+        let (dense_grads, dense_loss) = run(false);
+        let (sparse_grads, sparse_loss) = run(true);
+        assert_eq!(dense_loss, sparse_loss);
+        for (d, s) in dense_grads.iter().zip(&sparse_grads) {
+            assert_eq!(d.data(), s.data(), "store gradients must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn gather_param_skips_untouched_rows() {
+        // Rows never gathered must keep an exactly-zero gradient.
+        let mut store = ParamStore::new();
+        let table = random_param(&mut store, "emb", 8, 3, 71);
+        let mut g = Graph::new();
+        let seq = g.gather_param(&store, table, &[2, 2, 6]);
+        let s = g.sum(seq);
+        g.backward(s, &mut store);
+        let grad = store.grad(table);
+        for r in [0, 1, 3, 4, 5, 7] {
+            assert!(grad.row(r).iter().all(|&v| v == 0.0), "row {r} touched");
+        }
+        assert_eq!(grad.row(2), &[2.0, 2.0, 2.0]);
+        assert_eq!(grad.row(6), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather_param index")]
+    fn gather_param_out_of_range_panics() {
+        let mut store = ParamStore::new();
+        let t = store.add("t", Matrix::zeros(3, 2));
+        let mut g = Graph::new();
+        let _ = g.gather_param(&store, t, &[5]);
     }
 }

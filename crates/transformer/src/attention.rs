@@ -157,6 +157,64 @@ impl MultiHeadAttention {
         let bias = graph.param(store, self.output_bias);
         graph.add_row_broadcast(summed, bias)
     }
+
+    /// Batched forward pass: `x` stacks `masks.len()` sequences of `seq_len` rows
+    /// each (`(B·seq_len) × hidden`), `masks[b]` is the per-sequence mask from
+    /// [`build_mask`](Self::build_mask).
+    ///
+    /// The Q/K/V/O projections run as single stacked matmuls (row-independent, so
+    /// each row is bit-identical to the per-sequence product); only the softmax
+    /// attention mixing is done per sequence, on row slices. Row block `b` of the
+    /// output is therefore bit-identical to [`forward`](Self::forward) on sequence
+    /// `b` alone.
+    pub fn forward_batch(
+        &self,
+        graph: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        masks: &[Matrix],
+        seq_len: usize,
+    ) -> NodeId {
+        let scale = 1.0 / (self.head_dim as f64).sqrt();
+        let mut per_seq: Vec<Option<NodeId>> = vec![None; masks.len()];
+        for head in &self.heads {
+            let wq = graph.param(store, head.wq);
+            let wk = graph.param(store, head.wk);
+            let wv = graph.param(store, head.wv);
+            let wo = graph.param(store, head.wo);
+            let q = graph.matmul(x, wq);
+            let k = graph.matmul(x, wk);
+            let v = graph.matmul(x, wv);
+            let rel = self.relative_bias.map(|r| graph.param(store, r));
+            for (b, mask) in masks.iter().enumerate() {
+                let rows: Vec<usize> = (b * seq_len..(b + 1) * seq_len).collect();
+                let qb = graph.gather(q, &rows);
+                let kb = graph.gather(k, &rows);
+                let vb = graph.gather(v, &rows);
+                let kt = graph.transpose(kb);
+                let scores = graph.matmul(qb, kt);
+                let mut scores = graph.scale(scores, scale);
+                if let Some(rel_node) = rel {
+                    scores = graph.add(scores, rel_node);
+                }
+                let masked = graph.add_const(scores, mask);
+                let attn = graph.softmax_rows(masked);
+                let context = graph.matmul(attn, vb);
+                let projected = graph.matmul(context, wo);
+                per_seq[b] = Some(match per_seq[b] {
+                    None => projected,
+                    Some(acc) => graph.add(acc, projected),
+                });
+            }
+        }
+        let blocks: Vec<NodeId> = per_seq
+            .into_iter()
+            .map(|n| n.expect("attention block must have at least one head"))
+            .collect();
+        let stacked = graph.concat_rows(&blocks);
+        let bias = graph.param(store, self.output_bias);
+        graph.add_row_broadcast(stacked, bias)
+    }
 }
 
 #[cfg(test)]

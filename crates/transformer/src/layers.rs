@@ -138,6 +138,27 @@ impl EncoderLayer {
         let residual2 = graph.add(normed, ff);
         self.ln_feed_forward.forward(graph, store, residual2)
     }
+
+    /// Batched forward pass on stacked sequences (`(B·seq_len) × hidden`), with one
+    /// mask per sequence. Everything outside attention is row-wise, so row block `b`
+    /// equals [`forward`](Self::forward) on sequence `b` alone, bitwise.
+    pub fn forward_batch(
+        &self,
+        graph: &mut Graph,
+        store: &ParamStore,
+        x: NodeId,
+        masks: &[Matrix],
+        seq_len: usize,
+    ) -> NodeId {
+        let attended = self
+            .attention
+            .forward_batch(graph, store, x, masks, seq_len);
+        let residual = graph.add(x, attended);
+        let normed = self.ln_attention.forward(graph, store, residual);
+        let ff = self.feed_forward.forward(graph, store, normed);
+        let residual2 = graph.add(normed, ff);
+        self.ln_feed_forward.forward(graph, store, residual2)
+    }
 }
 
 #[cfg(test)]

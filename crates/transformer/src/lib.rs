@@ -32,18 +32,66 @@
 //! * [`model`] — the end-to-end [`TransformerClassifier`](model::TransformerClassifier),
 //! * [`pretrain`] — masked-LM domain-adaptive pre-initialisation,
 //! * [`trainer`] — the fine-tuning loop (Adam, batching, early stopping on validation loss),
-//! * [`zoo`] — the named model zoo with per-model recipes.
+//! * [`zoo`] — the named model zoo with per-model recipes,
+//! * [`quant`] — weight-only i8 quantized inference ([`QuantizedTransformer`](quant::QuantizedTransformer)).
+//!
+//! ## Fast path
+//!
+//! Two performance paths sit beside the reference f64 implementation; both are
+//! verified against it rather than merely "close":
+//!
+//! **Sparse embedding gradients** (on by default). A token sequence touches at most
+//! `max_len` rows of the `vocab × hidden` embedding tables, but the naive tape
+//! formulation materialises the full table as a graph leaf (a clone per sequence)
+//! and scatters into an equally dense gradient scratch. The
+//! `Graph::gather_param` op reads embedding rows straight from the
+//! [`ParamStore`](holistix_tensor::ParamStore) and, on the backward pass, folds
+//! per-position row gradients by token id (increasing position order — exactly the
+//! dense scatter order), rounds them through a CSR accumulator, and applies each
+//! distinct row to the store once. Because the fold order and the per-element
+//! additions are identical to the dense path, the resulting gradients are
+//! **bit-identical** (property-tested across random corpora and seeds, and at every
+//! optimizer step of fine-tuning on the seeded tiny task). Adam moments and
+//! gradient clipping stay dense, so optimizer trajectories match exactly too.
+//! `TransformerClassifier::set_sparse_embedding_grad(false)` restores the dense
+//! reference path (kept for the A/B benchmark in `BENCH_transformer.json`).
+//!
+//! **Quantized i8 inference** ([`quant::QuantizedTransformer`]). Weight-only
+//! symmetric i8 quantization with **per-output-row** absmax scales (per-row rather
+//! than per-tensor: fine-tuned projection columns have uneven ranges, and one
+//! outlier column under a tensor-wide scale would crush every other row's
+//! resolution; the per-row cost is one f32 per output), f32 activations and
+//! accumulation, f64 only at the final class softmax. Layer-norm parameters,
+//! additive biases and the XLNet relative-position bias stay f32 — they are tiny
+//! and feed normalisation statistics directly. The forward pass is graph-free,
+//! its dot products run over eight independent accumulator lanes (breaking the
+//! serial FP-add dependency chain that caps a naive loop at one multiply-add
+//! per add-latency), and it drops the padded tail of each sequence — padding
+//! is always a suffix, masked keys contribute an attention weight of exactly
+//! zero (`exp(-1e9)` underflows in f32), and every pooling mode ignores padded
+//! rows, so the truncation is bit-identical while cutting the quadratic
+//! attention cost to the real token count. The lane-folded summation order
+//! differs from the f64 reference's sequential sums, which is covered by the
+//! drift bound below rather than bit-identity. The class
+//! probability drift versus the f64 scorer is bounded by
+//! [`quant::MAX_PROBABILITY_DRIFT`] (asserted in tests), with 100 % label
+//! agreement on the seeded Table IV task. Pick `QuantizedTransformer` (via
+//! `holistix-core`'s `QuantizedScorer`) when serving throughput matters and a
+//! ≤ [`quant::MAX_PROBABILITY_DRIFT`] probability perturbation is acceptable —
+//! i.e. for ranking/classification, not for calibrated probability readouts.
 
 pub mod attention;
 pub mod config;
 pub mod layers;
 pub mod model;
 pub mod pretrain;
+pub mod quant;
 pub mod trainer;
 pub mod zoo;
 
 pub use config::{AttentionKind, ModelConfig, ModelKind, Pooling};
 pub use model::TransformerClassifier;
 pub use pretrain::{pretrain_masked_lm, PretrainConfig};
+pub use quant::{QuantizedTransformer, MAX_PROBABILITY_DRIFT};
 pub use trainer::{FineTuneConfig, Trainer, TrainingSummary};
 pub use zoo::{build_model, FineTuneRecipe};

@@ -29,6 +29,7 @@ pub struct TransformerClassifier {
     bottleneck: Option<(ParamId, ParamId)>,
     head_weight: ParamId,
     head_bias: ParamId,
+    sparse_embedding_grad: bool,
 }
 
 impl TransformerClassifier {
@@ -94,7 +95,21 @@ impl TransformerClassifier {
             bottleneck,
             head_weight,
             head_bias,
+            sparse_embedding_grad: true,
         }
+    }
+
+    /// Whether fine-tuning accumulates embedding gradients sparsely (the default).
+    pub fn sparse_embedding_grad(&self) -> bool {
+        self.sparse_embedding_grad
+    }
+
+    /// Switch the embedding-gradient path. Sparse (the default) folds one gradient
+    /// row per *distinct* token through a CSR accumulator; dense materialises the
+    /// whole `vocab × hidden` table per sequence. Both are bit-identical — the dense
+    /// path survives as the benchmark/property-test reference.
+    pub fn set_sparse_embedding_grad(&mut self, enabled: bool) {
+        self.sparse_embedding_grad = enabled;
     }
 
     /// The model's display name (Table IV row label).
@@ -167,11 +182,20 @@ impl TransformerClassifier {
             "token sequence must be padded to max_len"
         );
         let is_padding = self.padding_mask(tokens);
-        let token_table = graph.param(&self.store, self.token_embedding);
-        let token_emb = graph.gather(token_table, tokens);
-        let position_table = graph.param(&self.store, self.position_embedding);
         let position_indices: Vec<usize> = (0..tokens.len()).collect();
-        let position_emb = graph.gather(position_table, &position_indices);
+        let (token_emb, position_emb) = if self.sparse_embedding_grad {
+            (
+                graph.gather_param(&self.store, self.token_embedding, tokens),
+                graph.gather_param(&self.store, self.position_embedding, &position_indices),
+            )
+        } else {
+            let token_table = graph.param(&self.store, self.token_embedding);
+            let position_table = graph.param(&self.store, self.position_embedding);
+            (
+                graph.gather(token_table, tokens),
+                graph.gather(position_table, &position_indices),
+            )
+        };
         let summed = graph.add(token_emb, position_emb);
         let mut hidden = self.embedding_norm.forward(graph, &self.store, summed);
         if train && self.config.dropout > 0.0 {
@@ -266,6 +290,90 @@ impl TransformerClassifier {
     /// Hard prediction for a raw text.
     pub fn predict_text(&self, text: &str) -> usize {
         holistix_linalg::argmax(&self.predict_proba_text(text)).unwrap_or(0)
+    }
+
+    /// Run the encoder stack on several padded sequences stacked into one
+    /// `(B·max_len) × hidden` node. Inference-only (no dropout). Row block `b` is
+    /// bit-identical to [`encode_hidden`](Self::encode_hidden) on `sequences[b]`:
+    /// every op outside attention is row-wise, and the batched attention mixes rows
+    /// per sequence only.
+    fn encode_hidden_batch(&self, graph: &mut Graph, sequences: &[&[usize]]) -> NodeId {
+        let seq_len = self.config.max_len;
+        let mut all_tokens = Vec::with_capacity(sequences.len() * seq_len);
+        let mut all_positions = Vec::with_capacity(sequences.len() * seq_len);
+        for seq in sequences {
+            assert_eq!(
+                seq.len(),
+                seq_len,
+                "token sequence must be padded to max_len"
+            );
+            all_tokens.extend_from_slice(seq);
+            all_positions.extend(0..seq_len);
+        }
+        let token_emb = graph.gather_param(&self.store, self.token_embedding, &all_tokens);
+        let position_emb = graph.gather_param(&self.store, self.position_embedding, &all_positions);
+        let summed = graph.add(token_emb, position_emb);
+        let mut hidden = self.embedding_norm.forward(graph, &self.store, summed);
+        for layer in &self.layers {
+            let masks: Vec<Matrix> = sequences
+                .iter()
+                .map(|seq| layer.build_mask(&self.padding_mask(seq)))
+                .collect();
+            hidden = layer.forward_batch(graph, &self.store, hidden, &masks, seq_len);
+        }
+        hidden
+    }
+
+    /// Class-probability vectors for a batch of raw texts, one row per text. One
+    /// padded batch goes through the model; each row is bit-identical to
+    /// [`predict_proba_text`](Self::predict_proba_text) on that text.
+    pub fn predict_proba_texts(&self, texts: &[&str]) -> Vec<Vec<f64>> {
+        if texts.is_empty() {
+            return Vec::new();
+        }
+        let encoded: Vec<Vec<usize>> = texts.iter().map(|t| self.encode(t)).collect();
+        let sequences: Vec<&[usize]> = encoded.iter().map(|v| v.as_slice()).collect();
+        let mut graph = Graph::new();
+        let hidden = self.encode_hidden_batch(&mut graph, &sequences);
+        let seq_len = self.config.max_len;
+        let pooled_rows: Vec<NodeId> = sequences
+            .iter()
+            .enumerate()
+            .map(|(b, seq)| {
+                let base = b * seq_len;
+                let is_padding = self.padding_mask(seq);
+                match self.config.pooling {
+                    Pooling::Cls => graph.row_select(hidden, base),
+                    Pooling::Mean => {
+                        let non_pad: Vec<usize> = (0..seq_len)
+                            .filter(|&i| !is_padding[i])
+                            .map(|i| base + i)
+                            .collect();
+                        let selected = graph.gather(hidden, &non_pad);
+                        graph.mean_rows(selected)
+                    }
+                    Pooling::LastToken => {
+                        let last = (0..seq_len).rev().find(|&i| !is_padding[i]).unwrap_or(0);
+                        graph.row_select(hidden, base + last)
+                    }
+                }
+            })
+            .collect();
+        let mut pooled = graph.concat_rows(&pooled_rows);
+        if let Some((w, b)) = self.bottleneck {
+            let wn = graph.param(&self.store, w);
+            let bn = graph.param(&self.store, b);
+            let h = graph.matmul(pooled, wn);
+            let h = graph.add_row_broadcast(h, bn);
+            pooled = graph.gelu(h);
+        }
+        let w = graph.param(&self.store, self.head_weight);
+        let b = graph.param(&self.store, self.head_bias);
+        let logits = graph.matmul(pooled, w);
+        let logits = graph.add_row_broadcast(logits, b);
+        (0..texts.len())
+            .map(|r| softmax(graph.value(logits).row(r)))
+            .collect()
     }
 
     /// Masked-LM logits for the given positions of a hidden-state node
@@ -407,5 +515,69 @@ mod tests {
         let mut rng = Rng64::new(1);
         let mut graph = Graph::new();
         let _ = model.encode_hidden(&mut graph, &[1, 2, 3], false, &mut rng);
+    }
+
+    #[test]
+    fn batched_prediction_is_bit_identical_to_per_text() {
+        // Every pooling strategy and attention pattern must survive batching.
+        for kind in [
+            ModelKind::Bert,   // CLS pooling, bidirectional
+            ModelKind::FlanT5, // mean pooling, bottleneck head
+            ModelKind::Gpt2,   // last-token pooling, causal
+            ModelKind::Xlnet,  // relative position bias
+        ] {
+            let model = tiny_model(kind);
+            let texts = [
+                "i feel exhausted and cannot sleep",
+                "my job drains me and money is tight and everything keeps piling up",
+                "alone",
+            ];
+            let batched = model.predict_proba_texts(&texts);
+            assert_eq!(batched.len(), texts.len());
+            for (text, row) in texts.iter().zip(&batched) {
+                let single = model.predict_proba_text(text);
+                assert_eq!(&single, row, "{kind:?} batched row diverged for {text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_prediction_of_empty_input_is_empty() {
+        let model = tiny_model(ModelKind::Bert);
+        assert!(model.predict_proba_texts(&[]).is_empty());
+    }
+
+    #[test]
+    fn sparse_and_dense_embedding_grads_are_bit_identical() {
+        // One training step with each embedding-gradient path must leave bitwise
+        // identical gradients in the store.
+        let examples = [
+            ("i feel exhausted and cannot sleep", 3usize),
+            ("my job drains me and money is tight", 1),
+        ];
+        let run = |sparse: bool| {
+            let mut model = tiny_model(ModelKind::MentalBert);
+            model.set_sparse_embedding_grad(sparse);
+            let batch: Vec<(Vec<usize>, usize)> = examples
+                .iter()
+                .map(|(t, l)| (model.encode(t), *l))
+                .collect();
+            let mut rng = Rng64::new(11);
+            model.store_mut().zero_grads();
+            let mut graph = Graph::new();
+            let loss = model.batch_loss(&mut graph, &batch, &mut rng);
+            graph.backward(loss, model.store_mut());
+            let grads: Vec<Vec<f64>> = model
+                .store()
+                .ids()
+                .into_iter()
+                .map(|id| model.store().grad(id).data().to_vec())
+                .collect();
+            (graph.scalar(loss), grads)
+        };
+        let (dense_loss, dense_grads) = run(false);
+        let (sparse_loss, sparse_grads) = run(true);
+        assert_eq!(dense_loss, sparse_loss);
+        assert_eq!(dense_grads, sparse_grads);
     }
 }

@@ -66,6 +66,7 @@ pub struct Trainer {
     finetune: FineTuneConfig,
     model: Option<TransformerClassifier>,
     summary: Option<TrainingSummary>,
+    sparse_embedding_grad: bool,
 }
 
 impl Trainer {
@@ -78,6 +79,17 @@ impl Trainer {
             finetune,
             model: None,
             summary: None,
+            sparse_embedding_grad: true,
+        }
+    }
+
+    /// Switch the embedding-gradient path for the next `fit` (sparse by default;
+    /// bit-identical either way — see
+    /// [`TransformerClassifier::set_sparse_embedding_grad`]).
+    pub fn set_sparse_embedding_grad(&mut self, enabled: bool) {
+        self.sparse_embedding_grad = enabled;
+        if let Some(model) = self.model.as_mut() {
+            model.set_sparse_embedding_grad(enabled);
         }
     }
 
@@ -128,6 +140,7 @@ impl Trainer {
             tokenizer,
             self.finetune.seed,
         );
+        model.set_sparse_embedding_grad(self.sparse_embedding_grad);
 
         // 3. Optional masked-LM pre-initialisation on the (unlabeled) training texts.
         let pretrain_summary = self
@@ -196,15 +209,17 @@ impl Trainer {
     }
 
     /// Class-probability vectors for a batch of texts, one row per text.
-    /// The batch entry point the serving layer's `Scorer` seam calls; each row
-    /// equals [`predict_proba`](Self::predict_proba) on that text exactly
-    /// (inference is row-independent). Panics if `fit` has not run.
+    /// The batch entry point the serving layer's `Scorer` seam calls; the whole
+    /// batch goes through the model as one padded stack, and each row equals
+    /// [`predict_proba`](Self::predict_proba) on that text exactly (every op
+    /// outside attention is row-wise, and batched attention mixes rows per
+    /// sequence only). Panics if `fit` has not run.
     pub fn predict_proba_batch(&self, texts: &[&str]) -> Vec<Vec<f64>> {
         let model = self
             .model
             .as_ref()
             .expect("Trainer::predict_proba_batch called before fit");
-        texts.iter().map(|t| model.predict_proba_text(t)).collect()
+        model.predict_proba_texts(texts)
     }
 }
 
@@ -305,6 +320,34 @@ mod tests {
         let proba = trainer.predict_proba("my job and money situation is hopeless");
         assert_eq!(proba.len(), 6);
         assert!((proba.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_and_dense_fine_tuning_agree_bitwise() {
+        let (texts, labels) = tiny_task();
+        let run = |sparse: bool| {
+            let (model_config, finetune) = fast_config(13, None);
+            let mut trainer = Trainer::new(ModelKind::MentalBert, model_config, finetune);
+            trainer.set_sparse_embedding_grad(sparse);
+            trainer.fit(&texts, &labels);
+            (
+                trainer.summary().unwrap().epoch_losses.clone(),
+                trainer.predict_proba(texts[0]),
+            )
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn batch_prediction_matches_per_text_prediction() {
+        let (texts, labels) = tiny_task();
+        let (model_config, finetune) = fast_config(17, None);
+        let mut trainer = Trainer::new(ModelKind::MentalBert, model_config, finetune);
+        trainer.fit(&texts, &labels);
+        let batched = trainer.predict_proba_batch(&texts);
+        for (text, row) in texts.iter().zip(&batched) {
+            assert_eq!(&trainer.predict_proba(text), row);
+        }
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Property-based tests for the transformer fast path: sparse embedding
+//! gradients must be bit-identical to the dense scatter across random corpora
+//! and seeds, batched inference must match per-text inference bitwise, and
+//! quantized i8 probabilities must stay within the documented drift bound for
+//! arbitrary inputs.
+
+use std::sync::OnceLock;
+
+use holistix_transformer::{
+    FineTuneConfig, ModelConfig, ModelKind, QuantizedTransformer, Trainer, MAX_PROBABILITY_DRIFT,
+};
+use proptest::prelude::*;
+
+/// A deliberately tiny configuration so a full two-way fit per proptest case
+/// stays in the milliseconds range.
+fn tiny_config(seed: u64, epochs: usize) -> (ModelConfig, FineTuneConfig) {
+    let mut model = ModelConfig::for_kind(ModelKind::MentalBert, 6);
+    model.hidden_dim = 8;
+    model.n_heads = 2;
+    model.ff_dim = 16;
+    model.max_len = 10;
+    model.dropout = 0.0;
+    let finetune = FineTuneConfig {
+        learning_rate: 3e-3,
+        batch_size: 4,
+        epochs,
+        subword_vocab_size: 120,
+        pretrain: None,
+        seed,
+        ..FineTuneConfig::default()
+    };
+    (model, finetune)
+}
+
+/// Random lowercase corpora: 6–10 short texts with labels in 0..6. A small
+/// alphabet keeps the subword vocabulary dense so embedding rows actually
+/// repeat within a batch — the case the sparse fold has to get right.
+fn corpus() -> impl Strategy<Value = Vec<(String, usize)>> {
+    proptest::collection::vec(("[a-f]{1,5}( [a-f]{1,5}){0,6}", 0usize..6), 6..11)
+}
+
+fn fit_both_ways(corpus: &[(String, usize)], seed: u64) -> (Trainer, Trainer, Vec<f64>, Vec<f64>) {
+    let texts: Vec<&str> = corpus.iter().map(|(t, _)| t.as_str()).collect();
+    let labels: Vec<usize> = corpus.iter().map(|(_, l)| *l).collect();
+
+    let (model_config, finetune) = tiny_config(seed, 3);
+    let mut sparse = Trainer::new(ModelKind::MentalBert, model_config, finetune);
+    sparse.set_sparse_embedding_grad(true);
+    sparse.fit(&texts, &labels);
+
+    let (model_config, finetune) = tiny_config(seed, 3);
+    let mut dense = Trainer::new(ModelKind::MentalBert, model_config, finetune);
+    dense.set_sparse_embedding_grad(false);
+    dense.fit(&texts, &labels);
+
+    let sparse_losses = sparse.summary().unwrap().epoch_losses.clone();
+    let dense_losses = dense.summary().unwrap().epoch_losses.clone();
+    (sparse, dense, sparse_losses, dense_losses)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fine-tuning with sparse one-row-per-token embedding gradients is
+    /// bit-identical to the dense scatter at every step: same per-epoch
+    /// losses, same probabilities afterwards, for any corpus and seed.
+    #[test]
+    fn sparse_and_dense_fit_are_bit_identical(
+        corpus in corpus(),
+        seed in 0u64..1_000,
+    ) {
+        let (sparse, dense, sparse_losses, dense_losses) = fit_both_ways(&corpus, seed);
+        prop_assert_eq!(sparse_losses, dense_losses);
+        for (text, _) in &corpus {
+            let a = sparse.predict_proba(text);
+            let b = dense.predict_proba(text);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// One fitted model shared across the inference-side properties below; the
+/// fit itself is exercised per-case by `sparse_and_dense_fit_are_bit_identical`.
+fn fitted() -> &'static (Trainer, QuantizedTransformer) {
+    static FITTED: OnceLock<(Trainer, QuantizedTransformer)> = OnceLock::new();
+    FITTED.get_or_init(|| {
+        let texts = [
+            "my job drains me and the money is gone",
+            "work deadlines and my boss are crushing me",
+            "i lost my job and cannot pay rent",
+            "i feel alone and my friends ignore me",
+            "nobody talks to me and i feel invisible",
+            "my relationship ended and i am so lonely",
+        ];
+        let labels = [1, 1, 1, 4, 4, 4];
+        let (model_config, finetune) = tiny_config(7, 8);
+        let mut trainer = Trainer::new(ModelKind::MentalBert, model_config, finetune);
+        trainer.fit(&texts, &labels);
+        let quantized = QuantizedTransformer::from_classifier(trainer.model().unwrap());
+        (trainer, quantized)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Quantized i8 probabilities are valid distributions and never drift
+    /// more than `MAX_PROBABILITY_DRIFT` from the f64 reference, even on
+    /// inputs far from the training corpus (including out-of-vocabulary
+    /// words the tokenizer shreds into bytes).
+    #[test]
+    fn quantized_drift_is_bounded_on_random_inputs(
+        text in "[a-z]{1,8}( [a-z]{1,8}){0,8}",
+    ) {
+        let (trainer, quantized) = fitted();
+        let reference = trainer.predict_proba(&text);
+        let fast = quantized.predict_proba_text(&text);
+        prop_assert_eq!(reference.len(), fast.len());
+        let sum: f64 = fast.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "probabilities sum to {sum}");
+        for (r, q) in reference.iter().zip(&fast) {
+            prop_assert!(q.is_finite() && *q >= 0.0);
+            prop_assert!(
+                (r - q).abs() <= MAX_PROBABILITY_DRIFT,
+                "drift {} exceeds bound {} on {:?}",
+                (r - q).abs(),
+                MAX_PROBABILITY_DRIFT,
+                text
+            );
+        }
+    }
+
+    /// Batched prediction is bit-identical to scoring each text alone — the
+    /// padded batch must not leak across rows, whatever the batch mix.
+    #[test]
+    fn batched_prediction_is_bit_identical_for_random_batches(
+        texts in proptest::collection::vec("[a-z]{1,8}( [a-z]{1,8}){0,6}", 1..7),
+    ) {
+        let (trainer, quantized) = fitted();
+        let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+        let batched = trainer.predict_proba_batch(&refs);
+        prop_assert_eq!(batched.len(), refs.len());
+        for (text, row) in refs.iter().zip(&batched) {
+            prop_assert_eq!(&trainer.predict_proba(text), row);
+        }
+        let q_batched = quantized.predict_proba_texts(&refs);
+        for (text, row) in refs.iter().zip(&q_batched) {
+            prop_assert_eq!(&quantized.predict_proba_text(text), row);
+        }
+    }
+}

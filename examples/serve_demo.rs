@@ -357,6 +357,76 @@ fn main() {
         shed_server.shutdown();
         println!("admission ok ({rejected} rate-limit 429s counted in both metrics formats)");
 
+        // Quantized-transformer round-trip: a registry mixing classical LR
+        // with an i8-quantized transformer (Tiny profile keeps the fit in CI
+        // smoke territory), one /predict routed to the quantized kind, and
+        // the per-kind queue visible — with its `scorer_kind` label — in
+        // both /metrics formats.
+        let quant_corpus = HolistixCorpus::generate_small(60, 21);
+        let quant_texts = quant_corpus.texts();
+        let quant_labels = quant_corpus.label_indices();
+        let lr = fit_scorer(
+            BaselineKind::LogisticRegression,
+            SpeedProfile::Tiny,
+            &quant_texts,
+            &quant_labels,
+            21,
+            1,
+        );
+        let f64_scorer = TransformerScorer::fit(
+            ModelKind::MentalBert,
+            SpeedProfile::Tiny,
+            &quant_texts,
+            &quant_labels,
+            21,
+        );
+        let quantized: std::sync::Arc<dyn Scorer> =
+            std::sync::Arc::new(QuantizedScorer::from_transformer(&f64_scorer));
+        let quant_kind = quantized.kind().name();
+        let quant_registry = ModelRegistry::from_scorers(vec![lr, quantized]);
+        let quant_server = match serve("127.0.0.1:0", quant_registry, ServeConfig::default()) {
+            Ok(server) => server,
+            Err(e) => fail(&format!("quantized server bind failed: {e}")),
+        };
+        let quant_addr = quant_server.addr();
+        let quant_body = format!(
+            "{{\"texts\":[\"i feel alone and cut off from everyone\"],\"model\":\"{quant_kind}\"}}"
+        );
+        let quant_predict = request_ok(quant_addr, "POST", "/predict", Some(&quant_body));
+        if !quant_predict.contains("probabilities") {
+            fail("quantized predict response carries no probabilities");
+        }
+        let quant_json = request_ok(quant_addr, "GET", "/metrics", None);
+        let document = match holistix::corpus::JsonValue::parse(&quant_json) {
+            Ok(document) => document,
+            Err(e) => fail(&format!("quantized metrics response is not JSON: {e}")),
+        };
+        let scored = document
+            .get("queues")
+            .and_then(|q| q.get(&quant_kind))
+            .and_then(|k| k.get("texts_scored"))
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| fail(&format!("metrics missing queues.{quant_kind}.texts_scored")));
+        if scored < 1.0 {
+            fail(&format!(
+                "quantized queue scored {scored} texts after one predict"
+            ));
+        }
+        let quant_prometheus = request_ok(quant_addr, "GET", "/metrics?format=prometheus", None);
+        if let Err(violation) = validate_exposition(&quant_prometheus) {
+            fail(&format!("invalid Prometheus exposition: {violation}"));
+        }
+        let quant_series = format!(
+            "holistix_queue_texts_scored_total{{kind=\"{quant_kind}\",scorer_kind=\"quantized\"}}"
+        );
+        if !quant_prometheus.contains(&quant_series) {
+            fail(&format!(
+                "Prometheus scrape is missing the quantized queue series {quant_series:?}"
+            ));
+        }
+        quant_server.shutdown();
+        println!("quantized ok ({quant_kind} served, per-kind queue in both metrics formats)");
+
         server.shutdown();
         println!("smoke ok");
         return;

@@ -152,7 +152,7 @@ fn full_queue_rejects_with_retry_after_while_other_kind_serves() {
         // Depth counts up at admission (before the drain loop can see the
         // jobs), so depth == 3 proves all three reservations are held.
         wait_until("the BERT queue to fill to its cap", || {
-            metrics.queue("BERT").depth() == 3
+            metrics.queue("BERT", "transformer").depth() == 3
         });
 
         // The 4th draws 429 with a parseable Retry-After, and nothing of it
@@ -169,7 +169,7 @@ fn full_queue_rejects_with_retry_after_while_other_kind_serves() {
         assert_eq!(status, 429, "{body}");
         assert!(body.contains("full"), "{body}");
         assert_eq!(retry_after_secs(&headers), 2);
-        assert_eq!(metrics.queue("BERT").depth(), 3);
+        assert_eq!(metrics.queue("BERT", "transformer").depth(), 3);
 
         // Cross-kind isolation: LR admits and answers bit-identically to
         // direct scoring while BERT is saturated.
@@ -262,7 +262,7 @@ fn full_queue_rejects_with_retry_after_while_other_kind_serves() {
     .expect("admission scope failed");
 
     wait_until("the BERT queue to drain", || {
-        metrics.queue("BERT").depth() == 0
+        metrics.queue("BERT", "transformer").depth() == 0
     });
     server.shutdown();
 }
