@@ -1,0 +1,464 @@
+//! The rule engine: file walking, per-file token context, waiver handling,
+//! and the diagnostic type every rule reports through.
+//!
+//! ## Waivers
+//!
+//! Any finding can be waived inline:
+//!
+//! ```text
+//! // lint:allow(guard-across-send): takers queue on the mutex by design
+//! ```
+//!
+//! The waiver must sit on the finding's line or in the contiguous comment
+//! block directly above it, must name the rule, and must carry a non-empty
+//! reason after the colon — a reasonless waiver is itself a finding
+//! (`waiver-missing-reason`), as is a waiver naming a rule that does not
+//! exist (`waiver-unknown-rule`). This keeps every suppression auditable:
+//! `grep -rn 'lint:allow'` is the complete exception ledger.
+
+use crate::lexer::{lex, Tok};
+use crate::rules;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Every rule the engine knows, in reporting order. Waivers must name one.
+pub const RULE_NAMES: &[&str] = &[
+    rules::ordering::NAME,
+    rules::no_panic::NAME,
+    rules::safety::NAME,
+    rules::guard::NAME,
+    rules::vendor_drift::NAME,
+];
+
+/// Meta-rule: a waiver that names a rule but gives no reason.
+pub const WAIVER_MISSING_REASON: &str = "waiver-missing-reason";
+/// Meta-rule: a waiver naming a rule the engine does not have.
+pub const WAIVER_UNKNOWN_RULE: &str = "waiver-unknown-rule";
+
+/// One diagnostic: `file:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Path relative to the analysis root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The rule that fired (one of [`RULE_NAMES`] or a waiver meta-rule).
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Analyzer configuration. [`Config::new`] gives the workspace defaults;
+/// tests construct variants to pin allowlist behavior.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Directory whose `.rs` files are analyzed (recursively).
+    pub root: PathBuf,
+    /// Path suffixes of *pure-counter* files: `Ordering::Relaxed` stores and
+    /// RMWs there are monotone statistics by construction, so the
+    /// atomic-ordering-audit rule skips them wholesale. Empty by default —
+    /// the workspace currently justifies every non-counter `Relaxed` site
+    /// individually, which is the stronger posture; add a suffix here only
+    /// when per-site `// ordering:` comments in a counters-only file become
+    /// pure noise.
+    pub counter_allowlist: Vec<String>,
+    /// Path substrings to skip while walking (fixtures, build output, VCS).
+    pub skip_substrings: Vec<String>,
+}
+
+impl Config {
+    /// Workspace defaults rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Config {
+            root: root.into(),
+            counter_allowlist: Vec::new(),
+            skip_substrings: vec![
+                "/target/".to_string(),
+                "/.git/".to_string(),
+                // The analyzer's own golden fixtures trigger on purpose.
+                "crates/lint/tests/fixtures".to_string(),
+            ],
+        }
+    }
+}
+
+/// Everything a per-file rule gets to look at: the token stream plus the
+/// line-oriented derived views every rule needs (comments for justification
+/// markers, test regions to skip, code-token indices).
+pub struct FileCtx<'a> {
+    /// `/`-separated path relative to the analysis root.
+    pub rel_path: &'a str,
+    /// The full token stream, comments included.
+    pub toks: &'a [Tok],
+    /// Indices into `toks` of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Comment text per line (all comments on the line, concatenated).
+    pub comments: HashMap<u32, String>,
+    /// Lines that hold comments and nothing else — the lines a justification
+    /// block directly above a statement is made of.
+    pub pure_comment_lines: HashSet<u32>,
+    /// Lines inside `#[cfg(test)]` items (the braces' span, inclusive).
+    pub test_lines: HashSet<u32>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn build(rel_path: &'a str, toks: &'a [Tok]) -> Self {
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        let mut comments: HashMap<u32, String> = HashMap::new();
+        let mut code_lines: HashSet<u32> = HashSet::new();
+        let mut comment_lines: HashSet<u32> = HashSet::new();
+        for tok in toks {
+            if tok.is_comment() {
+                comments.entry(tok.line).or_default().push_str(&tok.text);
+                comment_lines.insert(tok.line);
+            } else {
+                code_lines.insert(tok.line);
+            }
+        }
+        let pure_comment_lines = comment_lines
+            .difference(&code_lines)
+            .copied()
+            .collect::<HashSet<u32>>();
+        let test_lines = find_test_lines(toks, &code);
+        FileCtx {
+            rel_path,
+            toks,
+            code,
+            comments,
+            pure_comment_lines,
+            test_lines,
+        }
+    }
+
+    /// The code token at code-index `i` (not a raw token index).
+    pub fn code_tok(&self, i: usize) -> Option<&Tok> {
+        self.code.get(i).map(|&raw| &self.toks[raw])
+    }
+
+    /// Whether a justification marker (`needle`) appears in a comment on
+    /// `line` or in the contiguous pure-comment block directly above it.
+    pub fn has_marker_above(&self, line: u32, needle: &str) -> bool {
+        self.comment_on_or_above(line, |text| text.contains(needle))
+    }
+
+    /// Run `pred` over the comment text on `line` and each line of the
+    /// contiguous pure-comment block directly above; true if any matches.
+    pub fn comment_on_or_above(&self, line: u32, pred: impl Fn(&str) -> bool) -> bool {
+        if self.comments.get(&line).is_some_and(|t| pred(t)) {
+            return true;
+        }
+        let mut cursor = line.saturating_sub(1);
+        while cursor > 0 && self.pure_comment_lines.contains(&cursor) {
+            if self.comments.get(&cursor).is_some_and(|t| pred(t)) {
+                return true;
+            }
+            cursor -= 1;
+        }
+        false
+    }
+
+    /// True when `line` is inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_lines.contains(&line)
+    }
+}
+
+/// Find the line spans of `#[cfg(test)]` items: from each attribute, skip any
+/// further attributes, then mark everything from the item's opening `{` to
+/// its matching `}`. Lexical, like everything here — `cfg(all(test, …))` and
+/// out-of-line `mod foo;` test files are out of scope (the workspace uses
+/// neither).
+fn find_test_lines(toks: &[Tok], code: &[usize]) -> HashSet<u32> {
+    let tok_at = |ci: usize| -> Option<&Tok> { code.get(ci).map(|&raw| &toks[raw]) };
+    let mut lines = HashSet::new();
+    let mut ci = 0;
+    while ci < code.len() {
+        let is_cfg_test = tok_at(ci).is_some_and(|t| t.is_punct('#'))
+            && tok_at(ci + 1).is_some_and(|t| t.is_punct('['))
+            && tok_at(ci + 2).is_some_and(|t| t.is_ident("cfg"))
+            && tok_at(ci + 3).is_some_and(|t| t.is_punct('('))
+            && tok_at(ci + 4).is_some_and(|t| t.is_ident("test"))
+            && tok_at(ci + 5).is_some_and(|t| t.is_punct(')'))
+            && tok_at(ci + 6).is_some_and(|t| t.is_punct(']'));
+        if !is_cfg_test {
+            ci += 1;
+            continue;
+        }
+        ci += 7;
+        // Find the item's body: the first `{` before a top-level `;`.
+        let mut depth_paren = 0i32;
+        let mut body_open = None;
+        let mut scan = ci;
+        while let Some(tok) = tok_at(scan) {
+            match tok.text.chars().next() {
+                Some('(') | Some('[') => depth_paren += 1,
+                Some(')') | Some(']') => depth_paren -= 1,
+                Some('{') if depth_paren == 0 => {
+                    body_open = Some(scan);
+                    break;
+                }
+                Some(';') if depth_paren == 0 => break, // bodiless item
+                _ => {}
+            }
+            scan += 1;
+        }
+        let Some(open) = body_open else {
+            continue;
+        };
+        let start_line = tok_at(open).map(|t| t.line).unwrap_or(0);
+        let mut depth = 0i32;
+        let mut end_line = start_line;
+        let mut close = open;
+        while let Some(tok) = tok_at(close) {
+            if tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end_line = tok.line;
+                    break;
+                }
+            }
+            close += 1;
+        }
+        for line in start_line..=end_line {
+            lines.insert(line);
+        }
+        ci = close + 1;
+    }
+    lines
+}
+
+/// A parsed `lint:allow(safety-comment): reason`-style marker (one or more
+/// comma-separated rule names, then a mandatory reason).
+#[derive(Debug)]
+struct Waiver {
+    line: u32,
+    rules: Vec<String>,
+    reason: String,
+}
+
+/// Extract every waiver from a comment's text (there can be several).
+fn parse_waivers(line: u32, text: &str) -> Vec<Waiver> {
+    const MARKER: &str = "lint:allow(";
+    let mut waivers = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find(MARKER) {
+        let after = &rest[at + MARKER.len()..];
+        let Some(close) = after.find(')') else {
+            rest = after;
+            continue;
+        };
+        let rules = after[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let tail = &after[close + 1..];
+        let reason = match tail.trim_start().strip_prefix(':') {
+            // The reason ends at the next waiver marker if two share a line.
+            Some(r) => match r.find(MARKER) {
+                Some(next) => r[..next].trim().to_string(),
+                None => r.trim().to_string(),
+            },
+            None => String::new(),
+        };
+        waivers.push(Waiver {
+            line,
+            rules,
+            reason,
+        });
+        rest = tail;
+    }
+    waivers
+}
+
+/// Apply waivers to raw findings and report malformed waivers. Returns the
+/// final finding list, sorted and deduplicated.
+fn apply_waivers(ctx: &FileCtx<'_>, raw: Vec<Finding>) -> Vec<Finding> {
+    let mut all_waivers: Vec<Waiver> = Vec::new();
+    let mut lines: Vec<&u32> = ctx.comments.keys().collect();
+    lines.sort();
+    for &line in lines {
+        if let Some(text) = ctx.comments.get(&line) {
+            all_waivers.extend(parse_waivers(line, text));
+        }
+    }
+
+    let mut out: BTreeSet<Finding> = BTreeSet::new();
+    for waiver in &all_waivers {
+        for rule in &waiver.rules {
+            if !RULE_NAMES.contains(&rule.as_str()) {
+                out.insert(Finding {
+                    path: ctx.rel_path.to_string(),
+                    line: waiver.line,
+                    rule: WAIVER_UNKNOWN_RULE,
+                    message: format!(
+                        "waiver names unknown rule `{rule}` (known: {})",
+                        RULE_NAMES.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+
+    'findings: for finding in raw {
+        // A waiver covers the finding when it names the rule and sits on the
+        // finding's line or in the contiguous comment block directly above.
+        let mut covering: Option<&Waiver> = None;
+        for waiver in &all_waivers {
+            if !waiver.rules.iter().any(|r| r == finding.rule) {
+                continue;
+            }
+            let applies = waiver.line == finding.line || {
+                let mut cursor = finding.line.saturating_sub(1);
+                let mut hit = false;
+                while cursor > 0 && ctx.pure_comment_lines.contains(&cursor) {
+                    if waiver.line == cursor {
+                        hit = true;
+                        break;
+                    }
+                    cursor -= 1;
+                }
+                hit
+            };
+            if applies {
+                covering = Some(waiver);
+                break;
+            }
+        }
+        if let Some(waiver) = covering {
+            if waiver.reason.is_empty() {
+                out.insert(Finding {
+                    path: finding.path,
+                    line: waiver.line,
+                    rule: WAIVER_MISSING_REASON,
+                    message: format!(
+                        "waiver for `{}` has no reason — write `lint:allow({}): <why>`",
+                        finding.rule, finding.rule
+                    ),
+                });
+            }
+            continue 'findings; // waived (or converted to the meta-finding)
+        }
+        out.insert(finding);
+    }
+    out.into_iter().collect()
+}
+
+/// Recursively collect the `.rs` files under `root`, honoring the skip list,
+/// in a deterministic order.
+fn collect_rs_files(config: &Config) -> io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, config: &Config, out: &mut Vec<PathBuf>) -> io::Result<()> {
+        let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let text = path.to_string_lossy().replace('\\', "/");
+            if config.skip_substrings.iter().any(|s| text.contains(s)) {
+                continue;
+            }
+            if path.is_dir() {
+                let name = path.file_name().unwrap_or_default().to_string_lossy();
+                if name == "target" || name == ".git" {
+                    continue;
+                }
+                walk(&path, config, out)?;
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(&config.root, config, &mut out)?;
+    Ok(out)
+}
+
+/// The path relative to the analysis root, `/`-separated.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Run every rule over every workspace `.rs` file plus the vendor manifests.
+/// Returns the final, waiver-filtered findings, sorted by path/line/rule.
+pub fn check(config: &Config) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for path in collect_rs_files(config)? {
+        let source = fs::read_to_string(&path)?;
+        let rel = rel_path(&config.root, &path);
+        let toks = lex(&source);
+        let ctx = FileCtx::build(&rel, &toks);
+        let mut raw = Vec::new();
+        rules::ordering::check_file(&ctx, config, &mut raw);
+        rules::no_panic::check_file(&ctx, &mut raw);
+        rules::safety::check_file(&ctx, &mut raw);
+        rules::guard::check_file(&ctx, &mut raw);
+        rules::vendor_drift::check_file(&ctx, config, &mut raw);
+        findings.extend(apply_waivers(&ctx, raw));
+    }
+    findings.sort();
+    findings.dedup();
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_parsing_extracts_rules_and_reason() {
+        let ws = parse_waivers(
+            3,
+            " lint:allow(safety-comment, guard-across-send): ffi shim ",
+        );
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].rules, vec!["safety-comment", "guard-across-send"]);
+        assert_eq!(ws[0].reason, "ffi shim");
+    }
+
+    #[test]
+    fn waiver_without_colon_has_empty_reason() {
+        let ws = parse_waivers(1, "lint:allow(safety-comment)");
+        assert_eq!(ws.len(), 1);
+        assert!(ws[0].reason.is_empty());
+    }
+
+    #[test]
+    fn test_region_detection_spans_the_braces() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
+        let toks = lex(src);
+        let ctx = FileCtx::build("x.rs", &toks);
+        assert!(!ctx.in_test(1));
+        assert!(ctx.in_test(3));
+        assert!(ctx.in_test(4));
+        assert!(ctx.in_test(5));
+        assert!(!ctx.in_test(6));
+    }
+
+    #[test]
+    fn pure_comment_lines_exclude_trailing_comments() {
+        let src = "// above\nlet x = 1; // trailing\n";
+        let toks = lex(src);
+        let ctx = FileCtx::build("x.rs", &toks);
+        assert!(ctx.pure_comment_lines.contains(&1));
+        assert!(!ctx.pure_comment_lines.contains(&2));
+        assert!(ctx.has_marker_above(2, "above"));
+    }
+}

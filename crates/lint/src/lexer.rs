@@ -1,0 +1,462 @@
+//! A hand-rolled Rust lexer: just enough token structure for invariant rules.
+//!
+//! The analyzer's rules are lexical ("an `unsafe` token without a `SAFETY:`
+//! comment above it"), so full parsing is unnecessary — but *naive* text
+//! search is wrong: `"unsafe"` inside a string literal, `Ordering::Relaxed`
+//! inside a doc comment, or a `// lint:allow` marker inside a raw string must
+//! not count. This lexer draws exactly that boundary. It understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments,
+//! * string literals with escapes, byte strings, C strings,
+//! * raw strings (`r"…"`, `r#"…"#`, any hash depth, `br…` too),
+//! * char and byte-char literals vs. lifetimes (`'a'` vs `'a`),
+//! * raw identifiers (`r#fn`),
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! Multi-character operators are deliberately left as single punctuation
+//! tokens (`::` is `:` `:`); rules match short token sequences, which keeps
+//! the lexer total — it can never fail, only mis-bucket pathological input,
+//! and the golden fixtures pin the cases the rules rely on.
+
+/// Token classes. Comments are real tokens here (rules read them); everything
+/// rules should *ignore* (string contents, char literals) is bucketed so it
+/// can never be mistaken for code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Ordering`, …).
+    Ident,
+    /// Numeric literal (loosely lexed; rules never inspect the digits).
+    Number,
+    /// String literal of any flavor (escaped, raw, byte, C).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// `//`-style comment, text includes everything after the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested, possibly multi-line).
+    BlockComment,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True for a punctuation token equal to `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+
+    /// True for an identifier token equal to `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// The cursor state shared by the helper lexing routines.
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one char, tracking line numbers.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn take_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+
+    fn line_comment(&mut self) -> Tok {
+        let line = self.line;
+        let mut text = String::new();
+        self.take_while(&mut text, |c| c != '\n');
+        Tok {
+            kind: TokKind::LineComment,
+            text,
+            line,
+        }
+    }
+
+    fn block_comment(&mut self) -> Tok {
+        let line = self.line;
+        let mut text = String::new();
+        // Past the opening `/*` (already consumed by the caller); nested
+        // comments are counted the way rustc counts them.
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    text.push_str("/*");
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: EOF closes it
+            }
+        }
+        Tok {
+            kind: TokKind::BlockComment,
+            text,
+            line,
+        }
+    }
+
+    /// An escaped (non-raw) string body; the opening quote is consumed.
+    fn escaped_string(&mut self) -> Tok {
+        let line = self.line;
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    self.bump(); // whatever is escaped, skip it
+                }
+                Some('"') | None => break,
+                Some(_) => {}
+            }
+        }
+        Tok {
+            kind: TokKind::Str,
+            text: String::new(),
+            line,
+        }
+    }
+
+    /// A raw string: `hashes` `#` characters then `"` were consumed; the body
+    /// runs until `"` followed by the same number of `#`s.
+    fn raw_string(&mut self, hashes: usize) -> Tok {
+        let line = self.line;
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    if (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                None => break,
+                Some(_) => {}
+            }
+        }
+        Tok {
+            kind: TokKind::Str,
+            text: String::new(),
+            line,
+        }
+    }
+
+    /// Try to consume a raw-string opener (`#*"`), returning the hash count.
+    /// The cursor sits right after the `r`/`br` prefix.
+    fn raw_opener(&mut self) -> Option<usize> {
+        let mut hashes = 0;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) == Some('"') {
+            for _ in 0..=hashes {
+                self.bump();
+            }
+            Some(hashes)
+        } else {
+            None
+        }
+    }
+
+    /// `'` was consumed: decide lifetime vs. char literal.
+    fn lifetime_or_char(&mut self) -> Tok {
+        let line = self.line;
+        match (self.peek(0), self.peek(1)) {
+            // `'a'`, `'_'` as a char — ident-start char immediately closed.
+            (Some(c), Some('\'')) if is_ident_start(c) => {
+                self.bump();
+                self.bump();
+                Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                }
+            }
+            // `'a`, `'static`, `'_` — a lifetime: ident run, no closing quote.
+            (Some(c), _) if is_ident_start(c) => {
+                let mut text = String::from("'");
+                self.take_while(&mut text, is_ident_continue);
+                Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                }
+            }
+            // Escaped or punctuation char literal: `'\n'`, `'\u{1F600}'`, `'*'`.
+            _ => {
+                loop {
+                    match self.bump() {
+                        Some('\\') => {
+                            if self.bump() == Some('u') && self.peek(0) == Some('{') {
+                                while let Some(c) = self.bump() {
+                                    if c == '}' {
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Some('\'') | None => break,
+                        Some(_) => {}
+                    }
+                }
+                Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                }
+            }
+        }
+    }
+
+    /// An identifier starting at the cursor, minding the `r#"…"`/`b"…"`/`b'…'`
+    /// literal prefixes that look like identifiers.
+    fn ident_or_prefixed_literal(&mut self) -> Tok {
+        let line = self.line;
+        let first = self.peek(0).unwrap_or('_');
+        // Literal prefixes: r"…", r#"…"#, b"…", b'…', br"…", br#"…"#, c"…".
+        if first == 'r' {
+            if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier `r#fn`: strip the prefix, keep the name.
+                self.bump();
+                self.bump();
+                let mut text = String::new();
+                self.take_while(&mut text, is_ident_continue);
+                return Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                };
+            }
+            self.bump();
+            if let Some(hashes) = self.raw_opener() {
+                return self.raw_string(hashes);
+            }
+        } else if first == 'b' || first == 'c' {
+            match self.peek(1) {
+                Some('"') => {
+                    self.bump();
+                    self.bump();
+                    return self.escaped_string();
+                }
+                Some('\'') if first == 'b' => {
+                    self.bump();
+                    self.bump();
+                    return self.lifetime_or_char();
+                }
+                Some('r') if first == 'b' => {
+                    // Possible `br"…"` / `br#"…"#`.
+                    let mut hashes = 0;
+                    while self.peek(2 + hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(2 + hashes) == Some('"') {
+                        self.bump();
+                        self.bump();
+                        let opened = self.raw_opener();
+                        debug_assert_eq!(opened, Some(hashes));
+                        return self.raw_string(hashes);
+                    }
+                    self.bump();
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        } else {
+            self.bump();
+        }
+        let mut text = String::from(first);
+        // `first` was consumed above on every path reaching here.
+        self.take_while(&mut text, is_ident_continue);
+        Tok {
+            kind: TokKind::Ident,
+            text,
+            line,
+        }
+    }
+}
+
+/// Lex `source` into a token stream. Total: never fails, consumes every byte.
+pub fn lex(source: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        if c == '\n' || c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('/') {
+            lx.bump();
+            lx.bump();
+            toks.push(lx.line_comment());
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            toks.push(lx.block_comment());
+            continue;
+        }
+        if c == '"' {
+            let line = lx.line;
+            lx.bump();
+            let mut tok = lx.escaped_string();
+            tok.line = line;
+            toks.push(tok);
+            continue;
+        }
+        if c == '\'' {
+            lx.bump();
+            toks.push(lx.lifetime_or_char());
+            continue;
+        }
+        if is_ident_start(c) {
+            toks.push(lx.ident_or_prefixed_literal());
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let line = lx.line;
+            let mut text = String::new();
+            lx.take_while(&mut text, is_ident_continue);
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text,
+                line,
+            });
+            continue;
+        }
+        let line = lx.line;
+        lx.bump();
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn code_in_strings_and_comments_is_not_code() {
+        let toks = kinds(r##"let s = "unsafe { Ordering::Relaxed }"; // unsafe here too"##);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s"]);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::LineComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_opaque() {
+        let toks = kinds(r####"let s = r#"quote " unsafe "#; let t = br##"x"##;"####);
+        let strs = toks.iter().filter(|(k, _)| *k == TokKind::Str).count();
+        assert_eq!(strs, 2);
+        assert!(!toks.iter().any(|(_, t)| t == "unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn live() {}");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "live"));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let toks = lex("fn a() {}\n/* two\nlines */\nfn b() {}");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "fn"));
+    }
+}

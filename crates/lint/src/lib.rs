@@ -1,0 +1,44 @@
+//! # holistix-lint
+//!
+//! A hand-rolled concurrency/invariant static analyzer for the holistix
+//! workspace — the project-specific checks clippy cannot express, built the
+//! same way the repo builds everything else: offline, `std`-only, no syn.
+//!
+//! The serve stack hand-rolls its event loop, its HTTP, and its lock-free
+//! metrics. That buys control and costs guardrails: a panic on a poller
+//! thread orphans that poller's connections; a `Relaxed` store on a handoff
+//! flag is a data race the type system never sees; an `unsafe` block without
+//! its invariant written down rots; a vendor shim that quietly grows a `pub`
+//! helper breaks the offline→crates.io swap months later. Property tests
+//! catch value bugs, clippy catches general Rust smells — neither checks
+//! *these* invariants. In the spirit of the exhaustive-checking literature
+//! the paper sits in (IC3-style "prove the invariant on every step"), this
+//! crate proves them on every commit instead: cheap lexical proofs, CI-gated.
+//!
+//! ## Rules
+//!
+//! | Rule | Invariant |
+//! |------|-----------|
+//! | `atomic-ordering-audit` | relaxed atomic stores/CAS carry an `// ordering:` justification |
+//! | `no-panic-in-event-loop` | files tagged `//! lint: no_panic` contain no panicking constructs |
+//! | `safety-comment` | every `unsafe` is preceded by `// SAFETY:` stating its invariant |
+//! | `guard-across-send` | no lock guard lexically live at a blocking channel/thread call |
+//! | `vendor-drift` | every shim `pub` item appears in its `vendor/<shim>/MANIFEST` |
+//!
+//! Findings print as `file:line: rule: message`. Any finding can be waived in
+//! place with `// lint:allow(safety-comment): reason` — the reason is mandatory, so the
+//! exception ledger stays greppable and auditable.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p holistix-lint --release -- check              # exit 1 on findings
+//! cargo run -p holistix-lint --release -- inventory          # regenerate all MANIFESTs
+//! cargo run -p holistix-lint --release -- inventory vendor/rand
+//! ```
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{check, Config, Finding, RULE_NAMES};

@@ -1,0 +1,157 @@
+//! CLI for the holistix invariant analyzer.
+//!
+//! `check` walks every workspace `.rs` file and exits 1 on findings — the CI
+//! gate. `inventory` regenerates `vendor/<shim>/MANIFEST` files from the
+//! shims' actual public surface, which is how an *intentional* shim API
+//! change is recorded (the diff then goes through review like any other).
+
+use holistix_lint::rules::vendor_drift;
+use holistix_lint::{check, Config};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "holistix-lint — workspace invariant analyzer\n\
+         \n\
+         USAGE:\n\
+         \x20 holistix-lint check [--root DIR] [--report FILE]\n\
+         \x20     run every rule over the workspace; exit 1 on findings\n\
+         \x20 holistix-lint inventory [vendor/<shim> …] [--root DIR]\n\
+         \x20     (re)write MANIFEST files for the named shims (default: all)"
+    );
+    ExitCode::from(2)
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn parse_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    if at + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(at + 1);
+    args.remove(at);
+    Some(value)
+}
+
+fn run_check(mut args: Vec<String>) -> ExitCode {
+    let root = match parse_flag(&mut args, "--root") {
+        Some(dir) => PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            find_workspace_root(&cwd).unwrap_or(cwd)
+        }
+    };
+    let report = parse_flag(&mut args, "--report");
+    if !args.is_empty() {
+        return usage();
+    }
+    let config = Config::new(&root);
+    let findings = match check(&config) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("holistix-lint: failed to analyze {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut lines: Vec<String> = findings.iter().map(|f| f.to_string()).collect();
+    for line in &lines {
+        println!("{line}");
+    }
+    let verdict = if findings.is_empty() {
+        format!(
+            "holistix-lint: clean ({} rules)",
+            holistix_lint::RULE_NAMES.len()
+        )
+    } else {
+        format!("holistix-lint: {} finding(s)", findings.len())
+    };
+    println!("{verdict}");
+    if let Some(path) = report {
+        lines.push(verdict);
+        if let Err(e) = fs::write(&path, lines.join("\n") + "\n") {
+            eprintln!("holistix-lint: failed to write report {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_inventory(mut args: Vec<String>) -> ExitCode {
+    let root = match parse_flag(&mut args, "--root") {
+        Some(dir) => PathBuf::from(dir),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            find_workspace_root(&cwd).unwrap_or(cwd)
+        }
+    };
+    let shims: Vec<PathBuf> = if args.is_empty() {
+        // Every vendor/<dir> with a src/ underneath.
+        let vendor = root.join("vendor");
+        let Ok(entries) = fs::read_dir(&vendor) else {
+            eprintln!("holistix-lint: no vendor/ under {}", root.display());
+            return ExitCode::from(2);
+        };
+        let mut shims: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.join("src").is_dir())
+            .collect();
+        shims.sort();
+        shims
+    } else {
+        args.iter().map(|a| root.join(a)).collect()
+    };
+    for shim in shims {
+        let name = shim
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let items = match vendor_drift::inventory_shim(&shim) {
+            Ok(items) => items,
+            Err(e) => {
+                eprintln!("holistix-lint: cannot inventory {}: {e}", shim.display());
+                return ExitCode::from(2);
+            }
+        };
+        let manifest = shim.join("MANIFEST");
+        if let Err(e) = fs::write(&manifest, vendor_drift::manifest_content(&name, &items)) {
+            eprintln!("holistix-lint: cannot write {}: {e}", manifest.display());
+            return ExitCode::from(2);
+        }
+        println!("{}: {} pub item(s)", manifest.display(), items.len());
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let command = args.remove(0);
+    match command.as_str() {
+        "check" => run_check(args),
+        "inventory" => run_inventory(args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,194 @@
+//! `guard-across-send`: a `Mutex`/`RwLock` guard that is still live at a
+//! channel or thread blocking call in the same lexical block is flagged.
+//!
+//! The deadlock shape this catches: thread A holds a lock and blocks on
+//! `recv()`; the sender that would unblock it needs the same lock. Nothing in
+//! the type system prevents it, and it only fires under contention — the
+//! worst kind of bug to find at 3am. The rule is a *lexical heuristic*
+//! (waivable): it tracks guard bindings (`let g = m.lock()…;`, and guards
+//! acquired as temporaries within a statement), drops them at `drop(g)`, at
+//! end of statement for temporaries, and at the end of the enclosing block
+//! for bindings — and flags any `send`/`recv`/`recv_timeout`, zero-argument
+//! `join()`, or `::sleep` call while one is live.
+//!
+//! Guard acquisition is recognized as `.lock(`, or zero-argument `.read()` /
+//! `.write()` (RwLock's signatures; `io::Read`/`io::Write` calls always pass
+//! a buffer, which is what disambiguates them). `Condvar::wait` is
+//! deliberately *not* a blocking call here: it releases the guard — holding a
+//! lock at `wait` is the pattern working as intended.
+
+use crate::engine::{FileCtx, Finding};
+
+pub const NAME: &str = "guard-across-send";
+
+/// Paths that never hold locks across blocking calls by design are expected
+/// to be rare; tests and benches intentionally block while holding state all
+/// the time, so the rule scopes itself to non-test code.
+fn path_is_test_code(rel_path: &str) -> bool {
+    rel_path.starts_with("tests/") || rel_path.contains("/tests/") || rel_path.contains("/benches/")
+}
+
+#[derive(Debug)]
+struct Guard {
+    name: String,
+    /// Brace depth the guard lives at; popped when depth drops below.
+    depth: u32,
+    /// Temporary (unnamed) guards die at the statement's `;`.
+    temp: bool,
+}
+
+#[derive(Debug)]
+struct LetState {
+    name: String,
+    depth: u32,
+    acquired: bool,
+}
+
+/// Blocking channel/thread operations: method name → needs-empty-parens.
+fn blocking_method(name: &str) -> Option<bool> {
+    match name {
+        "send" | "recv" | "recv_timeout" => Some(false),
+        // `join` must be zero-arg: `slice.join(", ")` is string joining.
+        "join" => Some(true),
+        _ => None,
+    }
+}
+
+pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    if path_is_test_code(ctx.rel_path) {
+        return;
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut current_let: Option<LetState> = None;
+    let mut depth: u32 = 0;
+    let mut paren_depth: i32 = 0;
+
+    for ci in 0..ctx.code.len() {
+        let Some(tok) = ctx.code_tok(ci) else {
+            continue;
+        };
+        if ctx.in_test(tok.line) {
+            continue;
+        }
+        let prev_dot = ci > 0 && ctx.code_tok(ci - 1).is_some_and(|t| t.is_punct('.'));
+        let prev_colons = ci > 1
+            && ctx.code_tok(ci - 1).is_some_and(|t| t.is_punct(':'))
+            && ctx.code_tok(ci - 2).is_some_and(|t| t.is_punct(':'));
+        let next_open = ctx.code_tok(ci + 1).is_some_and(|t| t.is_punct('('));
+        let next_empty_call = next_open && ctx.code_tok(ci + 2).is_some_and(|t| t.is_punct(')'));
+
+        match tok.text.as_str() {
+            "{" if tok.is_punct('{') => {
+                depth += 1;
+                // `if let Ok(g) = m.lock() { … }`-style bindings: the guard
+                // scopes (conservatively) to the block being opened.
+                if let Some(ls) = current_let.take() {
+                    if ls.acquired {
+                        // Re-home the guard pushed at acquisition time to the
+                        // new block's depth.
+                        if let Some(g) = guards.iter_mut().rev().find(|g| g.name == ls.name) {
+                            g.depth = depth;
+                            g.temp = false;
+                        }
+                    } else {
+                        current_let = Some(ls);
+                    }
+                }
+            }
+            "}" if tok.is_punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                if current_let.as_ref().is_some_and(|ls| ls.depth > depth) {
+                    current_let = None;
+                }
+            }
+            "(" if tok.is_punct('(') => paren_depth += 1,
+            ")" if tok.is_punct(')') => paren_depth -= 1,
+            ";" if tok.is_punct(';') && paren_depth <= 0 => {
+                // Statement boundary: temporaries die; a `let` binding that
+                // acquired a guard graduates to block scope (it was pushed at
+                // acquisition, so just strip its temp flag).
+                if let Some(ls) = current_let.take() {
+                    if ls.acquired {
+                        if let Some(g) = guards.iter_mut().rev().find(|g| g.name == ls.name) {
+                            g.temp = false;
+                        }
+                    }
+                }
+                guards.retain(|g| !(g.temp && g.depth == depth));
+            }
+            "let" if tok.is_ident("let") => {
+                // Binding name: first identifier after `let`, skipping `mut`
+                // and `ref`; tuple/struct patterns get a placeholder name.
+                let mut j = ci + 1;
+                while ctx
+                    .code_tok(j)
+                    .is_some_and(|t| t.is_ident("mut") || t.is_ident("ref"))
+                {
+                    j += 1;
+                }
+                let name = match ctx.code_tok(j) {
+                    Some(t) if t.kind == crate::lexer::TokKind::Ident => t.text.clone(),
+                    _ => "<pattern>".to_string(),
+                };
+                current_let = Some(LetState {
+                    name,
+                    depth,
+                    acquired: false,
+                });
+            }
+            "drop" if tok.is_ident("drop") && next_open => {
+                if let (Some(arg), Some(close)) = (ctx.code_tok(ci + 2), ctx.code_tok(ci + 3)) {
+                    if close.is_punct(')') {
+                        let released = arg.text.clone();
+                        guards.retain(|g| g.name != released);
+                    }
+                }
+            }
+            "lock" | "read" | "write" if tok.kind == crate::lexer::TokKind::Ident && prev_dot => {
+                let acquires = match tok.text.as_str() {
+                    "lock" => next_open,
+                    // RwLock::read()/write() take no arguments; io traits do.
+                    _ => next_empty_call,
+                };
+                if acquires {
+                    let (name, temp) = match current_let.as_mut() {
+                        Some(ls) => {
+                            ls.acquired = true;
+                            (ls.name.clone(), true) // graduates at `;` or `{`
+                        }
+                        None => ("<temporary>".to_string(), true),
+                    };
+                    guards.push(Guard { name, depth, temp });
+                }
+            }
+            _ => {
+                let is_blocking = match blocking_method(&tok.text) {
+                    Some(needs_empty) if prev_dot => {
+                        if needs_empty {
+                            next_empty_call
+                        } else {
+                            next_open
+                        }
+                    }
+                    _ => tok.is_ident("sleep") && prev_colons && next_open,
+                };
+                if is_blocking {
+                    if let Some(guard) = guards.last() {
+                        out.push(Finding {
+                            path: ctx.rel_path.to_string(),
+                            line: tok.line,
+                            rule: NAME,
+                            message: format!(
+                                "blocking `{}` while lock guard `{}` may still be held — a \
+                                 sender needing that lock deadlocks; move the blocking call \
+                                 out of the guard's scope or `drop()` the guard first",
+                                tok.text, guard.name
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}

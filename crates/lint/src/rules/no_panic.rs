@@ -1,0 +1,69 @@
+//! `no-panic-in-event-loop`: panicking constructs are forbidden in files
+//! that declare themselves panic-free.
+//!
+//! A panic on a poller thread does not crash the process — it kills the
+//! thread, silently orphaning every connection that poller owned while the
+//! rest of the server keeps accepting. That failure mode is worse than a
+//! crash: it looks like packet loss. Files carrying a `//! lint: no_panic`
+//! header (the event-loop core: `poller.rs`, `conn.rs`) therefore reject
+//! `unwrap()`, `expect()`, `panic!`, `unreachable!`, `todo!` and
+//! `unimplemented!` outside `#[cfg(test)]` items; hot-path invariants must be
+//! handled as errors (drop the connection, not the thread).
+//!
+//! Lexical honesty: slice indexing and arithmetic overflow can also panic and
+//! are *not* caught here — this rule removes the explicit panic surface, the
+//! property tests cover the computed one.
+
+use crate::engine::{FileCtx, Finding};
+
+pub const NAME: &str = "no-panic-in-event-loop";
+
+/// The opt-in header, expected in the file's doc comment block.
+const HEADER: &str = "lint: no_panic";
+/// How far down the header may appear (doc blocks run long in this repo).
+const HEADER_WINDOW: u32 = 40;
+
+const PANIC_METHODS: &[&str] = &["unwrap", "unwrap_err", "expect", "expect_err"];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    let tagged = ctx
+        .toks
+        .iter()
+        .take_while(|t| t.line <= HEADER_WINDOW)
+        .any(|t| t.is_comment() && t.text.contains(HEADER));
+    if !tagged {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        let Some(tok) = ctx.code_tok(ci) else {
+            continue;
+        };
+        if ctx.in_test(tok.line) {
+            continue;
+        }
+        let method_call = PANIC_METHODS.contains(&tok.text.as_str())
+            && ci > 0
+            && ctx.code_tok(ci - 1).is_some_and(|t| t.is_punct('.'))
+            && ctx.code_tok(ci + 1).is_some_and(|t| t.is_punct('('));
+        let macro_call = PANIC_MACROS.contains(&tok.text.as_str())
+            && ctx.code_tok(ci + 1).is_some_and(|t| t.is_punct('!'));
+        if !(method_call || macro_call) {
+            continue;
+        }
+        let display = if macro_call {
+            format!("{}!", tok.text)
+        } else {
+            format!(".{}()", tok.text)
+        };
+        out.push(Finding {
+            path: ctx.rel_path.to_string(),
+            line: tok.line,
+            rule: NAME,
+            message: format!(
+                "`{display}` in a `lint: no_panic` file — a panic here kills an event-loop \
+                 thread and orphans its connections; handle the failure as an error path"
+            ),
+        });
+    }
+}

@@ -1,0 +1,117 @@
+//! `atomic-ordering-audit`: every `Ordering::Relaxed` used by a *mutating*
+//! atomic operation must carry an `// ordering:` justification.
+//!
+//! The serve stack leans on relaxed atomics for its lock-free metrics — which
+//! is correct exactly as long as every relaxed site is a monotone counter
+//! nobody synchronizes *through*. A `Relaxed` store or compare-exchange on a
+//! flag that another thread uses to order its own reads is a silent data
+//! race: the compiler and CPU may move the protected accesses right past it.
+//! Clippy has no opinion here; this rule forces the author to either write
+//! down why `Relaxed` is sufficient (an `// ordering:` comment on or directly
+//! above the site) or upgrade the ordering.
+//!
+//! Pure read-modify-write *counter* operations (`fetch_add`, `fetch_max`, …)
+//! and plain `load`s are exempt — relaxed is the documented right answer for
+//! statistics — as is any file on the configured pure-counter allowlist.
+
+use crate::engine::{Config, FileCtx, Finding};
+
+pub const NAME: &str = "atomic-ordering-audit";
+
+/// Operations where `Relaxed` participates in a write another thread may
+/// synchronize on: these need justification.
+const MUTATING: &[&str] = &[
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+];
+
+/// Pure counter/statistic RMWs and reads: relaxed by design.
+const COUNTER_OK: &[&str] = &[
+    "load",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+];
+
+/// Walk backward from the code token at `at` to the method call whose
+/// argument list contains it, returning the callee identifier and its line
+/// (a multi-line call is justified — and reported — at the callee's line).
+fn enclosing_callee<'a>(ctx: &'a FileCtx<'_>, at: usize) -> Option<(&'a str, u32)> {
+    let mut depth = 0i32;
+    let mut i = at;
+    // Bounded: an argument list longer than this is not something this
+    // codebase writes, and the bound keeps the scan linear per site.
+    for _ in 0..400 {
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+        let tok = ctx.code_tok(i)?;
+        match tok.text.chars().next() {
+            Some(')') => depth += 1,
+            Some('(') => {
+                if depth == 0 {
+                    // The opener containing our token; the callee precedes it.
+                    let callee = ctx.code_tok(i.checked_sub(1)?)?;
+                    return Some((&callee.text, callee.line));
+                }
+                depth -= 1;
+            }
+            Some(';') | Some('{') | Some('}') if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+pub fn check_file(ctx: &FileCtx<'_>, config: &Config, out: &mut Vec<Finding>) {
+    if config
+        .counter_allowlist
+        .iter()
+        .any(|suffix| ctx.rel_path.ends_with(suffix.as_str()))
+    {
+        return;
+    }
+    for ci in 0..ctx.code.len() {
+        let seq_matches = ctx.code_tok(ci).is_some_and(|t| t.is_ident("Ordering"))
+            && ctx.code_tok(ci + 1).is_some_and(|t| t.is_punct(':'))
+            && ctx.code_tok(ci + 2).is_some_and(|t| t.is_punct(':'))
+            && ctx.code_tok(ci + 3).is_some_and(|t| t.is_ident("Relaxed"));
+        if !seq_matches {
+            continue;
+        }
+        let arg_line = ctx.code_tok(ci).map(|t| t.line).unwrap_or(0);
+        let callee = enclosing_callee(ctx, ci);
+        if callee.is_some_and(|(c, _)| COUNTER_OK.contains(&c)) {
+            continue;
+        }
+        // The call-site line anchors the finding: one `// ordering:` comment
+        // above a multi-line `compare_exchange` covers both its orderings.
+        let line = callee.map(|(_, l)| l).unwrap_or(arg_line);
+        if ctx.has_marker_above(line, "ordering:") || ctx.has_marker_above(arg_line, "ordering:") {
+            continue;
+        }
+        let describe = match callee {
+            Some((c, _)) if MUTATING.contains(&c) => format!("`Ordering::Relaxed` in `{c}`"),
+            Some((c, _)) => format!("`Ordering::Relaxed` passed to `{c}`"),
+            None => "`Ordering::Relaxed` outside a recognized counter op".to_string(),
+        };
+        out.push(Finding {
+            path: ctx.rel_path.to_string(),
+            line,
+            rule: NAME,
+            message: format!(
+                "{describe} without an `// ordering:` justification — document why relaxed \
+                 cannot be observed as a synchronization edge, or upgrade to Acquire/Release"
+            ),
+        });
+    }
+}

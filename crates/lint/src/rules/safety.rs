@@ -1,0 +1,42 @@
+//! `safety-comment`: every `unsafe` token must be justified by a `// SAFETY:`
+//! comment on its line or directly above it.
+//!
+//! The workspace keeps its unsafe surface to a single FFI call by policy;
+//! this rule makes the policy checkable. The same convention rustc itself
+//! uses internally (`#![warn(undocumented_unsafe_blocks)]` in std) — the
+//! comment must state the invariant the surrounding code upholds, because
+//! the compiler has stopped checking at that keyword.
+
+use crate::engine::{FileCtx, Finding};
+
+pub const NAME: &str = "safety-comment";
+
+pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Finding>) {
+    for ci in 0..ctx.code.len() {
+        let Some(tok) = ctx.code_tok(ci) else {
+            continue;
+        };
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        if ctx.has_marker_above(tok.line, "SAFETY:") {
+            continue;
+        }
+        // Describe what kind of unsafe this is for a better message.
+        let what = match ctx.code_tok(ci + 1) {
+            Some(next) if next.is_ident("fn") => "`unsafe fn`",
+            Some(next) if next.is_ident("impl") => "`unsafe impl`",
+            Some(next) if next.is_punct('{') => "`unsafe` block",
+            _ => "`unsafe`",
+        };
+        out.push(Finding {
+            path: ctx.rel_path.to_string(),
+            line: tok.line,
+            rule: NAME,
+            message: format!(
+                "{what} without a `// SAFETY:` comment — state the invariant that makes \
+                 this sound (the compiler stopped checking here)"
+            ),
+        });
+    }
+}

@@ -1,0 +1,17 @@
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub fn drain(state: &Mutex<u64>, jobs: &Receiver<u64>) {
+    let snapshot = {
+        let guard = state.lock().unwrap();
+        *guard
+    };
+    let _ = snapshot;
+    let _ = jobs.recv();
+}
+
+pub fn drop_first(state: &Mutex<u64>, jobs: &Receiver<u64>) {
+    let guard = state.lock().unwrap();
+    drop(guard);
+    let _ = jobs.recv();
+}

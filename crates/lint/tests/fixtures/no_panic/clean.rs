@@ -1,0 +1,14 @@
+//! lint: no_panic — event-loop fixture.
+
+pub fn pump(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::pump(Some(3)), 3);
+        let _ = Some(1).unwrap();
+    }
+}

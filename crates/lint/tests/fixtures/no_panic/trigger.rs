@@ -1,0 +1,12 @@
+//! lint: no_panic — event-loop fixture.
+
+pub fn pump(v: Option<u32>) -> u32 {
+    match v {
+        Some(x) => x,
+        None => panic!("empty"),
+    }
+}
+
+pub fn force(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

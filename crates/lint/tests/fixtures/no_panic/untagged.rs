@@ -1,0 +1,5 @@
+// No panic-free header here: panicking constructs are allowed.
+
+pub fn force(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,6 @@
+//! lint: no_panic — event-loop fixture.
+
+pub fn pump(v: Option<u32>) -> u32 {
+    // lint:allow(no-panic-in-event-loop): caller checked is_some on entry
+    v.unwrap()
+}

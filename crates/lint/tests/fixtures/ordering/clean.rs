@@ -1,0 +1,12 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed);
+    counter.load(Ordering::Relaxed)
+}
+
+pub fn publish(flag: &AtomicU64) {
+    // ordering: best-effort hint — nobody synchronizes through this store;
+    // the surrounding mutex is the real fence.
+    flag.store(1, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn close_valve(flag: &AtomicU64) {
+    flag.store(1, Ordering::Relaxed);
+}

@@ -1,0 +1,6 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn reset(flag: &AtomicU64) {
+    // lint:allow(atomic-ordering-audit): single-threaded startup path
+    flag.store(0, Ordering::Relaxed);
+}

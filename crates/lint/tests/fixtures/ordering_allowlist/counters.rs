@@ -1,0 +1,5 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn reset_counter(counter: &AtomicU64) {
+    counter.store(0, Ordering::Relaxed);
+}

@@ -1,0 +1,5 @@
+pub fn read_raw(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is non-null, aligned and valid for
+    // reads for the duration of this call.
+    unsafe { *p }
+}

@@ -1,0 +1,3 @@
+pub fn listed() {}
+
+pub fn also_listed() {}

@@ -1,0 +1,4 @@
+pub fn listed() {}
+
+// lint:allow(vendor-drift): deliberate extension pending manifest review
+pub fn drifted() {}

@@ -1,0 +1,4 @@
+pub fn read_raw(p: *const u32) -> u32 {
+    // lint:allow(safety-comment)
+    unsafe { *p }
+}

@@ -1,0 +1,2 @@
+// lint:allow(no-such-rule): this rule name does not exist
+pub fn nothing() {}

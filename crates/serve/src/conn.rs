@@ -30,6 +30,10 @@
 //! rescheduled for its remaining lifetime, and only a genuinely idle one is
 //! evicted. Stale entries (the slot was reused by a newer connection) are
 //! filtered by generation number.
+//!
+//! lint: no_panic — connection state machines run on poller threads: a panic
+//! here kills the thread and orphans its whole connection set, so panicking
+//! constructs are forbidden (enforced by holistix-lint).
 
 use crate::admission::{Admission, TokenBucket};
 use crate::http::{write_response, Request, RequestParser, Response};
@@ -320,11 +324,14 @@ impl Connection {
     /// the last-byte-written boundary and fold the trace into the latency
     /// and stage histograms.
     fn finalize_written(&mut self, now: Instant, metrics: &ServeMetrics) {
-        while let Some((due, _)) = self.inflight_writes.front() {
-            if *due > self.written_total {
+        while self
+            .inflight_writes
+            .front()
+            .is_some_and(|(due, _)| *due <= self.written_total)
+        {
+            let Some((_, mut trace)) = self.inflight_writes.pop_front() else {
                 break;
-            }
-            let (_, mut trace) = self.inflight_writes.pop_front().expect("checked front");
+            };
             trace.stamp_at(TraceStamp::WriteDone, now);
             metrics.finalize_trace(&trace);
         }

@@ -240,6 +240,42 @@
 //! | `holistix_intake_closed`, `holistix_intake_closures_total` | `admission.intake_*` |
 //! | `holistix_admission_*` (limit gauges)    | `admission.limits` |
 //!
+//! ## Threading invariants
+//!
+//! The crate hand-rolls its event loop and its lock-free metrics, so the
+//! invariants that keep them correct are enforced mechanically by
+//! `holistix-lint` (`cargo run -p holistix-lint --release -- check`, a
+//! required CI gate) rather than by convention:
+//!
+//! * **Event-loop files never panic** (`no-panic-in-event-loop`). `poller`
+//!   and `conn` carry a `//! lint: no_panic` header: a panic there kills a
+//!   poller thread and silently orphans every connection it owns while the
+//!   rest of the server keeps accepting — a failure mode that presents as
+//!   packet loss, worse than a crash. Invariant violations on those paths are
+//!   handled as error paths (drop the connection, not the thread).
+//! * **Relaxed atomics are justified** (`atomic-ordering-audit`). Monotone
+//!   counters (`fetch_add` and friends) are relaxed by design; any `Relaxed`
+//!   *store/swap/CAS* — an operation another thread could mistake for a
+//!   synchronization edge — carries an `// ordering:` comment stating why no
+//!   data is published under it (e.g. the intake gauge in [`metrics`], the
+//!   slow-trace floor in [`obs`], the admission depth CAS).
+//! * **Unsafe states its contract** (`safety-comment`). The crate's unsafe
+//!   surface is one FFI call (`poll(2)` in [`poller`]) and it carries a
+//!   `// SAFETY:` comment; any new `unsafe` must too.
+//! * **No lock guard held across a blocking call** (`guard-across-send`).
+//!   Holding a `Mutex`/`RwLock` guard at a `send`/`recv`/`join`/`sleep` is
+//!   the classic contention-only deadlock. The one intentional case — the
+//!   handler pool taking turns on the shared job receiver — is waived inline
+//!   with its rationale.
+//!
+//! Waivers are always of the form
+//! `// lint:allow(guard-across-send): receivers take turns by design` — the
+//! rule name plus a mandatory reason — so `grep -rn 'lint:allow'` is the
+//! complete exception ledger.
+//! Best-effort Miri and ThreadSanitizer CI lanes run the serve unit tests
+//! when the nightly components are available, backstopping the lexical rules
+//! with dynamic checking.
+//!
 //! ## Quick start
 //!
 //! ```no_run

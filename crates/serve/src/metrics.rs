@@ -209,6 +209,9 @@ impl AdmissionMetrics {
     /// counter exactly once even when several pollers observe it (the swap
     /// returns the previous value, so only the first closer sees 0).
     pub fn set_intake_closed(&self, closed: bool) {
+        // ordering: the gauge is observational — scrapers and the valve edge
+        // counter read it, but no data is published under it; pollers decide
+        // intake from `QueueMetrics::try_admit`, not from this flag.
         let prev = self.intake_closed.swap(closed as u64, Ordering::Relaxed);
         if closed && prev == 0 {
             self.intake_closures_total.fetch_add(1, Ordering::Relaxed);
@@ -484,6 +487,10 @@ impl QueueMetrics {
                 Some(next) if next <= cap => next,
                 _ => return false,
             };
+            // ordering: pure depth accounting — the counter itself is the
+            // entire shared state. No memory is published under a successful
+            // reservation (the job travels through the channel, which does
+            // its own synchronization), so relaxed CAS is sufficient.
             match self.depth.compare_exchange_weak(
                 current,
                 next,

@@ -500,6 +500,10 @@ impl SlowTraceBuffer {
         }
         if entries.len() == self.capacity {
             let floor = entries.iter().map(|e| e.total_us).min().unwrap_or(0);
+            // ordering: the floor is a best-effort pre-filter — a stale read
+            // only lets a borderline trace reach `offer`, where the `entries`
+            // mutex re-checks it; every store happens under that same mutex,
+            // so no thread synchronizes through this atomic.
             self.floor_us.store(floor, Ordering::Relaxed);
         }
     }

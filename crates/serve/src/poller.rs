@@ -16,6 +16,10 @@
 //! to an already-signalled waker hit `WouldBlock` and are dropped — the
 //! poller is waking anyway, which makes `wake` O(1), lock-free and
 //! infallible.
+//!
+//! lint: no_panic — this file is event-loop core: a panic here kills a
+//! poller thread and silently orphans every connection it owns, so panicking
+//! constructs are forbidden (enforced by holistix-lint).
 
 use std::io::{self, Read, Write};
 use std::os::unix::io::{AsRawFd, RawFd};
@@ -126,6 +130,11 @@ impl PollSet {
     /// the caller's loop re-polls.
     pub fn wait(&mut self, timeout: Duration) -> io::Result<usize> {
         let timeout_ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        // SAFETY: `fds` is a live, exclusively borrowed Vec of `#[repr(C)]`
+        // structs matching `struct pollfd`, so the pointer is valid for
+        // reads and writes of `len` entries for the whole call; `poll(2)`
+        // only mutates the `revents` field of those entries and accesses no
+        // memory beyond them.
         let n = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as u64, timeout_ms) };
         if n >= 0 {
             return Ok(n as usize);

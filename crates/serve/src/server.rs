@@ -183,6 +183,8 @@ impl ServerHandle {
 
     fn stop(&mut self) {
         if let Some(thread) = self.thread.take() {
+            // ordering: SeqCst — shutdown is a synchronization edge: pollers
+            // must observe the flag before draining, and this path is cold.
             self.running.store(false, Ordering::SeqCst);
             // Wake every poller so each observes the flag immediately.
             for waker in &self.wakers {
@@ -375,6 +377,10 @@ fn handler_loop(
     loop {
         // Take the lock only to pop; handling runs unlocked so the rest of
         // the pool keeps draining jobs.
+        // lint:allow(guard-across-send): intentional — mpsc::Receiver is not
+        // Sync, so handlers take turns blocking in `recv` under this mutex;
+        // the guard is a temporary that dies at the statement's `;`, and no
+        // other lock or work is ever taken while it is held.
         let job = { receiver.lock().unwrap().recv() };
         let Ok(mut job) = job else { break };
         job.trace.stamp(TraceStamp::HandlerStart);
@@ -989,6 +995,8 @@ fn handle_reload(body: &str, context: &RequestContext<'_>) -> Response {
     }
     // One reload at a time: claim the flag before spawning; losing claimants
     // are told to retry rather than queueing fits.
+    // ordering: SeqCst — the flag gates a whole model-fit critical section,
+    // and reloads are rare enough that the fence cost is irrelevant.
     if context.reloading.swap(true, Ordering::SeqCst) {
         return Response::error(409, "a reload is already in progress");
     }
@@ -1003,6 +1011,8 @@ fn handle_reload(body: &str, context: &RequestContext<'_>) -> Response {
         struct ClearOnExit(Arc<AtomicBool>);
         impl Drop for ClearOnExit {
             fn drop(&mut self) {
+                // ordering: SeqCst to pair with the claiming `swap` — the
+                // next claimant must see the registry swap that preceded us.
                 self.0.store(false, Ordering::SeqCst);
             }
         }
